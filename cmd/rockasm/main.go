@@ -1,0 +1,61 @@
+// Command rockasm assembles and disassembles Rockcress ISA text, and can
+// run a program directly on a simulated fabric.
+//
+// Usage:
+//
+//	rockasm -in prog.s                 # assemble + validate, print summary
+//	rockasm -in prog.s -dis            # round-trip back to text
+//	rockasm -in prog.s -run            # run on a 64-core fabric, print stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rockcress/internal/asm"
+	"rockcress/internal/config"
+	"rockcress/internal/machine"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "assembly source file (required)")
+		disFlag = flag.Bool("dis", false, "print the round-tripped disassembly")
+		runFlag = flag.Bool("run", false, "run the program on a default fabric")
+		budget  = flag.Int64("max-cycles", 50_000_000, "simulation budget for -run")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(*inPath, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d labels\n", *inPath, len(prog.Code), len(prog.Labels))
+	if *disFlag {
+		fmt.Print(asm.Disassemble(prog))
+	}
+	if *runFlag {
+		m, err := machine.New(machine.Params{Cfg: config.ManycoreDefault(), Prog: prog})
+		if err != nil {
+			fatal(err)
+		}
+		st, err := m.Run(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Summary())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rockasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command rockbench regenerates the paper's tables and figures on the
+// Rockcress simulator.
+//
+// Usage:
+//
+//	rockbench -table 1a|1b|2|3
+//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs [-scale small|full] [-bench name,...]
+//	rockbench -all [-scale small|full]
+//
+// Absolute cycle counts are the simulator's, not the paper's gem5 testbed;
+// EXPERIMENTS.md records the shape comparison per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rockcress/internal/harness"
+	"rockcress/internal/kernels"
+)
+
+func main() {
+	var (
+		tableName = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
+		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs")
+		allFlag   = flag.Bool("all", false, "regenerate every table and figure")
+		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
+		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	var benches []string
+	if *benchCSV != "" {
+		benches = strings.Split(*benchCSV, ",")
+	}
+	r := harness.New(harness.Options{
+		Scale: scale, Out: os.Stdout, Verbose: !*quiet, Benches: benches,
+	})
+
+	out := os.Stdout
+	if *tableName != "" {
+		if err := printTable(*tableName, scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	figs := map[string]func() error{
+		"10":  func() error { return r.Fig10(out) },
+		"11":  func() error { return r.Fig11(out) },
+		"12":  func() error { return r.Fig12(out) },
+		"13":  func() error { return r.Fig13(out) },
+		"14":  func() error { return r.Fig14(out) },
+		"15":  func() error { return r.Fig15(out) },
+		"16":  func() error { return r.Fig16(out) },
+		"17a": func() error { return r.Fig17a(out) },
+		"17b": func() error { return r.Fig17b(out) },
+		"17c": func() error { return r.Fig17c(out) },
+		"bfs": func() error { return r.BFS(out) },
+	}
+	if *figName != "" {
+		fn, ok := figs[*figName]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q", *figName))
+		}
+		if err := fn(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *allFlag {
+		for _, name := range []string{"1a", "1b", "2", "3"} {
+			if err := printTable(name, scale); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		for _, name := range []string{"10", "11", "12", "13", "14", "15", "16", "17a", "17b", "17c", "bfs"} {
+			if err := figs[name](); err != nil {
+				fatal(fmt.Errorf("figure %s: %w", name, err))
+			}
+			fmt.Println()
+		}
+		return
+	}
+	flag.Usage()
+}
+
+func printTable(name string, scale kernels.Scale) error {
+	switch name {
+	case "1a":
+		harness.Table1a(os.Stdout)
+	case "1b":
+		harness.Table1b(os.Stdout)
+	case "2":
+		harness.Table2(os.Stdout, scale)
+	case "3":
+		harness.Table3(os.Stdout)
+	default:
+		return fmt.Errorf("unknown table %q", name)
+	}
+	return nil
+}
+
+func parseScale(s string) (kernels.Scale, error) {
+	switch s {
+	case "tiny":
+		return kernels.Tiny, nil
+	case "small":
+		return kernels.Small, nil
+	case "full":
+		return kernels.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rockbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command rocksim runs one benchmark under one Table 3 configuration on
+// the Rockcress simulator and prints its statistics.
+//
+// Usage:
+//
+//	rocksim -bench gemm -config V4 [-scale small] [-v]
+//
+// Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
+// V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rockcress/internal/asm"
+	"rockcress/internal/config"
+	"rockcress/internal/kernels"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "gemm", "benchmark name (see rockbench -table 2)")
+		cfgName   = flag.String("config", "NV", "Table 3 configuration name, or GPU")
+		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
+		maxCycles = flag.Int64("max-cycles", kernels.DefaultMaxCycles, "simulation budget")
+		verbose   = flag.Bool("v", false, "print per-core CPI stack and energy split")
+		dumpAsm   = flag.Bool("dump-asm", false, "print the built program's disassembly and exit")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := kernels.Get(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	var sw config.Software
+	if *cfgName == "GPU" {
+		sw = kernels.GPUSoftware()
+	} else if sw, err = config.Preset(*cfgName); err != nil {
+		fatal(err)
+	}
+	if *dumpAsm {
+		if err := dumpProgram(bench, scale, sw); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	res, err := kernels.Execute(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), *maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s / %s (%s scale)\n", res.Bench, res.Config, scale)
+	if res.GPU != nil {
+		g := res.GPU
+		fmt.Printf("cycles: %d\nwavefronts: %d\ncompute ops: %d loads: %d stores: %d\n",
+			g.Cycles, g.Wavefronts, g.ComputeOps, g.LoadOps, g.StoreOps)
+		fmt.Printf("lines: %d (tcp %d, tcc %d, llc %d, dram %d)\n",
+			g.Lines, g.TCPHits, g.TCCHits, g.LLCHits, g.DramLines)
+		return
+	}
+	fmt.Print(res.Stats.Summary())
+	fmt.Printf("result check: passed (vs serial reference)\n")
+	if *verbose {
+		fmt.Printf("energy: %s\n", res.Energy)
+		fmt.Printf("vloads: %d microthreads: %d remote stores: %d\n",
+			sumVloads(res), sumMts(res), res.Stats.RemoteStores)
+	}
+}
+
+// dumpProgram builds the benchmark's program for the configuration and
+// prints its assembly (what the paper's compiler pipeline would emit).
+func dumpProgram(bench kernels.Benchmark, scale kernels.Scale, sw config.Software) error {
+	p := bench.Defaults(scale)
+	img, err := bench.Prepare(p)
+	if err != nil {
+		return err
+	}
+	hw := sw.Apply(config.ManycoreDefault())
+	groups, err := kernels.GroupsFor(sw, hw)
+	if err != nil {
+		return err
+	}
+	ctx := kernels.NewCtx(p, img, sw, hw, groups)
+	if err := bench.Build(ctx); err != nil {
+		return err
+	}
+	prog, err := ctx.B.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s / %s: %d instructions\n", bench.Info().Name, sw.Name, len(prog.Code))
+	fmt.Print(asm.Disassemble(prog))
+	return nil
+}
+
+func sumVloads(res *kernels.Result) int64 {
+	var t int64
+	for i := range res.Stats.Cores {
+		t += res.Stats.Cores[i].VloadsIssued
+	}
+	return t
+}
+
+func sumMts(res *kernels.Result) int64 {
+	var t int64
+	for i := range res.Stats.Cores {
+		t += res.Stats.Cores[i].Microthreads
+	}
+	return t
+}
+
+func parseScale(s string) (kernels.Scale, error) {
+	switch s {
+	case "tiny":
+		return kernels.Tiny, nil
+	case "small":
+		return kernels.Small, nil
+	case "full":
+		return kernels.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (tiny, small, full)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rocksim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// regularity: the paper's core argument is that one fabric should serve
+// both regular and irregular parallelism. This example runs a regular
+// kernel (mvt, whose transposed half is the showcase for group loads) and
+// an irregular one (bfs) under both the plain manycore mapping and a V4
+// vector-group mapping — the winner flips with the workload's regularity,
+// and run-time reconfiguration lets software pick per kernel (§6.6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rockcress"
+)
+
+func cycles(bench, cfg string) int64 {
+	res, err := rockcress.RunBenchmark(bench, cfg, rockcress.Small)
+	if err != nil {
+		log.Fatalf("%s/%s: %v", bench, cfg, err)
+	}
+	return res.Cycles()
+}
+
+func main() {
+	fmt.Println("regular (mvt) vs irregular (bfs) on the same fabric")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s %10s\n", "bench", "NV cycles", "V4 cycles", "V4 vs NV")
+	for _, bench := range []string{"mvt", "bfs"} {
+		nv := cycles(bench, "NV")
+		v4 := cycles(bench, "V4")
+		fmt.Printf("%-8s %12d %12d %9.2fx\n", bench, nv, v4, float64(nv)/float64(v4))
+	}
+	fmt.Println()
+	fmt.Println("mvt wants vector groups; bfs wants independent cores.")
+	fmt.Println("Software-defined vectors reconfigure between the two at run time.")
+}

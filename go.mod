@@ -1,0 +1,3 @@
+module rockcress
+
+go 1.22

@@ -1,0 +1,509 @@
+// Package asm provides a textual assembly syntax for the Rockcress ISA:
+// Assemble parses the same syntax isa.Instr.String produces (plus labels
+// and comments), and Disassemble renders a program back to text. The
+// round trip is exact, which the property tests rely on.
+//
+// Syntax:
+//
+//	# comment            ; also a comment
+//	loop:                 a label (binds to the next instruction)
+//	add x1, x2, x3
+//	lw x5, 8(x6)          memory operands use offset(base)
+//	beq x1, x2, loop      branch targets are labels or absolute indices
+//	vload x2, x1, 0, 16, group[, suffix|prefix][, f]
+//	csrw vconfig, x1
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rockcress/internal/isa"
+)
+
+// Assemble parses source text into a program.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{labels: map[string]int{}}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q", name, f.label)
+		}
+		a.code[f.pos].Imm = int32(target)
+	}
+	p := &isa.Program{Name: name, Code: a.code, Labels: a.labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Disassemble renders a program as parseable text with label definitions.
+func Disassemble(p *isa.Program) string {
+	byPC := map[int][]string{}
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var b strings.Builder
+	for pc, in := range p.Code {
+		for _, l := range byPC[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "\t%s\n", in.String())
+	}
+	return b.String()
+}
+
+func stripComment(line string) string {
+	for _, sep := range []string{"#", ";"} {
+		if i := strings.Index(line, sep); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+type fixup struct {
+	pos   int
+	label string
+}
+
+type assembler struct {
+	code   []isa.Instr
+	labels map[string]int
+	fixups []fixup
+}
+
+func (a *assembler) line(line string) error {
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if label == "" || strings.ContainsAny(label, " \t,()") {
+			return fmt.Errorf("bad label %q", label)
+		}
+		if _, dup := a.labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.labels[label] = len(a.code)
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	return a.instr(line)
+}
+
+// operands splits "a, b, 4(x2)" into trimmed fields.
+func operands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(tok string) (isa.Reg, error) {
+	if !strings.HasPrefix(tok, "x") {
+		return 0, fmt.Errorf("expected integer register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumIntRegs {
+		return 0, fmt.Errorf("bad integer register %q", tok)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseFReg(tok string) (isa.FReg, error) {
+	if !strings.HasPrefix(tok, "f") {
+		return 0, fmt.Errorf("expected fp register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumFpRegs {
+		return 0, fmt.Errorf("bad fp register %q", tok)
+	}
+	return isa.FReg(n), nil
+}
+
+func parseVReg(tok string) (uint8, error) {
+	if !strings.HasPrefix(tok, "v") {
+		return 0, fmt.Errorf("expected simd register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumVecRegs {
+		return 0, fmt.Errorf("bad simd register %q", tok)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(tok string) (int32, error) {
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return int32(v), nil
+}
+
+// parseMem splits "8(x2)" into offset and base register.
+func parseMem(tok string) (int32, isa.Reg, error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("expected offset(base), got %q", tok)
+	}
+	off, err := parseImm(strings.TrimSpace(tok[:open]))
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := parseReg(strings.TrimSpace(tok[open+1 : len(tok)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// target resolves a branch operand: an absolute index or a label fixup.
+func (a *assembler) target(tok string, in *isa.Instr) {
+	if v, err := strconv.ParseInt(tok, 0, 32); err == nil {
+		in.Imm = int32(v)
+		return
+	}
+	a.fixups = append(a.fixups, fixup{pos: len(a.code), label: tok})
+}
+
+func (a *assembler) instr(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	ops := operands(rest)
+	in := isa.Instr{Op: op}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: expected %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case isa.OpNop, isa.OpVend, isa.OpRemem, isa.OpBarrier, isa.OpHalt:
+		err = need(0)
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu:
+		if err = need(3); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.Rs2, err = parseReg(ops[2])
+			}
+		}
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlli, isa.OpSrli,
+		isa.OpSrai, isa.OpSlti:
+		if err = need(3); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.Imm, err = parseImm(ops[2])
+			}
+		}
+	case isa.OpLi:
+		if err = need(2); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, err = parseImm(ops[1])
+			}
+		}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		if err = need(3); err == nil {
+			in.Rs1, err = parseReg(ops[0])
+			if err == nil {
+				in.Rs2, err = parseReg(ops[1])
+			}
+			if err == nil {
+				a.target(ops[2], &in)
+			}
+		}
+	case isa.OpJal:
+		if err = need(2); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				a.target(ops[1], &in)
+			}
+		}
+	case isa.OpJalr:
+		if err = need(3); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+			if err == nil {
+				in.Imm, err = parseImm(ops[2])
+			}
+		}
+	case isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv, isa.OpFmin, isa.OpFmax:
+		if err = need(3); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Fs1, err = parseFReg(ops[1])
+			}
+			if err == nil {
+				in.Fs2, err = parseFReg(ops[2])
+			}
+		}
+	case isa.OpFmadd:
+		if err = need(4); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Fs1, err = parseFReg(ops[1])
+			}
+			if err == nil {
+				in.Fs2, err = parseFReg(ops[2])
+			}
+			if err == nil {
+				in.Fs3, err = parseFReg(ops[3])
+			}
+		}
+	case isa.OpFsqrt, isa.OpFabs, isa.OpFneg, isa.OpFmv:
+		if err = need(2); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Fs1, err = parseFReg(ops[1])
+			}
+		}
+	case isa.OpFeq, isa.OpFlt, isa.OpFle:
+		if err = need(3); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Fs1, err = parseFReg(ops[1])
+			}
+			if err == nil {
+				in.Fs2, err = parseFReg(ops[2])
+			}
+		}
+	case isa.OpFcvtWS, isa.OpFmvXW:
+		if err = need(2); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Fs1, err = parseFReg(ops[1])
+			}
+		}
+	case isa.OpFcvtSW, isa.OpFmvWX:
+		if err = need(2); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+		}
+	case isa.OpLw, isa.OpLwSp:
+		if err = need(2); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpFlw, isa.OpFlwSp:
+		if err = need(2); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpSw, isa.OpSwSp:
+		if err = need(2); err == nil {
+			in.Rs2, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpFsw, isa.OpFswSp:
+		if err = need(2); err == nil {
+			in.Fs2, err = parseFReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpSwRemote:
+		if err = need(3); err == nil {
+			in.Rs2, err = parseReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+			if err == nil {
+				in.Rs3, err = parseReg(ops[2])
+			}
+		}
+	case isa.OpFswRemote:
+		if err = need(3); err == nil {
+			in.Fs2, err = parseFReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+			if err == nil {
+				in.Rs3, err = parseReg(ops[2])
+			}
+		}
+	case isa.OpCsrw:
+		if err = need(2); err == nil {
+			var okc bool
+			in.Csr, okc = isa.CSRByName(ops[0])
+			if !okc {
+				err = fmt.Errorf("unknown CSR %q", ops[0])
+			}
+			if err == nil {
+				in.Rs1, err = parseReg(ops[1])
+			}
+		}
+	case isa.OpCsrr:
+		if err = need(2); err == nil {
+			in.Rd, err = parseReg(ops[0])
+			if err == nil {
+				var okc bool
+				in.Csr, okc = isa.CSRByName(ops[1])
+				if !okc {
+					err = fmt.Errorf("unknown CSR %q", ops[1])
+				}
+			}
+		}
+	case isa.OpVissue, isa.OpDevec:
+		if err = need(1); err == nil {
+			a.target(ops[0], &in)
+		}
+	case isa.OpFrameStart:
+		if err = need(1); err == nil {
+			in.Rd, err = parseReg(ops[0])
+		}
+	case isa.OpVload:
+		err = a.parseVload(ops, &in)
+	case isa.OpPredEq, isa.OpPredNeq:
+		if err = need(2); err == nil {
+			in.Rs1, err = parseReg(ops[0])
+			if err == nil {
+				in.Rs2, err = parseReg(ops[1])
+			}
+		}
+	case isa.OpVlwSp:
+		if err = need(2); err == nil {
+			in.Vd, err = parseVReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpVswSp:
+		if err = need(2); err == nil {
+			in.Vs1, err = parseVReg(ops[0])
+			if err == nil {
+				in.Imm, in.Rs1, err = parseMem(ops[1])
+			}
+		}
+	case isa.OpVfadd, isa.OpVfsub, isa.OpVfmul, isa.OpVfma:
+		if err = need(3); err == nil {
+			in.Vd, err = parseVReg(ops[0])
+			if err == nil {
+				in.Vs1, err = parseVReg(ops[1])
+			}
+			if err == nil {
+				in.Vs2, err = parseVReg(ops[2])
+			}
+		}
+	case isa.OpVfmaF, isa.OpVfmulF:
+		if err = need(3); err == nil {
+			in.Vd, err = parseVReg(ops[0])
+			if err == nil {
+				in.Vs1, err = parseVReg(ops[1])
+			}
+			if err == nil {
+				in.Fs3, err = parseFReg(ops[2])
+			}
+		}
+	case isa.OpVbcastF:
+		if err = need(2); err == nil {
+			in.Vd, err = parseVReg(ops[0])
+			if err == nil {
+				in.Fs3, err = parseFReg(ops[1])
+			}
+		}
+	case isa.OpVfredsum:
+		if err = need(2); err == nil {
+			in.Fd, err = parseFReg(ops[0])
+			if err == nil {
+				in.Vs1, err = parseVReg(ops[1])
+			}
+		}
+	default:
+		err = fmt.Errorf("mnemonic %q not assemblable", mnemonic)
+	}
+	if err != nil {
+		return err
+	}
+	a.code = append(a.code, in)
+	return nil
+}
+
+// parseVload handles: vload xOff, xAddr, baseLane, width, dist[, part][, f]
+func (a *assembler) parseVload(ops []string, in *isa.Instr) error {
+	if len(ops) < 5 || len(ops) > 7 {
+		return fmt.Errorf("vload: expected 5-7 operands, got %d", len(ops))
+	}
+	var err error
+	in.Rs2, err = parseReg(ops[0])
+	if err != nil {
+		return err
+	}
+	in.Rs1, err = parseReg(ops[1])
+	if err != nil {
+		return err
+	}
+	base, err := parseImm(ops[2])
+	if err != nil {
+		return err
+	}
+	width, err := parseImm(ops[3])
+	if err != nil {
+		return err
+	}
+	in.Vl.BaseLane = int(base)
+	in.Vl.Width = int(width)
+	switch ops[4] {
+	case "single":
+		in.Vl.Dist = isa.VloadSingle
+	case "group":
+		in.Vl.Dist = isa.VloadGroup
+	case "self":
+		in.Vl.Dist = isa.VloadSelf
+	default:
+		return fmt.Errorf("vload: unknown distribution %q", ops[4])
+	}
+	for _, extra := range ops[5:] {
+		switch extra {
+		case "suffix":
+			in.Vl.Part = isa.VloadSuffix
+		case "prefix":
+			in.Vl.Part = isa.VloadPrefix
+		case "f":
+			in.Vl.Float = true
+		default:
+			return fmt.Errorf("vload: unknown modifier %q", extra)
+		}
+	}
+	return nil
+}

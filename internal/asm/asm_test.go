@@ -1,0 +1,159 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rockcress/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+# sum the numbers 1..10 into x5
+	li x5, 0
+	li x6, 1
+	li x7, 11
+loop:
+	add x5, x5, x6
+	addi x6, x6, 1
+	blt x6, x7, loop
+	halt
+`
+	p, err := Assemble("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 7 {
+		t.Fatalf("got %d instructions, want 7", len(p.Code))
+	}
+	if p.Labels["loop"] != 3 {
+		t.Fatalf("loop label at %d, want 3", p.Labels["loop"])
+	}
+	if p.Code[5].Imm != 3 {
+		t.Fatalf("branch target %d, want 3", p.Code[5].Imm)
+	}
+}
+
+func TestAssembleVector(t *testing.T) {
+	src := `
+	csrw framecfg, x3
+	li x1, 1
+	csrw vconfig, x1
+	vload x2, x4, 0, 16, group, f
+	vload x2, x4, 1, 4, single, suffix
+	vissue mt
+	devec resume
+resume:
+	barrier
+	halt
+mt:
+	frame_start x5
+	flw.sp f1, 0(x5)
+	fadd f2, f2, f1
+	remem
+	vend
+`
+	p, err := Assemble("vec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := p.Code[3].Vl
+	if vl.Dist != isa.VloadGroup || vl.Width != 16 || !vl.Float {
+		t.Fatalf("bad vload args: %+v", vl)
+	}
+	if p.Code[4].Vl.Part != isa.VloadSuffix {
+		t.Fatalf("bad vload part: %+v", p.Code[4].Vl)
+	}
+	if p.Code[5].Imm != int32(p.Labels["mt"]) {
+		t.Fatalf("vissue target %d, want %d", p.Code[5].Imm, p.Labels["mt"])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frob x1, x2",           // unknown mnemonic
+		"add x1, x2",            // wrong arity
+		"lw x1, x2",             // missing mem syntax
+		"beq x1, x2, nowhere",   // undefined label
+		"li x99, 0",             // bad register
+		"csrw nope, x1",         // unknown CSR
+		"vload x1, x2, 0, 0, x", // bad distribution
+		"dup: dup: nop",         // duplicate label
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}
+
+// genInstr builds a random but well-formed instruction for the round-trip
+// property test.
+func genInstr(r *rand.Rand, progLen int) isa.Instr {
+	reg := func() isa.Reg { return isa.Reg(r.Intn(isa.NumIntRegs)) }
+	freg := func() isa.FReg { return isa.FReg(r.Intn(isa.NumFpRegs)) }
+	vreg := func() uint8 { return uint8(r.Intn(isa.NumVecRegs)) }
+	imm := func() int32 { return int32(r.Intn(4096) - 2048) }
+	target := func() int32 { return int32(r.Intn(progLen)) }
+	ops := []func() isa.Instr{
+		func() isa.Instr { return isa.Instr{Op: isa.OpAdd, Rd: reg(), Rs1: reg(), Rs2: reg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpAddi, Rd: reg(), Rs1: reg(), Imm: imm()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpLi, Rd: reg(), Imm: imm()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpBne, Rs1: reg(), Rs2: reg(), Imm: target()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpJal, Rd: reg(), Imm: target()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpFmadd, Fd: freg(), Fs1: freg(), Fs2: freg(), Fs3: freg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpLw, Rd: reg(), Rs1: reg(), Imm: imm()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpFsw, Fs2: freg(), Rs1: reg(), Imm: imm()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpSwRemote, Rs2: reg(), Rs1: reg(), Rs3: reg(), Imm: imm()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpCsrr, Rd: reg(), Csr: isa.CsrCoreID} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpCsrw, Csr: isa.CsrFrameCfg, Rs1: reg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpFrameStart, Rd: reg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpRemem} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpPredEq, Rs1: reg(), Rs2: reg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpVfma, Vd: vreg(), Vs1: vreg(), Vs2: vreg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpVfredsum, Fd: freg(), Vs1: vreg()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpVlwSp, Vd: vreg(), Rs1: reg(), Imm: imm()} },
+		func() isa.Instr {
+			return isa.Instr{Op: isa.OpVload, Rs1: reg(), Rs2: reg(), Vl: isa.VloadArgs{
+				BaseLane: r.Intn(16), Width: 1 + r.Intn(16),
+				Dist: isa.VloadDist(r.Intn(3)), Part: isa.VloadPart(r.Intn(3)),
+				Float: r.Intn(2) == 0,
+			}}
+		},
+		func() isa.Instr { return isa.Instr{Op: isa.OpVissue, Imm: target()} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpBarrier} },
+		func() isa.Instr { return isa.Instr{Op: isa.OpNop} },
+	}
+	return ops[r.Intn(len(ops))]()
+}
+
+// TestRoundTrip checks Assemble(Disassemble(p)) == p for random programs.
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		code := make([]isa.Instr, n)
+		for i := range code {
+			code[i] = genInstr(r, n)
+		}
+		p := &isa.Program{Name: "rt", Code: code, Labels: map[string]int{}}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		text := Disassemble(p)
+		back, err := Assemble("rt", text)
+		if err != nil {
+			t.Fatalf("trial %d: reassemble: %v\n%s", trial, err, text)
+		}
+		if len(back.Code) != len(p.Code) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(back.Code), len(p.Code))
+		}
+		for i := range p.Code {
+			if back.Code[i] != p.Code[i] {
+				t.Fatalf("trial %d: instr %d: %+v != %+v\n  text: %s",
+					trial, i, back.Code[i], p.Code[i], strings.Split(text, "\n")[i])
+			}
+		}
+	}
+}

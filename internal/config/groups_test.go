@@ -1,0 +1,74 @@
+package config
+
+import "testing"
+
+// TestCanonicalPackings pins the paper's §6.2 utilization numbers: V4 forms
+// 12 groups (60/64 tiles, 94%), V16 forms 3 (51/64, 80%).
+func TestCanonicalPackings(t *testing.T) {
+	mc := ManycoreDefault()
+	cases := []struct {
+		vlen, groups, tiles int
+	}{
+		{4, 12, 60},
+		{16, 3, 51},
+	}
+	for _, c := range cases {
+		gs, err := MakeGroups(mc, c.vlen)
+		if err != nil {
+			t.Fatalf("vlen %d: %v", c.vlen, err)
+		}
+		if len(gs) != c.groups {
+			t.Errorf("vlen %d: %d groups, want %d", c.vlen, len(gs), c.groups)
+		}
+		tiles := 0
+		for _, g := range gs {
+			tiles += len(g.Tiles())
+		}
+		if tiles != c.tiles {
+			t.Errorf("vlen %d: %d tiles used, want %d", c.vlen, tiles, c.tiles)
+		}
+		if err := ValidateGroups(mc, gs); err != nil {
+			t.Errorf("vlen %d: %v", c.vlen, err)
+		}
+	}
+}
+
+// TestTreeDepth checks the forwarding tree depth the implicit-sync bound
+// relies on: 2m-2 from the expander, plus the scalar hop.
+func TestTreeDepth(t *testing.T) {
+	mc := ManycoreDefault()
+	for _, c := range []struct{ vlen, depth int }{{4, 3}, {16, 7}} {
+		gs, err := MakeGroups(mc, c.vlen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gs {
+			if d := g.TreeDepth(); d != c.depth {
+				t.Errorf("vlen %d group %d: depth %d, want %d", c.vlen, g.ID, d, c.depth)
+			}
+		}
+	}
+}
+
+// TestGreedyFallback exercises the generic placer on a non-canonical mesh.
+func TestGreedyFallback(t *testing.T) {
+	mc := ManycoreDefault()
+	mc.MeshWidth, mc.MeshHeight, mc.Cores = 4, 4, 16
+	mc.LLCBanks = 8
+	gs, err := MakeGroups(mc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) == 0 {
+		t.Fatal("no groups on a 4x4 mesh")
+	}
+	if err := ValidateGroups(mc, gs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonSquareVlen(t *testing.T) {
+	if _, err := MakeGroups(ManycoreDefault(), 6); err == nil {
+		t.Fatal("vlen 6 should be rejected")
+	}
+}

@@ -1,0 +1,483 @@
+// Package cpu models one Rockcress tile's processor: a single-issue,
+// in-order-issue / out-of-order-writeback core (scoreboarded register file,
+// small load queue, non-blocking stores) with the three vector-group roles
+// of §3.2 layered on top. A core can be an independent manycore CPU, the
+// scalar core of a vector group, the expander (fetches microthread
+// instructions and forwards them on the inet), or a plain vector lane whose
+// frontend and I-cache are disabled.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"rockcress/internal/config"
+	"rockcress/internal/inet"
+	"rockcress/internal/isa"
+	"rockcress/internal/mem"
+	"rockcress/internal/msg"
+	"rockcress/internal/stats"
+)
+
+// pendingLoad marks a register whose value is still in flight from memory.
+const pendingLoad = math.MaxInt64 / 2
+
+// Mode is a core's current execution mode.
+type Mode uint8
+
+const (
+	// ModeIndependent is plain manycore (MIMD) execution.
+	ModeIndependent Mode = iota
+	// ModeScalar leads a vector group: independent frontend, vissue/vload.
+	ModeScalar
+	// ModeVector executes the group's SIMD stream (expander or plain lane).
+	ModeVector
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeIndependent:
+		return "independent"
+	case ModeScalar:
+		return "scalar"
+	case ModeVector:
+		return "vector"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+type coreState uint8
+
+const (
+	stRun coreState = iota
+	stFormGroup
+	stBarrier
+)
+
+// Env is the machine-side interface a core drives: NoC injection, LLC bank
+// lookup, group formation rendezvous, the global barrier, and error
+// reporting. Package machine implements it.
+type Env interface {
+	// TrySend injects a message at this core's tile; false = inject full.
+	TrySend(m msg.Message) bool
+	// LLCNodeFor returns the NoC node of the bank owning addr's line.
+	LLCNodeFor(addr uint32) int
+	// GroupArrive registers the tile at its group's formation rendezvous
+	// and returns a ticket; GroupFormed reports completion of that ticket.
+	GroupArrive(tile int) int64
+	GroupFormed(tile int, ticket int64) bool
+	// BarrierArrive registers at the global barrier; BarrierDone polls.
+	BarrierArrive(tile int) int64
+	BarrierDone(ticket int64) bool
+	// NotifyHalt tells the machine this core executed halt.
+	NotifyHalt(tile int)
+	// NumGroups returns the number of configured vector groups (CSR read).
+	NumGroups() int
+	// Error reports a fatal simulation error (program bug).
+	Error(err error)
+}
+
+// Core is one tile's processor.
+type Core struct {
+	ID   int
+	cfg  config.Manycore
+	prog *isa.Program
+	env  Env
+	st   *stats.Core
+	spad *mem.Scratchpad
+
+	// Static group assignment (nil when the tile is not in any group).
+	group   *config.Group
+	laneIdx int // row-major lane index; -1 when not a lane
+	inQ     *inet.Queue
+	outQs   []*inet.Queue // children in the forwarding tree
+
+	mode    Mode
+	state   coreState
+	ticket  int64
+	halted  bool
+	predOn  bool
+	mtCount int64
+
+	// Architectural state.
+	pc      int
+	intRegs [isa.NumIntRegs]uint32
+	fpRegs  [isa.NumFpRegs]float32
+	vecRegs [isa.NumVecRegs][]float32
+
+	// Scoreboard: cycle when each register's value becomes usable.
+	intReady [isa.NumIntRegs]int64
+	fpReady  [isa.NumFpRegs]int64
+	vecReady [isa.NumVecRegs]int64
+	// Bit i set when register i awaits a memory response (stall classing).
+	intPending uint32
+	fpPending  uint32
+
+	// Frontend.
+	icache       *ICache
+	fetchReadyAt int64
+	fetchCharged bool
+
+	// Load queue and long-latency units.
+	lq           []lqEntry
+	divBusyUntil int64
+
+	// Expander microthread state.
+	mtActive bool
+	vpc      int
+}
+
+type lqEntry struct {
+	busy bool
+	isFp bool
+	reg  uint8
+}
+
+// New builds a core. group/laneIdx describe the tile's static place in the
+// machine's group layout (lane -1 when the tile is the scalar core or in no
+// group); inQ and outQs are its inet wiring.
+func New(id int, cfg config.Manycore, prog *isa.Program, env Env, st *stats.Core,
+	spad *mem.Scratchpad, group *config.Group, laneIdx int, inQ *inet.Queue, outQs []*inet.Queue) *Core {
+	c := &Core{
+		ID: id, cfg: cfg, prog: prog, env: env, st: st, spad: spad,
+		group: group, laneIdx: laneIdx, inQ: inQ, outQs: outQs,
+		predOn: true,
+		icache: NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.CacheLineBytes),
+		lq:     make([]lqEntry, cfg.LoadQueueEntries),
+	}
+	for i := range c.vecRegs {
+		c.vecRegs[i] = make([]float32, cfg.SIMDWidth)
+	}
+	if group != nil {
+		st.Hop = group.Hop[id]
+	} else {
+		st.Hop = -1
+	}
+	return c
+}
+
+// Halted reports whether the core has executed halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Mode returns the core's current execution mode.
+func (c *Core) Mode() Mode { return c.mode }
+
+// PC returns the current program counter (meaningful outside vector mode).
+func (c *Core) PC() int { return c.pc }
+
+// IntReg returns integer register r's current value (test hook).
+func (c *Core) IntReg(r isa.Reg) uint32 { return c.intRegs[r] }
+
+// FpReg returns FP register r's current value (test hook).
+func (c *Core) FpReg(r isa.FReg) float32 { return c.fpRegs[r] }
+
+// SetIntReg initializes a register before the run (launcher arguments).
+func (c *Core) SetIntReg(r isa.Reg, v uint32) {
+	if r != isa.X0 {
+		c.intRegs[r] = v
+	}
+}
+
+func (c *Core) fail(format string, args ...any) {
+	c.env.Error(fmt.Errorf("core %d (pc %d, mode %s): %s", c.ID, c.pc, c.mode,
+		fmt.Sprintf(format, args...)))
+	c.halted = true
+}
+
+func (c *Core) setPC(pc int) {
+	c.pc = pc
+	c.fetchCharged = false
+}
+
+func (c *Core) setVPC(pc int) {
+	c.vpc = pc
+	c.fetchCharged = false
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now int64) {
+	if c.halted {
+		return
+	}
+	c.st.Cycles++
+	switch c.state {
+	case stFormGroup:
+		if c.env.GroupFormed(c.ID, c.ticket) {
+			c.state = stRun
+			c.enterGroupRole(now)
+		} else {
+			c.st.AddStall(stats.StallOther)
+		}
+		return
+	case stBarrier:
+		if c.env.BarrierDone(c.ticket) {
+			c.state = stRun
+			c.setPC(c.pc + 1)
+		} else {
+			c.st.AddStall(stats.StallOther)
+		}
+		return
+	}
+	switch c.mode {
+	case ModeIndependent, ModeScalar:
+		c.tickFrontend(now)
+	case ModeVector:
+		if c.isExpander() {
+			c.tickExpander(now)
+		} else {
+			c.tickLane(now)
+		}
+	}
+}
+
+func (c *Core) isExpander() bool {
+	return c.group != nil && c.group.Expander == c.ID
+}
+
+func (c *Core) numGroups() int { return c.env.NumGroups() }
+
+// enterGroupRole switches the core into its static role once the group's
+// formation rendezvous completes (the vconfig write, §2.1).
+func (c *Core) enterGroupRole(now int64) {
+	switch {
+	case c.group == nil:
+		c.fail("vconfig write on a tile outside any group")
+	case c.group.Scalar == c.ID:
+		c.mode = ModeScalar
+		c.setPC(c.pc + 1)
+	default:
+		// Vector lane (possibly the expander): frontend and I-cache off.
+		c.mode = ModeVector
+		c.mtActive = false
+		c.predOn = true
+	}
+}
+
+// leaveVectorMode returns a lane to independent execution at pc (devec).
+func (c *Core) leaveVectorMode(now int64, pc int) {
+	c.mode = ModeIndependent
+	c.mtActive = false
+	c.predOn = true
+	c.setPC(pc)
+	c.fetchReadyAt = now + 1
+}
+
+// tickFrontend fetches and issues for independent and scalar cores.
+func (c *Core) tickFrontend(now int64) {
+	if now < c.fetchReadyAt {
+		c.st.AddStall(stats.StallOther)
+		return
+	}
+	if c.pc < 0 || c.pc >= len(c.prog.Code) {
+		c.fail("pc out of range")
+		return
+	}
+	in := &c.prog.Code[c.pc]
+	if !c.fetchCharged {
+		c.fetchCharged = true
+		c.st.ICacheAccesses++
+		if !c.icache.Access(uint32(c.pc) * 4) {
+			c.st.ICacheMisses++
+			c.fetchReadyAt = now + int64(c.cfg.ICacheMissLat)
+			c.st.AddStall(stats.StallOther)
+			return
+		}
+	}
+	ok, stall := c.issue(now, in)
+	if !ok {
+		c.st.AddStall(stall)
+		return
+	}
+	c.st.AddStall(stats.StallNone)
+}
+
+// tickExpander runs the expander: it consumes microthread-start messages
+// from the scalar core, fetches microthread instructions from its own
+// I-cache, executes them as lane zero, and forwards them down the tree.
+func (c *Core) tickExpander(now int64) {
+	if !c.mtActive {
+		if !c.inQ.Ready(now) {
+			c.st.AddStall(stats.StallInet)
+			return
+		}
+		it := c.inQ.Peek()
+		switch it.Kind {
+		case inet.ItemMTStart:
+			c.inQ.Pop()
+			c.mtActive = true
+			c.setVPC(int(it.PC))
+			c.mtCount++
+			c.st.Microthreads++
+			c.st.AddStall(stats.StallOther) // pipeline redirect bubble
+		case inet.ItemDevec:
+			if !c.forwardAll(now, it) {
+				c.st.AddStall(stats.StallBackpressure)
+				return
+			}
+			c.inQ.Pop()
+			c.leaveVectorMode(now, int(it.PC))
+			c.st.AddStall(stats.StallOther)
+		default:
+			c.fail("expander received %s outside a microthread", it.Kind)
+		}
+		return
+	}
+	if now < c.fetchReadyAt {
+		c.st.AddStall(stats.StallOther)
+		return
+	}
+	if c.vpc < 0 || c.vpc >= len(c.prog.Code) {
+		c.fail("microthread pc %d out of range", c.vpc)
+		return
+	}
+	in := &c.prog.Code[c.vpc]
+	if !c.fetchCharged {
+		c.fetchCharged = true
+		c.st.ICacheAccesses++
+		if !c.icache.Access(uint32(c.vpc) * 4) {
+			c.st.ICacheMisses++
+			c.fetchReadyAt = now + int64(c.cfg.ICacheMissLat)
+			c.st.AddStall(stats.StallOther)
+			return
+		}
+	}
+	switch {
+	case in.Op == isa.OpVend:
+		c.mtActive = false
+		c.st.CountClass(uint8(isa.ClassVecCtl))
+		c.st.AddStall(stats.StallNone)
+	case isa.IsControlFlow(in.Op):
+		// Executed locally, never forwarded; the expander pauses fetch
+		// until the branch resolves (§3.2), hence the penalty either way.
+		ok, stall := c.issue(now, in)
+		if !ok {
+			c.st.AddStall(stall)
+			return
+		}
+		c.fetchReadyAt = now + int64(c.cfg.BranchPenalty)
+		c.st.AddStall(stats.StallNone)
+	case !isa.AllowedInMicrothread(in.Op):
+		c.fail("op %s not allowed in a microthread", in.Op)
+	default:
+		if !c.canForwardAll() {
+			c.st.AddStall(stats.StallBackpressure)
+			return
+		}
+		ok, stall := c.issue(now, in)
+		if !ok {
+			c.st.AddStall(stall)
+			return
+		}
+		c.mustForwardAll(now, inet.Item{Kind: inet.ItemInstr, Instr: *in})
+		c.setVPC(c.vpc + 1)
+		c.st.AddStall(stats.StallNone)
+	}
+}
+
+// tickLane runs a plain vector lane: execute whatever arrives on the inet
+// and forward it to the children. Lanes never fetch and never diverge.
+func (c *Core) tickLane(now int64) {
+	if !c.inQ.Ready(now) {
+		c.st.AddStall(stats.StallInet)
+		return
+	}
+	it := c.inQ.Peek()
+	switch it.Kind {
+	case inet.ItemDevec:
+		if !c.forwardAll(now, it) {
+			c.st.AddStall(stats.StallBackpressure)
+			return
+		}
+		c.inQ.Pop()
+		c.leaveVectorMode(now, int(it.PC))
+		c.st.AddStall(stats.StallOther)
+	case inet.ItemInstr:
+		if !c.canForwardAll() {
+			c.st.AddStall(stats.StallBackpressure)
+			return
+		}
+		ok, stall := c.issue(now, &it.Instr)
+		if !ok {
+			c.st.AddStall(stall)
+			return
+		}
+		c.mustForwardAll(now, it)
+		c.inQ.Pop()
+		c.st.InetReceives++
+		c.st.AddStall(stats.StallNone)
+	default:
+		c.fail("vector lane received %s", it.Kind)
+	}
+}
+
+// canForwardAll reports whether every child queue has room.
+func (c *Core) canForwardAll() bool {
+	for _, q := range c.outQs {
+		if !q.CanSend() {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardAll sends to all children if possible, else to none.
+func (c *Core) forwardAll(now int64, it inet.Item) bool {
+	if !c.canForwardAll() {
+		return false
+	}
+	c.mustForwardAll(now, it)
+	return true
+}
+
+func (c *Core) mustForwardAll(now int64, it inet.Item) {
+	for _, q := range c.outQs {
+		q.Send(now, it)
+		c.st.InetForwards++
+	}
+}
+
+// OnLoadResp delivers a memory word to the load queue (machine callback).
+func (c *Core) OnLoadResp(now int64, m msg.Message) {
+	if m.LQSlot < 0 || m.LQSlot >= len(c.lq) || !c.lq[m.LQSlot].busy {
+		c.fail("load response for idle LQ slot %d", m.LQSlot)
+		return
+	}
+	e := &c.lq[m.LQSlot]
+	if e.isFp {
+		c.fpRegs[e.reg] = math.Float32frombits(m.Vals[0])
+		c.fpReady[e.reg] = now + 1
+		c.fpPending &^= 1 << e.reg
+	} else if isa.Reg(e.reg) != isa.X0 {
+		c.intRegs[e.reg] = m.Vals[0]
+		c.intReady[e.reg] = now + 1
+		c.intPending &^= 1 << e.reg
+	}
+	e.busy = false
+}
+
+// DebugState renders a one-line diagnostic of the core's current state.
+func (c *Core) DebugState() string {
+	lq := 0
+	for i := range c.lq {
+		if c.lq[i].busy {
+			lq++
+		}
+	}
+	inq := -1
+	if c.inQ != nil {
+		inq = c.inQ.Len()
+	}
+	return fmt.Sprintf("core %d mode=%s state=%d pc=%d vpc=%d mt=%v pred=%v lq=%d inq=%d frames(head=%d ready=%v)",
+		c.ID, c.mode, c.state, c.pc, c.vpc, c.mtActive, c.predOn, lq, inq,
+		c.spad.HeadSeq(), c.spad.NumFrames() > 0 && c.spad.FrameReady())
+}
+
+// Quiesced reports whether the core has no in-flight loads (drain check).
+func (c *Core) Quiesced() bool {
+	for i := range c.lq {
+		if c.lq[i].busy {
+			return false
+		}
+	}
+	return true
+}

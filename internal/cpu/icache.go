@@ -1,0 +1,61 @@
+package cpu
+
+// ICache models a tile's private instruction cache as a set-associative tag
+// array. Misses pay a fixed refill penalty (the paper's gem5 model fetches
+// over the NoC; we approximate the refill with a constant latency and keep
+// the access/miss counts, which drive the energy model).
+type ICache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	tags      []uint32
+	valid     []bool
+	mru       []uint8 // last-used way per set (LRU for 2-way; approx beyond)
+}
+
+// NewICache builds a cache of the given geometry. Sets must come out a
+// power of two.
+func NewICache(bytes, ways, lineBytes int) *ICache {
+	sets := bytes / (ways * lineBytes)
+	if sets < 1 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		panic("cpu: icache sets must be a power of two")
+	}
+	return &ICache{
+		sets: sets, ways: ways, lineBytes: lineBytes,
+		tags:  make([]uint32, sets*ways),
+		valid: make([]bool, sets*ways),
+		mru:   make([]uint8, sets),
+	}
+}
+
+// Access looks byteAddr up, filling on miss, and reports whether it hit.
+func (c *ICache) Access(byteAddr uint32) bool {
+	lineNum := byteAddr / uint32(c.lineBytes)
+	set := int(lineNum) & (c.sets - 1)
+	tag := lineNum
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.mru[set] = uint8(w)
+			return true
+		}
+	}
+	// Miss: fill, evicting a non-MRU way (true LRU for 2 ways).
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = (int(c.mru[set]) + 1) % c.ways
+	}
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.mru[set] = uint8(victim)
+	return false
+}

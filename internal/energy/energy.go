@@ -1,0 +1,151 @@
+// Package energy is the first-order dynamic energy model of §5.2: it
+// assigns per-event costs to simulation statistics and sums them. The
+// accounting rules follow the paper:
+//
+//   - Cores in vector mode omit fetch and I-cache costs. (This falls out of
+//     the statistics: vector lanes record no I-cache accesses, only cheap
+//     inet register transfers.)
+//   - Multiply/divide costs scale with their cycle counts.
+//   - SIMD instructions scale the functional-unit and writeback cost by the
+//     vector length; the rest of the per-instruction cost is unchanged.
+//   - The LLC charges per word, so a 4-wide vector load costs as much as 4
+//     scalar loads.
+//
+// The absolute picojoule constants are first-order estimates in the ranges
+// published for Ariane (Zaruba & Benini) and CACTI SRAM models; the
+// evaluation only interprets energy ratios between configurations.
+package energy
+
+import (
+	"fmt"
+
+	"rockcress/internal/config"
+	"rockcress/internal/isa"
+	"rockcress/internal/stats"
+)
+
+// Costs holds per-event energies in picojoules.
+type Costs struct {
+	ICacheAccess float64 // per instruction fetch (tag+data)
+	FetchCtl     float64 // PC/next-PC logic per fetch
+	PipeOverhead float64 // decode+issue+commit+regfile per instruction
+	IntALU       float64
+	IntMulCycle  float64 // per multiplier cycle
+	IntDivCycle  float64 // per divider cycle
+	FpALU        float64
+	FpMul        float64
+	LSU          float64 // address generation per memory instruction
+	Writeback    float64 // per result word written back
+	SpadAccess   float64 // per scratchpad word read/written
+	InetForward  float64 // per instruction hop on the inet (register r/w)
+	LLCWord      float64 // per word moved in/out of an LLC bank
+	LLCTag       float64 // per bank lookup
+	NocHop       float64 // per flit-hop on the data mesh
+	DramLine     float64 // per line transferred to/from DRAM (off-chip)
+}
+
+// Default returns the model's constants.
+func Default() Costs {
+	return Costs{
+		ICacheAccess: 16, FetchCtl: 4,
+		PipeOverhead: 10,
+		IntALU:       4, IntMulCycle: 11, IntDivCycle: 3,
+		FpALU: 9, FpMul: 13,
+		LSU: 7, Writeback: 3,
+		SpadAccess:  9,
+		InetForward: 1.5,
+		LLCWord:     22, LLCTag: 8,
+		NocHop:   5,
+		DramLine: 2000,
+	}
+}
+
+// Breakdown is the modelled energy split, in picojoules.
+type Breakdown struct {
+	Fetch float64 // I-cache + fetch control
+	Pipe  float64 // decode/issue/commit/regfile
+	FU    float64 // functional units + writeback
+	Spad  float64
+	INet  float64
+	LLC   float64
+	NoC   float64
+	DRAM  float64 // off-chip; excluded from OnChip
+}
+
+// OnChip returns the total on-chip dynamic energy (Figure 10c's metric).
+func (b Breakdown) OnChip() float64 {
+	return b.Fetch + b.Pipe + b.FU + b.Spad + b.INet + b.LLC + b.NoC
+}
+
+// Total returns on-chip plus DRAM energy.
+func (b Breakdown) Total() float64 { return b.OnChip() + b.DRAM }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("fetch=%.3g pipe=%.3g fu=%.3g spad=%.3g inet=%.3g llc=%.3g noc=%.3g dram=%.3g onchip=%.3g",
+		b.Fetch, b.Pipe, b.FU, b.Spad, b.INet, b.LLC, b.NoC, b.DRAM, b.OnChip())
+}
+
+// Model evaluates runs against one cost set and hardware configuration.
+type Model struct {
+	C  Costs
+	HW config.Manycore
+}
+
+// New builds a model with default costs.
+func New(hw config.Manycore) Model { return Model{C: Default(), HW: hw} }
+
+// fuEnergy returns the functional-unit + writeback cost of one instruction
+// of the given class.
+func (m Model) fuEnergy(cl isa.Class) float64 {
+	c := m.C
+	switch cl {
+	case isa.ClassIntAlu, isa.ClassBranch, isa.ClassJump, isa.ClassCsr, isa.ClassVecCtl, isa.ClassSync:
+		return c.IntALU + c.Writeback
+	case isa.ClassIntMul:
+		return c.IntMulCycle*float64(m.HW.MulLat) + c.Writeback
+	case isa.ClassIntDiv:
+		return c.IntDivCycle*float64(m.HW.DivLat) + c.Writeback
+	case isa.ClassFpAlu:
+		return c.FpALU + c.Writeback
+	case isa.ClassFpMul:
+		return c.FpMul + c.Writeback
+	case isa.ClassFpDiv:
+		return c.IntDivCycle*float64(m.HW.FpDivLat) + c.Writeback
+	case isa.ClassLoad, isa.ClassStore, isa.ClassVload:
+		return c.LSU + c.Writeback
+	case isa.ClassSpad:
+		return c.LSU + c.Writeback // spad array cost is charged separately
+	case isa.ClassSimd:
+		// Vector instruction cost: FU and writeback scale with the lanes;
+		// the remainder of the instruction is charged once (§5.2).
+		return float64(m.HW.SIMDWidth) * (c.FpMul + c.Writeback)
+	case isa.ClassNop:
+		return 0
+	}
+	return c.IntALU
+}
+
+// Evaluate sums the modelled energy of one simulation run.
+func (m Model) Evaluate(st *stats.Machine) Breakdown {
+	c := m.C
+	var b Breakdown
+	for i := range st.Cores {
+		co := &st.Cores[i]
+		b.Fetch += float64(co.ICacheAccesses) * (c.ICacheAccess + c.FetchCtl)
+		b.Pipe += float64(co.Instrs) * c.PipeOverhead
+		for cl, n := range co.InstrsByClass {
+			b.FU += float64(n) * m.fuEnergy(isa.Class(cl))
+		}
+		b.Spad += float64(co.SpadReads+co.SpadWrites) * c.SpadAccess
+		b.INet += float64(co.InetForwards) * c.InetForward
+	}
+	for i := range st.LLCs {
+		l := &st.LLCs[i]
+		b.LLC += float64(l.Accesses)*c.LLCTag + float64(l.RespWords)*c.LLCWord
+		// Stores move one word into the array.
+		b.LLC += float64(l.StoreHits+l.StoreMisses) * c.LLCWord
+	}
+	b.NoC = float64(st.NocHops) * c.NocHop
+	b.DRAM = float64(st.DramReads+st.DramWrites) * c.DramLine * float64(m.HW.CacheLineBytes) / 64.0
+	return b
+}

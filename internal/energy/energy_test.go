@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/isa"
+	"rockcress/internal/stats"
+)
+
+func TestVectorModeSavesFetch(t *testing.T) {
+	m := New(config.ManycoreDefault())
+	// Two machines with identical instruction mixes; one fetched everything
+	// through I-caches, the other received 3/4 of it over the inet.
+	mk := func(icache, forwards int64) *stats.Machine {
+		st := stats.New(4, 1)
+		for i := range st.Cores {
+			c := &st.Cores[i]
+			c.InstrsByClass = map[uint8]int64{uint8(isa.ClassIntAlu): 1000}
+			c.Instrs = 1000
+		}
+		st.Cores[0].ICacheAccesses = icache
+		st.Cores[1].InetForwards = forwards
+		return st
+	}
+	mimd := m.Evaluate(mk(4000, 0))
+	vec := m.Evaluate(mk(1000, 3000))
+	if vec.Fetch >= mimd.Fetch {
+		t.Fatalf("vector fetch %g not below MIMD %g", vec.Fetch, mimd.Fetch)
+	}
+	if vec.INet <= 0 {
+		t.Fatal("inet energy missing")
+	}
+	// The inet hop must be far cheaper than the fetch it replaces (§3.2).
+	savedFetch := mimd.Fetch - vec.Fetch
+	if vec.INet > savedFetch/5 {
+		t.Fatalf("inet energy %g not well below saved fetch %g", vec.INet, savedFetch)
+	}
+	if vec.OnChip() >= mimd.OnChip() {
+		t.Fatal("vector mode did not save on-chip energy")
+	}
+}
+
+func TestClassCosts(t *testing.T) {
+	m := New(config.ManycoreDefault())
+	// Divide must cost more than multiply, which costs more than add.
+	add := m.fuEnergy(isa.ClassIntAlu)
+	mul := m.fuEnergy(isa.ClassIntMul)
+	div := m.fuEnergy(isa.ClassIntDiv)
+	if !(add < mul && mul < div) {
+		t.Fatalf("cost ordering broken: add=%g mul=%g div=%g", add, mul, div)
+	}
+	// SIMD instructions scale FU+writeback by the lanes (§5.2).
+	simd := m.fuEnergy(isa.ClassSimd)
+	fp := m.fuEnergy(isa.ClassFpMul)
+	if simd < 3*fp {
+		t.Fatalf("simd %g not scaled by vector length vs %g", simd, fp)
+	}
+}
+
+func TestDRAMExcludedFromOnChip(t *testing.T) {
+	m := New(config.ManycoreDefault())
+	st := stats.New(1, 1)
+	st.DramReads = 1000
+	b := m.Evaluate(st)
+	if b.OnChip() != 0 {
+		t.Fatalf("DRAM leaked into on-chip: %g", b.OnChip())
+	}
+	if b.DRAM <= 0 || b.Total() <= b.OnChip() {
+		t.Fatal("DRAM energy missing from total")
+	}
+}

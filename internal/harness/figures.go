@@ -1,0 +1,489 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"rockcress/internal/config"
+	"rockcress/internal/kernels"
+	"rockcress/internal/stats"
+)
+
+// Fig10 regenerates the headline result (Figure 10): speedup, I-cache
+// accesses, and total on-chip energy for NV, NV_PF, and BEST_V, all
+// relative to the NV baseline.
+func (r *Runner) Fig10(w io.Writer) error {
+	sp := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
+	ic := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
+	en := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
+	var spPF, spBV, icPF, icBV, enPF, enBV []float64
+	for _, b := range r.benches() {
+		nv, err := r.RunNamed(b, "NV", nil)
+		if err != nil {
+			return err
+		}
+		pf, err := r.RunNamed(b, "NV_PF", nil)
+		if err != nil {
+			return err
+		}
+		bv, err := r.Best(b, BestVConfigs, nil)
+		if err != nil {
+			return err
+		}
+		name := b.Info().Name
+		base := float64(nv.Cycles())
+		sp.add(name, "1.00", f2(base/float64(pf.Cycles())), f2(base/float64(bv.Cycles())))
+		spPF = append(spPF, base/float64(pf.Cycles()))
+		spBV = append(spBV, base/float64(bv.Cycles()))
+		icBase := float64(nv.Stats.TotalICacheAccesses())
+		ic.add(name, "1.00", f2(float64(pf.Stats.TotalICacheAccesses())/icBase),
+			f2(float64(bv.Stats.TotalICacheAccesses())/icBase))
+		icPF = append(icPF, float64(pf.Stats.TotalICacheAccesses())/icBase)
+		icBV = append(icBV, float64(bv.Stats.TotalICacheAccesses())/icBase)
+		enBase := nv.Energy.OnChip()
+		en.add(name, "1.00", f2(pf.Energy.OnChip()/enBase), f2(bv.Energy.OnChip()/enBase))
+		enPF = append(enPF, pf.Energy.OnChip()/enBase)
+		enBV = append(enBV, bv.Energy.OnChip()/enBase)
+	}
+	sp.add("GeoMean", "1.00", f2(geomean(spPF)), f2(geomean(spBV)))
+	ic.add("GeoMean", "1.00", f2(geomean(icPF)), f2(geomean(icBV)))
+	en.add("GeoMean", "1.00", f2(geomean(enPF)), f2(geomean(enBV)))
+	fmt.Fprintln(w, "Figure 10a: speedup relative to NV")
+	sp.write(w)
+	fmt.Fprintln(w, "\nFigure 10b: I-cache accesses relative to NV")
+	ic.write(w)
+	fmt.Fprintln(w, "\nFigure 10c: total on-chip energy relative to NV")
+	en.write(w)
+	return nil
+}
+
+// coreCountMods returns the Figure 11/12 machine shrinks: same total LLC
+// capacity and DRAM bandwidth, fewer tiles.
+func coreCountMods() []HWMod {
+	shrink := func(w, h, banks int) func(*config.Manycore) {
+		return func(c *config.Manycore) {
+			c.MeshWidth, c.MeshHeight, c.Cores = w, h, w*h
+			c.LLCBanks = banks
+		}
+	}
+	return []HWMod{
+		{Name: "1", Fn: shrink(1, 1, 2)},
+		{Name: "4", Fn: shrink(2, 2, 4)},
+		{Name: "16", Fn: shrink(4, 4, 8)},
+		{Name: "64", Fn: shrink(8, 8, 16)},
+	}
+}
+
+// Fig11 regenerates the baseline scalability study: NV_PF speedup for
+// 1/4/16/64 cores relative to one core, with the same memory system
+// capacity and bandwidth.
+func (r *Runner) Fig11(w io.Writer) error {
+	mods := coreCountMods()
+	t := &table{header: []string{"bench", "NV_PF_1", "NV_PF_4", "NV_PF_16", "NV_PF_64"}}
+	sums := make([][]float64, len(mods))
+	for _, b := range r.benches() {
+		row := []string{b.Info().Name}
+		var base float64
+		for i := range mods {
+			res, err := r.RunNamed(b, "NV_PF", &mods[i])
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				base = float64(res.Cycles())
+			}
+			s := base / float64(res.Cycles())
+			sums[i] = append(sums[i], s)
+			row = append(row, f2(s))
+		}
+		t.add(row...)
+	}
+	gm := []string{"GeoMean"}
+	for i := range mods {
+		gm = append(gm, f2(geomean(sums[i])))
+	}
+	t.add(gm...)
+	fmt.Fprintln(w, "Figure 11: NV_PF speedup vs core count (relative to 1 core)")
+	t.write(w)
+	return nil
+}
+
+func cpiCells(s stats.CPIStack, withInet bool) []string {
+	cells := []string{f2(s.Issued), f2(s.Frame)}
+	if withInet {
+		cells = append(cells, f2(s.Inet), f2(s.Backpressure))
+	}
+	return append(cells, f2(s.Other), f2(s.Total()))
+}
+
+// Fig12 regenerates the CPI stacks across manycore sizes (1/16/64 cores).
+func (r *Runner) Fig12(w io.Writer) error {
+	mods := coreCountMods()
+	use := []int{0, 2, 3} // 1, 16, 64 cores
+	t := &table{header: []string{"bench", "cores", "issued", "frame", "other", "CPI"}}
+	var totals [3][]float64
+	for _, b := range r.benches() {
+		for i, mi := range use {
+			res, err := r.RunNamed(b, "NV_PF", &mods[mi])
+			if err != nil {
+				return err
+			}
+			all := make([]int, res.HW.Cores)
+			for j := range all {
+				all[j] = j
+			}
+			st := res.Stats.CPIStackFor(all)
+			t.add(append([]string{b.Info().Name, mods[mi].Name}, cpiCells(st, false)...)...)
+			totals[i] = append(totals[i], st.Total())
+		}
+	}
+	for i, mi := range use {
+		t.add("ArithMean", mods[mi].Name, "", "", "", f2(mean(totals[i])))
+	}
+	fmt.Fprintln(w, "Figure 12: NV_PF CPI stacks vs core count (frame stall = waiting on loads)")
+	t.write(w)
+	return nil
+}
+
+// Fig13 regenerates the bandwidth study: CPI stacks for NV_PF, NV_PF with
+// twice the DRAM bandwidth, and V4 (expander cores only, per the paper's
+// methodology note).
+func (r *Runner) Fig13(w io.Writer) error {
+	bw2 := HWMod{Name: "2xBW", Fn: func(c *config.Manycore) { c.DRAMBandwidth *= 2 }}
+	t := &table{header: []string{"bench", "config", "issued", "frame", "inet", "backpr", "other", "CPI"}}
+	var cpiB, cpi2, cpiV []float64
+	for _, b := range r.benches() {
+		base, err := r.RunNamed(b, "NV_PF", nil)
+		if err != nil {
+			return err
+		}
+		wide, err := r.RunNamed(b, "NV_PF", &bw2)
+		if err != nil {
+			return err
+		}
+		v4, err := r.RunNamed(b, "V4", nil)
+		if err != nil {
+			return err
+		}
+		name := b.Info().Name
+		all := make([]int, base.HW.Cores)
+		for j := range all {
+			all[j] = j
+		}
+		sb := base.Stats.CPIStackFor(all)
+		s2 := wide.Stats.CPIStackFor(all)
+		var exp []int
+		for _, g := range v4.Groups {
+			exp = append(exp, g.Expander)
+		}
+		sv := v4.Stats.CPIStackFor(exp)
+		t.add(append([]string{name, "NV_PF"}, cpiCells(sb, true)...)...)
+		t.add(append([]string{name, "NV_PF_2xBW"}, cpiCells(s2, true)...)...)
+		t.add(append([]string{name, "V4"}, cpiCells(sv, true)...)...)
+		cpiB = append(cpiB, sb.Total())
+		cpi2 = append(cpi2, s2.Total())
+		cpiV = append(cpiV, sv.Total())
+	}
+	t.add("ArithMean", "NV_PF", "", "", "", "", "", f2(mean(cpiB)))
+	t.add("ArithMean", "NV_PF_2xBW", "", "", "", "", "", f2(mean(cpi2)))
+	t.add("ArithMean", "V4", "", "", "", "", "", f2(mean(cpiV)))
+	fmt.Fprintln(w, "Figure 13: CPI stacks, NV_PF vs 2x DRAM bandwidth vs V4 (expander cores)")
+	t.write(w)
+	return nil
+}
+
+// Fig14 regenerates the SIMD and GPU comparison: speedup, I-cache accesses,
+// and energy relative to NV_PF for PCV_PF, BEST_V, BEST_V_PCV, and the GPU.
+func (r *Runner) Fig14(w io.Writer) error {
+	sp := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV", "GPU"}}
+	ic := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV"}}
+	en := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV"}}
+	sums := map[string][]float64{}
+	for _, b := range r.benches() {
+		pf, err := r.RunNamed(b, "NV_PF", nil)
+		if err != nil {
+			return err
+		}
+		pcv, err := r.RunNamed(b, "PCV_PF", nil)
+		if err != nil {
+			return err
+		}
+		bv, err := r.Best(b, BestVConfigs, nil)
+		if err != nil {
+			return err
+		}
+		bvp, err := r.Best(b, BestVPCVConfigs, nil)
+		if err != nil {
+			return err
+		}
+		gp, err := r.RunNamed(b, "GPU", nil)
+		if err != nil {
+			return err
+		}
+		name := b.Info().Name
+		base := float64(pf.Cycles())
+		rel := func(res *kernels.Result) float64 { return base / float64(res.Cycles()) }
+		sp.add(name, "1.00", f2(rel(pcv)), f2(rel(bv)), f2(rel(bvp)), f2(rel(gp)))
+		sums["sp_pcv"] = append(sums["sp_pcv"], rel(pcv))
+		sums["sp_bv"] = append(sums["sp_bv"], rel(bv))
+		sums["sp_bvp"] = append(sums["sp_bvp"], rel(bvp))
+		sums["sp_gpu"] = append(sums["sp_gpu"], rel(gp))
+		icb := float64(pf.Stats.TotalICacheAccesses())
+		icRel := func(res *kernels.Result) float64 {
+			return float64(res.Stats.TotalICacheAccesses()) / icb
+		}
+		ic.add(name, "1.00", f2(icRel(pcv)), f2(icRel(bv)), f2(icRel(bvp)))
+		sums["ic_pcv"] = append(sums["ic_pcv"], icRel(pcv))
+		sums["ic_bv"] = append(sums["ic_bv"], icRel(bv))
+		sums["ic_bvp"] = append(sums["ic_bvp"], icRel(bvp))
+		enb := pf.Energy.OnChip()
+		en.add(name, "1.00", f2(pcv.Energy.OnChip()/enb), f2(bv.Energy.OnChip()/enb), f2(bvp.Energy.OnChip()/enb))
+		sums["en_pcv"] = append(sums["en_pcv"], pcv.Energy.OnChip()/enb)
+		sums["en_bv"] = append(sums["en_bv"], bv.Energy.OnChip()/enb)
+		sums["en_bvp"] = append(sums["en_bvp"], bvp.Energy.OnChip()/enb)
+	}
+	sp.add("GeoMean", "1.00", f2(geomean(sums["sp_pcv"])), f2(geomean(sums["sp_bv"])),
+		f2(geomean(sums["sp_bvp"])), f2(geomean(sums["sp_gpu"])))
+	ic.add("GeoMean", "1.00", f2(geomean(sums["ic_pcv"])), f2(geomean(sums["ic_bv"])), f2(geomean(sums["ic_bvp"])))
+	en.add("GeoMean", "1.00", f2(geomean(sums["en_pcv"])), f2(geomean(sums["en_bv"])), f2(geomean(sums["en_bvp"])))
+	fmt.Fprintln(w, "Figure 14a: speedup relative to NV_PF (SIMD units and GPU)")
+	sp.write(w)
+	fmt.Fprintln(w, "\nFigure 14b: I-cache accesses relative to NV_PF")
+	ic.write(w)
+	fmt.Fprintln(w, "\nFigure 14c: total on-chip energy relative to NV_PF")
+	en.write(w)
+	return nil
+}
+
+// fig15Benches are the five benchmarks the paper characterizes by hop.
+var fig15Benches = []string{"2dconv", "3dconv", "bicg", "gemm", "syr2k"}
+
+// Fig15 regenerates the vector-group characterization: inet input stalls
+// and backpressure stalls by hop distance from the scalar core (V4 and
+// V16), and the fraction of cycles waiting for frames (NV_PF vs V4).
+func (r *Runner) Fig15(w io.Writer) error {
+	for _, cfg := range []string{"V4", "V16"} {
+		t := &table{header: []string{"bench", "kind", "hop0", "hop1", "hop2", "hop3", "hop4", "hop5", "hop6", "hop7"}}
+		for _, name := range fig15Benches {
+			b, err := kernels.Get(name)
+			if err != nil {
+				return err
+			}
+			res, err := r.RunNamed(b, cfg, nil)
+			if err != nil {
+				return err
+			}
+			for _, kind := range []stats.StallKind{stats.StallInet, stats.StallBackpressure} {
+				frac := res.Stats.StallFractionByHop(kind)
+				row := []string{name, kind.String()}
+				for hop := 0; hop <= 7; hop++ {
+					if v, ok := frac[hop]; ok {
+						row = append(row, f2(v))
+					} else {
+						row = append(row, "-")
+					}
+				}
+				t.add(row...)
+			}
+		}
+		fmt.Fprintf(w, "Figure 15a/15b (%s): inet-input and backpressure stalls by hop (hop 0 = scalar core)\n", cfg)
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+	t := &table{header: []string{"bench", "NV_PF", "V4"}}
+	var a, b2 []float64
+	for _, b := range r.benches() {
+		pf, err := r.RunNamed(b, "NV_PF", nil)
+		if err != nil {
+			return err
+		}
+		v4, err := r.RunNamed(b, "V4", nil)
+		if err != nil {
+			return err
+		}
+		allPF := make([]int, pf.HW.Cores)
+		for j := range allPF {
+			allPF[j] = j
+		}
+		lanes := []int{}
+		for _, g := range v4.Groups {
+			lanes = append(lanes, g.Lanes...)
+		}
+		fa := pf.Stats.FrameStallFraction(allPF)
+		fb := v4.Stats.FrameStallFraction(lanes)
+		t.add(b.Info().Name, f2(fa), f2(fb))
+		a = append(a, fa)
+		b2 = append(b2, fb)
+	}
+	t.add("ArithMean", f2(mean(a)), f2(mean(b2)))
+	fmt.Fprintln(w, "Figure 15c: fraction of cycles waiting for a frame (NV_PF vs V4 vector cores)")
+	t.write(w)
+	return nil
+}
+
+// Fig16 regenerates the vector-length / long-line study: V4, V4_LL_PCV,
+// V16, V16_LL_PCV speedups relative to V4.
+func (r *Runner) Fig16(w io.Writer) error {
+	cfgs := []string{"V4", "V4_LL_PCV", "V16", "V16_LL_PCV"}
+	t := &table{header: append([]string{"bench"}, cfgs...)}
+	sums := make([][]float64, len(cfgs))
+	for _, b := range r.benches() {
+		var base float64
+		row := []string{b.Info().Name}
+		for i, cfg := range cfgs {
+			res, err := r.RunNamed(b, cfg, nil)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				base = float64(res.Cycles())
+			}
+			s := base / float64(res.Cycles())
+			sums[i] = append(sums[i], s)
+			row = append(row, f2(s))
+		}
+		t.add(row...)
+	}
+	gm := []string{"GeoMean"}
+	for i := range cfgs {
+		gm = append(gm, f2(geomean(sums[i])))
+	}
+	t.add(gm...)
+	fmt.Fprintln(w, "Figure 16: vector configuration speedups relative to V4")
+	t.write(w)
+	return nil
+}
+
+// Fig17a regenerates the LLC miss-rate comparison.
+func (r *Runner) Fig17a(w io.Writer) error {
+	t := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V", "V16_LL"}}
+	sums := make([][]float64, 4)
+	for _, b := range r.benches() {
+		var row []string
+		row = append(row, b.Info().Name)
+		cfgRes := make([]*kernels.Result, 0, 4)
+		nv, err := r.RunNamed(b, "NV", nil)
+		if err != nil {
+			return err
+		}
+		pf, err := r.RunNamed(b, "NV_PF", nil)
+		if err != nil {
+			return err
+		}
+		bv, err := r.Best(b, BestVConfigs, nil)
+		if err != nil {
+			return err
+		}
+		ll, err := r.RunNamed(b, "V16_LL", nil)
+		if err != nil {
+			return err
+		}
+		cfgRes = append(cfgRes, nv, pf, bv, ll)
+		for i, res := range cfgRes {
+			mr := res.Stats.LLCMissRate()
+			sums[i] = append(sums[i], mr)
+			row = append(row, f2(mr))
+		}
+		t.add(row...)
+	}
+	t.add("GeoMean", f2(mean(sums[0])), f2(mean(sums[1])), f2(mean(sums[2])), f2(mean(sums[3])))
+	fmt.Fprintln(w, "Figure 17a: LLC miss rate")
+	t.write(w)
+	return nil
+}
+
+// Fig17b regenerates the LLC-capacity sensitivity: per-bank 16 kB vs 32 kB
+// slices for NV_PF, V4, and V16_LL, relative to NV_PF at 32 kB.
+func (r *Runner) Fig17b(w io.Writer) error {
+	// Per-bank slices: 16 kB/bank = 256 kB total (the default) vs 32 kB/bank.
+	small := HWMod{Name: "16kB", Fn: func(c *config.Manycore) { c.LLCBytes = 16 * 1024 * c.LLCBanks }}
+	big := HWMod{Name: "32kB", Fn: func(c *config.Manycore) { c.LLCBytes = 32 * 1024 * c.LLCBanks }}
+	cfgs := []string{"NV_PF", "V4", "V16_LL"}
+	mods := []*HWMod{&small, &big}
+	t := &table{header: []string{"bench", "NV_PF_16kB", "NV_PF_32kB", "V4_16kB", "V4_32kB", "V16_LL_16kB", "V16_LL_32kB"}}
+	for _, b := range r.benches() {
+		var base float64
+		row := []string{b.Info().Name}
+		var vals []float64
+		for _, cfg := range cfgs {
+			for _, mod := range mods {
+				res, err := r.RunNamed(b, cfg, mod)
+				if err != nil {
+					return err
+				}
+				if cfg == "NV_PF" && mod.Name == "32kB" {
+					base = float64(res.Cycles())
+				}
+				vals = append(vals, float64(res.Cycles()))
+			}
+		}
+		for _, v := range vals {
+			row = append(row, f2(base/v))
+		}
+		t.add(row...)
+	}
+	fmt.Fprintln(w, "Figure 17b: speedup vs LLC capacity (relative to NV_PF with 32kB banks)")
+	t.write(w)
+	return nil
+}
+
+// Fig17c regenerates the on-chip network width sensitivity (1 vs 4 words).
+func (r *Runner) Fig17c(w io.Writer) error {
+	nw1 := HWMod{Name: "NW1", Fn: func(c *config.Manycore) { c.NetWidthWords = 1 }}
+	nw4 := HWMod{Name: "NW4", Fn: func(c *config.Manycore) { c.NetWidthWords = 4 }}
+	cfgs := []string{"NV_PF", "V4", "V16_LL"}
+	mods := []*HWMod{&nw1, &nw4}
+	t := &table{header: []string{"bench", "NV_PF_NW1", "NV_PF_NW4", "V4_NW1", "V4_NW4", "V16_LL_NW1", "V16_LL_NW4"}}
+	for _, b := range r.benches() {
+		var base float64
+		row := []string{b.Info().Name}
+		var vals []float64
+		for _, cfg := range cfgs {
+			for _, mod := range mods {
+				res, err := r.RunNamed(b, cfg, mod)
+				if err != nil {
+					return err
+				}
+				if cfg == "NV_PF" && mod.Name == "NW1" {
+					base = float64(res.Cycles())
+				}
+				vals = append(vals, float64(res.Cycles()))
+			}
+		}
+		for _, v := range vals {
+			row = append(row, f2(base/v))
+		}
+		t.add(row...)
+	}
+	fmt.Fprintln(w, "Figure 17c: speedup vs on-chip network width (relative to NV_PF width 1)")
+	t.write(w)
+	return nil
+}
+
+// BFS regenerates the irregular-workload result of §6.6: plain manycore
+// against the V4 and V16 mappings of breadth-first search.
+func (r *Runner) BFS(w io.Writer) error {
+	b, err := kernels.Get("bfs")
+	if err != nil {
+		return err
+	}
+	nv, err := r.RunNamed(b, "NV", nil)
+	if err != nil {
+		return err
+	}
+	v4, err := r.RunNamed(b, "V4", nil)
+	if err != nil {
+		return err
+	}
+	v16, err := r.RunNamed(b, "V16", nil)
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"config", "cycles", "NV speedup over it"}}
+	t.add("NV", fmt.Sprint(nv.Cycles()), "1.00")
+	t.add("V4", fmt.Sprint(v4.Cycles()), f2(float64(v4.Cycles())/float64(nv.Cycles())))
+	t.add("V16", fmt.Sprint(v16.Cycles()), f2(float64(v16.Cycles())/float64(nv.Cycles())))
+	fmt.Fprintln(w, "Section 6.6 (irregular): bfs on manycore vs vector groups")
+	t.write(w)
+	return nil
+}

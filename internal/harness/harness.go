@@ -1,0 +1,206 @@
+// Package harness regenerates the paper's evaluation: every table and
+// figure in §5-§6 has a generator that runs the needed benchmark x
+// configuration simulations (cached across figures) and prints the rows or
+// series the paper plots. Absolute cycle counts differ from the paper's
+// gem5 testbed; the shapes — who wins, by what factor, where crossovers
+// fall — are the reproduction target (see EXPERIMENTS.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"rockcress/internal/config"
+	"rockcress/internal/kernels"
+)
+
+// Options steers a harness session.
+type Options struct {
+	Scale     kernels.Scale
+	MaxCycles int64
+	Out       io.Writer
+	Verbose   bool     // print per-run progress
+	Benches   []string // subset filter (nil = all PolyBench)
+}
+
+// Runner executes and caches simulations.
+type Runner struct {
+	opts  Options
+	cache map[string]*kernels.Result
+}
+
+// New creates a runner.
+func New(opts Options) *Runner {
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = kernels.DefaultMaxCycles
+	}
+	return &Runner{opts: opts, cache: map[string]*kernels.Result{}}
+}
+
+// HWMod tweaks the hardware configuration for sensitivity studies.
+type HWMod struct {
+	Name string
+	Fn   func(*config.Manycore)
+}
+
+func (r *Runner) benches() []kernels.Benchmark {
+	if len(r.opts.Benches) == 0 {
+		return kernels.PolyBench()
+	}
+	var out []kernels.Benchmark
+	for _, n := range r.opts.Benches {
+		b, err := kernels.Get(n)
+		if err == nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// effectiveSW substitutes the closest valid configuration when a benchmark
+// cannot implement a row (paper §6.2: gramschm cannot use SIMD, so PCV_PF
+// maps to NV_PF, V*_PCV to V*).
+func effectiveSW(bench string, sw config.Software) config.Software {
+	if sw.SIMD && !kernels.SupportsSIMD(bench) {
+		sw.SIMD = false
+		switch {
+		case sw.Style == config.StyleNVPF:
+			sw.Name = "NV_PF"
+		case sw.LongLines && sw.VLen == 16:
+			sw.Name = "V16_LL"
+		default:
+			sw.Name = fmt.Sprintf("V%d", sw.VLen)
+		}
+	}
+	return sw
+}
+
+// Run executes one benchmark under one configuration (with an optional
+// hardware modification), caching by (bench, config, mod, scale).
+func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*kernels.Result, error) {
+	name := bench.Info().Name
+	sw = effectiveSW(name, sw)
+	modName := ""
+	hw := config.ManycoreDefault()
+	if mod != nil {
+		modName = mod.Name
+		mod.Fn(&hw)
+	}
+	key := fmt.Sprintf("%s|%s|%s|%d", name, sw.Name, modName, r.opts.Scale)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	start := time.Now()
+	res, err := kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Verbose {
+		fmt.Fprintf(r.opts.Out, "# %-10s %-12s %-14s %10d cycles  (%.1fs)\n",
+			name, sw.Name, modName, res.Cycles(), time.Since(start).Seconds())
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// RunNamed looks the Table 3 preset up and runs it.
+func (r *Runner) RunNamed(bench kernels.Benchmark, cfgName string, mod *HWMod) (*kernels.Result, error) {
+	if cfgName == "GPU" {
+		return r.Run(bench, kernels.GPUSoftware(), mod)
+	}
+	sw, err := config.Preset(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(bench, sw, mod)
+}
+
+// Best returns the faster of several configurations (the BEST_V rows of
+// Table 3 pick the best vector configuration per benchmark).
+func (r *Runner) Best(bench kernels.Benchmark, cfgNames []string, mod *HWMod) (*kernels.Result, error) {
+	var best *kernels.Result
+	for _, n := range cfgNames {
+		res, err := r.RunNamed(bench, n, mod)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Cycles() < best.Cycles() {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// BestVConfigs and BestVPCVConfigs are the candidate sets for the derived
+// Table 3 rows.
+var (
+	BestVConfigs    = []string{"V4", "V16", "V16_LL"}
+	BestVPCVConfigs = []string{"V4_PCV", "V16_PCV", "V16_LL_PCV"}
+)
+
+// --- formatting helpers ---
+
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// geomean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

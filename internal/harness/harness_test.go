@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/kernels"
+)
+
+func TestTablesRender(t *testing.T) {
+	var b bytes.Buffer
+	Table1a(&b)
+	Table1b(&b)
+	Table2(&b, kernels.Small)
+	Table3(&b)
+	out := b.String()
+	for _, want := range []string{
+		"Cores", "64", "Compute Units", "Wavefront Size",
+		"gramschm", "bfs", "BEST_V_PCV", "Frame Counters",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := New(Options{Scale: kernels.Tiny, Out: io.Discard, Benches: []string{"gemm"}})
+	b, err := kernels.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := r.RunNamed(b, "NV", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.RunNamed(b, "NV", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second run not served from cache")
+	}
+	// A hardware mod must not hit the unmodified cache entry.
+	mod := HWMod{Name: "nw1", Fn: func(c *config.Manycore) { c.NetWidthWords = 1 }}
+	r3, err := r.RunNamed(b, "NV", &mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("modified run served from unmodified cache")
+	}
+}
+
+func TestEffectiveSWSubstitution(t *testing.T) {
+	// gramschm cannot use SIMD (§6.2): SIMD rows map to their closest
+	// valid configuration.
+	pcv, _ := config.Preset("PCV_PF")
+	if got := effectiveSW("gramschm", pcv); got.Name != "NV_PF" || got.SIMD {
+		t.Fatalf("PCV_PF -> %+v", got)
+	}
+	v4p, _ := config.Preset("V4_PCV")
+	if got := effectiveSW("gramschm", v4p); got.Name != "V4" || got.SIMD {
+		t.Fatalf("V4_PCV -> %+v", got)
+	}
+	llp, _ := config.Preset("V16_LL_PCV")
+	if got := effectiveSW("gramschm", llp); got.Name != "V16_LL" {
+		t.Fatalf("V16_LL_PCV -> %+v", got)
+	}
+	// Benchmarks with SIMD support are untouched.
+	if got := effectiveSW("gemm", pcv); got.Name != "PCV_PF" || !got.SIMD {
+		t.Fatalf("gemm PCV_PF -> %+v", got)
+	}
+}
+
+func TestBestPicksFaster(t *testing.T) {
+	r := New(Options{Scale: kernels.Tiny, Out: io.Discard})
+	b, err := kernels.Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := r.Best(b, []string{"V4", "V16"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, _ := r.RunNamed(b, "V4", nil)
+	v16, _ := r.RunNamed(b, "V16", nil)
+	min := v4.Cycles()
+	if v16.Cycles() < min {
+		min = v16.Cycles()
+	}
+	if best.Cycles() != min {
+		t.Fatalf("best %d, min %d", best.Cycles(), min)
+	}
+}
+
+func TestFig10TinySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := New(Options{Scale: kernels.Tiny, Out: io.Discard, Benches: []string{"gemm", "mvt"}})
+	var b bytes.Buffer
+	if err := r.Fig10(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 10a") || !strings.Contains(out, "GeoMean") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean %g, want 4", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Fatalf("mean %g", m)
+	}
+}

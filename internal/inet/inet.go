@@ -1,0 +1,97 @@
+// Package inet models the instruction forwarding network: a static network
+// of direct one-cycle links between neighbouring tiles, separate from the
+// data NoC (§3.2). Each vector core owns a single bounded input queue fed
+// by its parent in the group's forwarding tree; forwarding an instruction
+// is a register write, far cheaper than an I-cache hit.
+package inet
+
+import (
+	"fmt"
+
+	"rockcress/internal/isa"
+)
+
+// ItemKind discriminates inet payloads.
+type ItemKind uint8
+
+const (
+	// ItemInstr is a forwarded instruction for vector cores to execute.
+	ItemInstr ItemKind = iota
+	// ItemMTStart launches a microthread: the expander starts fetching at PC
+	// (sent by the scalar core's vissue).
+	ItemMTStart
+	// ItemDevec disbands the group: receivers forward it, reset vconfig,
+	// and resume normal execution at PC (§2.1).
+	ItemDevec
+)
+
+func (k ItemKind) String() string {
+	switch k {
+	case ItemInstr:
+		return "instr"
+	case ItemMTStart:
+		return "mtstart"
+	case ItemDevec:
+		return "devec"
+	}
+	return fmt.Sprintf("item(%d)", uint8(k))
+}
+
+// Item is one inet payload.
+type Item struct {
+	Kind  ItemKind
+	Instr isa.Instr
+	PC    int32
+}
+
+type entry struct {
+	item    Item
+	readyAt int64 // link latency: visible one cycle after the send
+}
+
+// Queue is one core's inet input queue.
+type Queue struct {
+	entries []entry
+	cap     int
+}
+
+// NewQueue builds a queue with the configured capacity (Table 1a: 2).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		panic("inet: queue capacity must be at least 1")
+	}
+	return &Queue{cap: capacity}
+}
+
+// CanSend reports whether the queue has room for another item.
+func (q *Queue) CanSend() bool { return len(q.entries) < q.cap }
+
+// Send enqueues an item at cycle now; it becomes visible at now+1.
+// The caller must check CanSend first.
+func (q *Queue) Send(now int64, it Item) {
+	if !q.CanSend() {
+		panic("inet: send on full queue")
+	}
+	q.entries = append(q.entries, entry{item: it, readyAt: now + 1})
+}
+
+// Ready reports whether an item is poppable at cycle now.
+func (q *Queue) Ready(now int64) bool {
+	return len(q.entries) > 0 && q.entries[0].readyAt <= now
+}
+
+// Peek returns the head item without consuming it. Check Ready first.
+func (q *Queue) Peek() Item { return q.entries[0].item }
+
+// Pop consumes the head item. Check Ready first.
+func (q *Queue) Pop() Item {
+	it := q.entries[0].item
+	q.entries = q.entries[1:]
+	return it
+}
+
+// Len returns the number of queued items (ready or in flight).
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Reset drops all queued items (group disband).
+func (q *Queue) Reset() { q.entries = q.entries[:0] }

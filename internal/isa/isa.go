@@ -1,0 +1,518 @@
+// Package isa defines the instruction set interpreted by the Rockcress
+// simulator: a RISC-V-flavoured 32-bit base ISA plus the software-defined
+// vector extension from the paper (vconfig, vissue, vend, devec,
+// frame_start, remem, vload and predication) and a small fixed-width
+// per-core SIMD extension used by the PCV configurations.
+//
+// Instructions are represented structurally rather than as encoded bits;
+// package asm provides a textual assembly syntax for them. A PC is an index
+// into a Program's instruction slice. For I-cache modelling the simulator
+// treats instruction i as occupying bytes [4i, 4i+4).
+package isa
+
+import "fmt"
+
+// Reg names an integer register. X0 is hard-wired to zero, as in RISC-V.
+type Reg uint8
+
+// FReg names a floating-point register.
+type FReg uint8
+
+// NumIntRegs and NumFpRegs size the architectural register files.
+const (
+	NumIntRegs = 32
+	NumFpRegs  = 32
+	NumVecRegs = 8 // per-core SIMD registers (PCV extension)
+)
+
+// X0 is the always-zero integer register.
+const X0 Reg = 0
+
+// Op enumerates every operation the simulator executes.
+type Op uint8
+
+// Base integer ALU operations.
+const (
+	OpInvalid Op = iota
+	OpNop
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLi // load 32-bit immediate (lui+addi fusion)
+
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal
+	OpJalr
+
+	// Floating point (single precision, stored as float32 bits in words).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFmadd // rd = rs1*rs2 + rs3
+	OpFmin
+	OpFmax
+	OpFabs
+	OpFneg
+	OpFmv
+	OpFeq // int rd = (f1 == f2)
+	OpFlt
+	OpFle
+	OpFcvtWS // int rd = int(f1)
+	OpFcvtSW // f rd = float(r1)
+	OpFmvXW  // int rd = bits(f1)
+	OpFmvWX  // f rd = frombits(r1)
+
+	// Global memory (word addressed by byte address rs1+imm, via NoC+LLC).
+	OpLw  // int load
+	OpSw  // int store
+	OpFlw // fp load
+	OpFsw // fp store
+
+	// Local scratchpad (byte offset rs1+imm into this core's scratchpad).
+	OpLwSp
+	OpSwSp
+	OpFlwSp
+	OpFswSp
+	// Remote scratchpad store: core id in rs3, offset rs1+imm, data rs2/fs2.
+	OpSwRemote
+	OpFswRemote
+
+	// CSR access.
+	OpCsrw
+	OpCsrr
+
+	// Software-defined vector extension.
+	OpVissue     // launch microthread at Imm (instruction index)
+	OpVend       // terminate microthread (expander only)
+	OpDevec      // disband group; vector cores resume at Imm
+	OpFrameStart // rd = byte offset of head frame once it is full
+	OpRemem      // free the head frame
+	OpVload      // wide vector load; see VloadArgs
+	OpPredEq     // set predication flag = (r1 == r2)
+	OpPredNeq    // set predication flag = (r1 != r2)
+
+	// Per-core SIMD extension (PCV): fixed SIMDWidth lanes per core.
+	OpVlwSp    // vreg rd <- SIMDWidth words at scratchpad rs1+imm
+	OpVswSp    // scratchpad <- vreg
+	OpVfadd    // vd = va + vb
+	OpVfsub    // vd = va - vb
+	OpVfmul    // vd = va * vb
+	OpVfma     // vd += va * vb
+	OpVfmaF    // vd += va * f(rs3) (vector-scalar FMA)
+	OpVfmulF   // vd = va * f(rs3)
+	OpVbcastF  // vd[*] = f(rs3)
+	OpVfredsum // f rd = sum(va)
+
+	// Synchronisation / lifecycle.
+	OpBarrier // global barrier across all active cores
+	OpHalt    // core is finished
+
+	numOps // sentinel
+)
+
+// CSR identifies a control/status register.
+type CSR uint8
+
+// CSRs exposed to programs.
+const (
+	CsrVconfig   CSR = iota // write: enter/leave vector mode (packed GroupConfig)
+	CsrFrameCfg             // write: frame size (words) in bits 0:15, frame count in 16:23
+	CsrCoreID               // read: flat core/tile id
+	CsrLaneID               // read: lane id within the tile's vector group (row-major)
+	CsrNumCores             // read: total number of core tiles
+	CsrGroupID              // read: id of the tile's vector group (launcher-assigned)
+	CsrNumGroups            // read: number of vector groups configured
+	numCSRs
+)
+
+// VloadDist selects where the LLC sends each part of the accessed block
+// (paper §2.3.2: single, group, self).
+type VloadDist uint8
+
+const (
+	VloadSingle VloadDist = iota // all words to one lane (BaseLane)
+	VloadGroup                   // consecutive word runs to consecutive lanes
+	VloadSelf                    // all words back to the requesting core
+)
+
+func (v VloadDist) String() string {
+	switch v {
+	case VloadSingle:
+		return "single"
+	case VloadGroup:
+		return "group"
+	case VloadSelf:
+		return "self"
+	}
+	return fmt.Sprintf("dist(%d)", uint8(v))
+}
+
+// VloadPart distinguishes an aligned vload from the unaligned suffix/prefix
+// pair: the program issues both pair halves with identical arguments; the
+// suffix covers the tail of the first line and the prefix the head of the
+// second, combining into one line-sized block (paper §2.3.2).
+type VloadPart uint8
+
+const (
+	VloadWhole VloadPart = iota
+	VloadSuffix
+	VloadPrefix
+)
+
+func (p VloadPart) String() string {
+	switch p {
+	case VloadWhole:
+		return "whole"
+	case VloadSuffix:
+		return "suffix"
+	case VloadPrefix:
+		return "prefix"
+	}
+	return fmt.Sprintf("part(%d)", uint8(p))
+}
+
+// VloadArgs packs the operands of a vload (paper: two registers and an
+// immediate; we keep them structural). Addr comes from Rs1, SpadOffset from
+// Rs2 at execution time; the rest are immediates.
+type VloadArgs struct {
+	BaseLane int       // lane in the group to receive the first response
+	Width    int       // words per receiving core
+	Dist     VloadDist //
+	Part     VloadPart //
+	Float    bool      // destination words hold float bits (bookkeeping only)
+}
+
+// Instr is one decoded instruction. Fields are interpreted per-Op; unused
+// fields are zero. Branch/jump targets are absolute instruction indices,
+// resolved from labels at build time.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Rs3 Reg // remote-store core id, vector-scalar operand
+	Fd  FReg
+	Fs1 FReg
+	Fs2 FReg
+	Fs3 FReg
+	Vd  uint8 // SIMD register indices
+	Vs1 uint8
+	Vs2 uint8
+	Imm int32
+	Csr CSR
+	Vl  VloadArgs
+}
+
+// Program is a fully resolved instruction sequence shared by every core.
+type Program struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int // label -> instruction index (for diagnostics)
+}
+
+// Class buckets operations for timing and energy accounting.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntAlu
+	ClassIntMul
+	ClassIntDiv
+	ClassFpAlu
+	ClassFpMul
+	ClassFpDiv
+	ClassLoad  // global memory load
+	ClassStore // global memory store
+	ClassSpad  // scratchpad access
+	ClassCsr
+	ClassBranch
+	ClassJump
+	ClassVecCtl // vissue/vend/devec/frame ops/pred
+	ClassVload
+	ClassSimd
+	ClassSync // barrier/halt
+)
+
+// Classify returns the accounting class for op.
+func Classify(op Op) Class {
+	switch op {
+	case OpNop:
+		return ClassNop
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpLi:
+		return ClassIntAlu
+	case OpMul:
+		return ClassIntMul
+	case OpDiv, OpRem:
+		return ClassIntDiv
+	case OpFadd, OpFsub, OpFmin, OpFmax, OpFabs, OpFneg, OpFmv, OpFeq, OpFlt,
+		OpFle, OpFcvtWS, OpFcvtSW, OpFmvXW, OpFmvWX:
+		return ClassFpAlu
+	case OpFmul, OpFmadd:
+		return ClassFpMul
+	case OpFdiv, OpFsqrt:
+		return ClassFpDiv
+	case OpLw, OpFlw:
+		return ClassLoad
+	case OpSw, OpFsw:
+		return ClassStore
+	case OpLwSp, OpSwSp, OpFlwSp, OpFswSp, OpSwRemote, OpFswRemote:
+		return ClassSpad
+	case OpCsrw, OpCsrr:
+		return ClassCsr
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return ClassBranch
+	case OpJal, OpJalr:
+		return ClassJump
+	case OpVissue, OpVend, OpDevec, OpFrameStart, OpRemem, OpPredEq, OpPredNeq:
+		return ClassVecCtl
+	case OpVload:
+		return ClassVload
+	case OpVlwSp, OpVswSp, OpVfadd, OpVfsub, OpVfmul, OpVfma, OpVfmaF,
+		OpVfmulF, OpVbcastF, OpVfredsum:
+		return ClassSimd
+	case OpBarrier, OpHalt:
+		return ClassSync
+	}
+	return ClassNop
+}
+
+// IsControlFlow reports whether op steers the PC. Control-flow instructions
+// are never forwarded on the inet (paper §3.2): vector cores cannot diverge.
+func IsControlFlow(op Op) bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJal, OpJalr:
+		return true
+	}
+	return false
+}
+
+// IsPredicatable reports whether the predication flag suppresses op. The
+// predication instructions themselves, control flow, and microthread
+// terminators always execute (paper §2.4).
+func IsPredicatable(op Op) bool {
+	switch op {
+	case OpPredEq, OpPredNeq, OpVend, OpDevec, OpNop:
+		return false
+	}
+	return !IsControlFlow(op)
+}
+
+// AllowedInMicrothread reports whether a vector core may legally receive op
+// over the inet. Arithmetic, memory and predication are allowed; control
+// flow and group management are not (paper §3.2).
+func AllowedInMicrothread(op Op) bool {
+	switch op {
+	case OpCsrw, OpVissue, OpBarrier, OpHalt, OpVload:
+		return false
+	}
+	return !IsControlFlow(op)
+}
+
+// WritesInt reports whether the instruction writes integer register Rd.
+func (i Instr) WritesInt() bool {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl,
+		OpSra, OpSlt, OpSltu, OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli,
+		OpSrai, OpSlti, OpLi, OpJal, OpJalr, OpFeq, OpFlt, OpFle, OpFcvtWS,
+		OpFmvXW, OpLw, OpLwSp, OpCsrr, OpFrameStart:
+		return i.Rd != X0
+	}
+	return false
+}
+
+// WritesFp reports whether the instruction writes FP register Fd.
+func (i Instr) WritesFp() bool {
+	switch i.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFsqrt, OpFmadd, OpFmin, OpFmax,
+		OpFabs, OpFneg, OpFmv, OpFcvtSW, OpFmvWX, OpFlw, OpFlwSp, OpVfredsum:
+		return true
+	}
+	return false
+}
+
+// IntSrcs writes the integer source registers into dst (X0 entries are
+// unused) and returns how many are set. Allocation-free twin of IntSources
+// for the simulator's per-cycle hazard checks.
+func (i *Instr) IntSrcs(dst *[3]Reg) int {
+	n := 0
+	add := func(r Reg) {
+		if r != X0 {
+			dst[n] = r
+			n++
+		}
+	}
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl,
+		OpSra, OpSlt, OpSltu, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpPredEq, OpPredNeq:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti,
+		OpJalr, OpLw, OpFlw, OpLwSp, OpFlwSp, OpFcvtSW, OpFmvWX, OpVlwSp:
+		add(i.Rs1)
+	case OpSw, OpSwSp:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpFsw, OpFswSp, OpVswSp, OpFswRemote:
+		add(i.Rs1)
+	case OpSwRemote:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpCsrw:
+		add(i.Rs1)
+	case OpVload:
+		add(i.Rs1)
+		add(i.Rs2)
+	}
+	if i.Op == OpSwRemote || i.Op == OpFswRemote {
+		add(i.Rs3)
+	}
+	return n
+}
+
+// FpSrcs writes the FP source registers into dst and returns the count
+// (allocation-free twin of FpSources).
+func (i *Instr) FpSrcs(dst *[3]FReg) int {
+	switch i.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
+		dst[0], dst[1] = i.Fs1, i.Fs2
+		return 2
+	case OpFmadd:
+		dst[0], dst[1], dst[2] = i.Fs1, i.Fs2, i.Fs3
+		return 3
+	case OpFsqrt, OpFabs, OpFneg, OpFmv, OpFcvtWS, OpFmvXW:
+		dst[0] = i.Fs1
+		return 1
+	case OpFsw, OpFswSp, OpFswRemote:
+		dst[0] = i.Fs2
+		return 1
+	case OpVfmaF, OpVfmulF, OpVbcastF:
+		dst[0] = i.Fs3
+		return 1
+	}
+	return 0
+}
+
+// IntSources returns the integer registers the instruction reads.
+func (i Instr) IntSources() []Reg {
+	var out []Reg
+	add := func(r Reg) {
+		if r != X0 {
+			out = append(out, r)
+		}
+	}
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll, OpSrl,
+		OpSra, OpSlt, OpSltu, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpPredEq, OpPredNeq:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti,
+		OpJalr, OpLw, OpFlw, OpLwSp, OpFlwSp, OpFcvtSW, OpFmvWX, OpVlwSp:
+		add(i.Rs1)
+	case OpSw, OpSwSp:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpFsw, OpFswSp, OpVswSp, OpFswRemote:
+		add(i.Rs1)
+	case OpSwRemote:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpCsrw:
+		add(i.Rs1)
+	case OpVload:
+		add(i.Rs1)
+		add(i.Rs2)
+	case OpVfmaF, OpVfmulF, OpVbcastF:
+		// vector-scalar operand is FP; no int sources
+	}
+	if i.Op == OpSwRemote || i.Op == OpFswRemote {
+		add(i.Rs3)
+	}
+	return out
+}
+
+// FpSources returns the FP registers the instruction reads.
+func (i Instr) FpSources() []FReg {
+	switch i.Op {
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
+		return []FReg{i.Fs1, i.Fs2}
+	case OpFmadd:
+		return []FReg{i.Fs1, i.Fs2, i.Fs3}
+	case OpFsqrt, OpFabs, OpFneg, OpFmv, OpFcvtWS, OpFmvXW:
+		return []FReg{i.Fs1}
+	case OpFsw, OpFswSp, OpFswRemote:
+		return []FReg{i.Fs2}
+	case OpVfmaF, OpVfmulF, OpVbcastF:
+		return []FReg{i.Fs3}
+	}
+	return nil
+}
+
+// Validate checks structural invariants of a program: branch targets in
+// range, register indices in range, vload arguments sane.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	for pc, in := range p.Code {
+		if in.Op == OpInvalid || in.Op >= numOps {
+			return fmt.Errorf("%s: pc %d: invalid op %d", p.Name, pc, in.Op)
+		}
+		if IsControlFlow(in.Op) && in.Op != OpJalr {
+			if in.Imm < 0 || int(in.Imm) >= n {
+				return fmt.Errorf("%s: pc %d: %s target %d out of range [0,%d)",
+					p.Name, pc, opName(in.Op), in.Imm, n)
+			}
+		}
+		if in.Op == OpVissue || in.Op == OpDevec {
+			if in.Imm < 0 || int(in.Imm) >= n {
+				return fmt.Errorf("%s: pc %d: %s target %d out of range",
+					p.Name, pc, opName(in.Op), in.Imm)
+			}
+		}
+		if in.Rd >= NumIntRegs || in.Rs1 >= NumIntRegs || in.Rs2 >= NumIntRegs || in.Rs3 >= NumIntRegs {
+			return fmt.Errorf("%s: pc %d: integer register out of range", p.Name, pc)
+		}
+		if in.Fd >= NumFpRegs || in.Fs1 >= NumFpRegs || in.Fs2 >= NumFpRegs || in.Fs3 >= NumFpRegs {
+			return fmt.Errorf("%s: pc %d: fp register out of range", p.Name, pc)
+		}
+		if in.Vd >= NumVecRegs || in.Vs1 >= NumVecRegs || in.Vs2 >= NumVecRegs {
+			return fmt.Errorf("%s: pc %d: simd register out of range", p.Name, pc)
+		}
+		if in.Op == OpVload {
+			if in.Vl.Width <= 0 {
+				return fmt.Errorf("%s: pc %d: vload width %d must be positive", p.Name, pc, in.Vl.Width)
+			}
+			if in.Vl.BaseLane < 0 {
+				return fmt.Errorf("%s: pc %d: vload base lane %d negative", p.Name, pc, in.Vl.BaseLane)
+			}
+		}
+	}
+	return nil
+}

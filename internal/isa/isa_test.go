@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesBijective(t *testing.T) {
+	for _, name := range OpNames() {
+		op, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("name %q not resolvable", name)
+		}
+		if op.String() != name {
+			t.Fatalf("round trip %q -> %s", name, op)
+		}
+	}
+}
+
+func TestControlFlowNeverForwarded(t *testing.T) {
+	// §3.2: vector cores cannot diverge; every control-flow op must be
+	// rejected from microthread forwarding.
+	for op := OpInvalid + 1; op < numOps; op++ {
+		if IsControlFlow(op) && AllowedInMicrothread(op) {
+			t.Errorf("%s is control flow but allowed in microthreads", op)
+		}
+	}
+}
+
+func TestPredicationExemptions(t *testing.T) {
+	// The predication instructions themselves always execute (§2.4), as do
+	// the ops that manage the frame queue and thread lifecycle.
+	for _, op := range []Op{OpPredEq, OpPredNeq, OpVend, OpDevec, OpNop} {
+		if IsPredicatable(op) {
+			t.Errorf("%s must not be predicatable", op)
+		}
+	}
+	for _, op := range []Op{OpFadd, OpSw, OpLw, OpMul} {
+		if !IsPredicatable(op) {
+			t.Errorf("%s should be predicatable", op)
+		}
+	}
+}
+
+// TestSrcAccessorsAgree: the allocation-free source accessors must agree
+// with the slice-returning originals for every op and register assignment.
+func TestSrcAccessorsAgree(t *testing.T) {
+	fn := func(opRaw, r1, r2, r3, f1, f2, f3 uint8) bool {
+		in := Instr{
+			Op:  Op(opRaw % uint8(numOps)),
+			Rs1: Reg(r1 % NumIntRegs), Rs2: Reg(r2 % NumIntRegs), Rs3: Reg(r3 % NumIntRegs),
+			Fs1: FReg(f1 % NumFpRegs), Fs2: FReg(f2 % NumFpRegs), Fs3: FReg(f3 % NumFpRegs),
+		}
+		want := in.IntSources()
+		var got [3]Reg
+		n := in.IntSrcs(&got)
+		if n != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		wantF := in.FpSources()
+		var gotF [3]FReg
+		nf := in.FpSrcs(&gotF)
+		if nf != len(wantF) {
+			return false
+		}
+		for i := range wantF {
+			if gotF[i] != wantF[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Instr{{Op: OpBeq, Imm: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range branch target accepted")
+	}
+	p = &Program{Name: "bad", Code: []Instr{{Op: OpVload, Vl: VloadArgs{Width: 0}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero-width vload accepted")
+	}
+	p = &Program{Name: "ok", Code: []Instr{{Op: OpHalt}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyTotal(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		// Classify must place every op somewhere sane (the energy model
+		// depends on total coverage).
+		_ = Classify(op)
+	}
+}
+
+func TestWritesConsistency(t *testing.T) {
+	// An instruction never writes both register files.
+	for op := OpNop; op < numOps; op++ {
+		in := Instr{Op: op, Rd: 5, Fd: 5}
+		if in.WritesInt() && in.WritesFp() {
+			t.Errorf("%s writes both int and fp", op)
+		}
+	}
+	if (Instr{Op: OpAdd, Rd: X0}).WritesInt() {
+		t.Error("write to x0 reported as a write")
+	}
+}

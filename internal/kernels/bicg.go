@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/gpu"
+)
+
+// bicg: the BiCG sub-kernels s = A'*r (column-wise) and q = A*p (row-wise),
+// PolyBench/GPU. Like mvt, the transposed kernel makes bicg one of the
+// paper's biggest vector wins (4.1x over NV_PF): group loads extract the
+// spatial locality the per-core column sweeps waste.
+type bicgBench struct{}
+
+func init() { register(bicgBench{}) }
+
+func (bicgBench) Info() Info {
+	return Info{
+		Name:        "bicg",
+		InputDesc:   "NxN matrix, N vectors",
+		Description: "Biconjugate Gradient Method",
+		Kernels:     2,
+	}
+}
+
+func (bicgBench) Defaults(s Scale) Params {
+	switch s {
+	case Tiny:
+		return Params{N: 64, Seed: 19}
+	case Small:
+		return Params{N: 256, Seed: 19}
+	default:
+		return Params{N: 768, Seed: 19}
+	}
+}
+
+func (bicgBench) Prepare(p Params) (*Image, error) {
+	n := p.N
+	r := rng(p.Seed)
+	a := randF(r, n*n, 0, 1)
+	rv := randF(r, n, 0, 1)
+	pv := randF(r, n, 0, 1)
+	ws := make([]float32, n)
+	wq := make([]float32, n)
+	for j := 0; j < n; j++ {
+		var acc float32
+		for i := 0; i < n; i++ {
+			acc += a[i*n+j] * rv[i]
+		}
+		ws[j] = acc
+	}
+	for i := 0; i < n; i++ {
+		var acc float32
+		for j := 0; j < n; j++ {
+			acc += a[i*n+j] * pv[j]
+		}
+		wq[i] = acc
+	}
+	img := NewImage()
+	img.AllocF("A", a)
+	img.AllocF("r", rv)
+	img.AllocF("p", pv)
+	img.AllocZero("s", n)
+	img.AllocZero("q", n)
+	img.ExpectF("s", ws, 2e-3)
+	img.ExpectF("q", wq, 2e-3)
+	return img, nil
+}
+
+func (bicgBench) Build(ctx *Ctx) error {
+	n := ctx.P.N
+	img := ctx.Img
+	col := mvSpec{Rows: n, Cols: n, A: img.Arr("A"), X: img.Arr("r"), Out: img.Arr("s")}
+	row := mvSpec{Rows: n, Cols: n, A: img.Arr("A"), X: img.Arr("p"), Out: img.Arr("q")}
+	if err := col.check("bicg"); err != nil {
+		return err
+	}
+	if n%ctx.HW.Cores != 0 {
+		return fmt.Errorf("bicg: N=%d must be a multiple of %d cores", n, ctx.HW.Cores)
+	}
+	ctx.Begin()
+	buildMVCol(ctx, col)
+	buildMVRow(ctx, row)
+	ctx.Finish()
+	return nil
+}
+
+func (bicgBench) GPU(p Params, img *Image) ([]gpu.Kernel, error) {
+	n := p.N
+	A := img.Arr("A")
+	k1 := mvGPU("bicg-s", n, n,
+		func(j, i int) uint32 { return A.At(i*n + j) }, // thread per column j
+		img.Arr("r"), img.Arr("s"), false)
+	k2 := mvGPU("bicg-q", n, n,
+		func(i, j int) uint32 { return A.At(i*n + j) },
+		img.Arr("p"), img.Arr("q"), false)
+	return []gpu.Kernel{k1, k2}, nil
+}

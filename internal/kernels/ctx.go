@@ -1,0 +1,298 @@
+package kernels
+
+import (
+	"rockcress/internal/config"
+	"rockcress/internal/isa"
+	"rockcress/internal/prog"
+)
+
+// Ctx carries everything a benchmark's Build needs: the program builder,
+// the input image, the Table 3 software row, the hardware parameters, and
+// the group layout, plus the role registers the common prologue fills in.
+type Ctx struct {
+	B      *prog.Builder
+	P      Params
+	Img    *Image
+	SW     config.Software
+	HW     config.Manycore
+	Groups []*config.Group
+
+	// Filled by Begin.
+	Tid  isa.Reg // core id (all styles)
+	Gid  isa.Reg // group id (vector style; 0xffffffff outside any group)
+	Lane isa.Reg // lane id (vector style)
+
+	// DAE frame-slot cursor: the scratchpad's frame queue rotates globally
+	// across the whole kernel, so the scalar-side scratchpad offset must be
+	// carried across pipeline invocations (resetting it per loop nest was
+	// the classic way to deadlock the frame counters).
+	daeOff    isa.Reg
+	daeRegion isa.Reg
+	daeFrameB int32
+
+	idle string
+}
+
+// NewCtx assembles a build context.
+func NewCtx(p Params, img *Image, sw config.Software, hw config.Manycore, groups []*config.Group) *Ctx {
+	return &Ctx{
+		B: prog.New(sw.Name), P: p, Img: img, SW: sw, HW: hw, Groups: groups,
+	}
+}
+
+// Vector reports whether this build maps onto vector groups.
+func (c *Ctx) Vector() bool { return c.SW.Style == config.StyleVector }
+
+// VLen returns the group vector length (1 for MIMD styles).
+func (c *Ctx) VLen() int {
+	if !c.Vector() {
+		return 1
+	}
+	return c.SW.VLen
+}
+
+// Workers returns how many parallel workers partition the outer loops: all
+// cores for the MIMD styles, one per vector group otherwise.
+func (c *Ctx) Workers() int {
+	if c.Vector() {
+		return len(c.Groups)
+	}
+	return c.HW.Cores
+}
+
+// WorkerID returns the register holding this worker's index.
+func (c *Ctx) WorkerID() isa.Reg {
+	if c.Vector() {
+		return c.Gid
+	}
+	return c.Tid
+}
+
+// LineWords returns the cache line size in words for this build.
+func (c *Ctx) LineWords() int { return c.HW.LineWords() }
+
+// Side returns the lane-square side of the vector groups.
+func (c *Ctx) Side() int {
+	if len(c.Groups) == 0 {
+		return 1
+	}
+	return c.Groups[0].Side
+}
+
+// Begin emits the role prologue. Vector builds branch tiles outside any
+// group to an idle halt (the evaluation leaves leftover tiles idle, §6.2).
+func (c *Ctx) Begin() {
+	b := c.B
+	c.Tid = b.Int()
+	b.Csrr(c.Tid, isa.CsrCoreID)
+	if !c.Vector() {
+		return
+	}
+	c.Gid = b.Int()
+	c.Lane = b.Int()
+	b.Csrr(c.Gid, isa.CsrGroupID)
+	b.Csrr(c.Lane, isa.CsrLaneID)
+	c.idle = b.NewLabel("idle")
+	none := b.Int()
+	b.Li(none, -1)
+	b.Beq(c.Gid, none, c.idle)
+	b.FreeInt(none)
+}
+
+// Finish emits the program epilogue (and the idle path for vector builds).
+func (c *Ctx) Finish() {
+	b := c.B
+	b.Halt()
+	if c.Vector() {
+		b.Label(c.idle)
+		b.Halt()
+	}
+}
+
+// SetupFrames configures the frame queue (CsrFrameCfg) and resets the
+// persistent DAE cursor that SelfDAE/VecDAE advance. Call it once per
+// kernel phase, before any DAE pipeline.
+func (c *Ctx) SetupFrames(frameWords, frames int) {
+	b := c.B
+	b.ConfigFrames(frameWords, frames)
+	if c.daeOff == 0 {
+		c.daeOff = b.Int()
+		c.daeRegion = b.Int()
+	}
+	c.daeFrameB = int32(4 * frameWords)
+	b.Li(c.daeOff, 0)
+	b.Li(c.daeRegion, int32(4*frameWords*frames))
+}
+
+// bumpDAE advances the cursor one frame, wrapping at the region boundary.
+func (c *Ctx) bumpDAE() {
+	b := c.B
+	b.Addi(c.daeOff, c.daeOff, c.daeFrameB)
+	skip := b.NewLabel("wrap")
+	b.Blt(c.daeOff, c.daeRegion, skip)
+	b.Li(c.daeOff, 0)
+	b.Label(skip)
+}
+
+// MIMDKernel wraps one kernel phase for the MIMD styles: body then a
+// global barrier.
+func (c *Ctx) MIMDKernel(body func()) {
+	body()
+	c.B.Barrier()
+}
+
+// VectorKernel wraps one kernel phase for the vector style: per-lane setup
+// (runs on every group tile before entering vector mode, so lanes can
+// precompute their addresses), frame configuration, group formation, the
+// scalar-core body, then disband and a global barrier (§6.1: groups form at
+// kernel start, disband at the end, with a global barrier between kernels).
+func (c *Ctx) VectorKernel(frameWords, frames int, laneSetup, scalarBody func()) {
+	b := c.B
+	if laneSetup != nil {
+		laneSetup()
+	}
+	c.SetupFrames(frameWords, frames)
+	b.Vectorize()
+	scalarBody()
+	resume := b.NewLabel("resume")
+	b.Devectorize(resume)
+	b.Label(resume)
+	b.Barrier()
+}
+
+// SelfDAE emits the NV_PF per-core decoupled-prefetch pipeline: each
+// independent core vloads whole lines into its own scratchpad frames and
+// consumes them in order. load(iter, spadOff) must fill exactly frameWords
+// words of the frame at spadOff; consume(frameBase) reads them.
+// The caller must have configured frames (frameWords x frames) already.
+func (c *Ctx) SelfDAE(trip, frameWords, frames int, load func(iter, spadOff isa.Reg), consume func(frameBase isa.Reg)) {
+	b := c.B
+	if trip <= 0 {
+		return
+	}
+	if c.daeOff == 0 {
+		c.fatalNoFrames()
+		return
+	}
+	ahead := frames - 1
+	if ahead > trip {
+		ahead = trip
+	}
+	iL := b.Int()
+	b.Li(iL, 0)
+	if ahead > 0 {
+		bound := b.Int()
+		b.Li(bound, int32(ahead))
+		top := b.NewLabel("pf_pro")
+		b.Label(top)
+		load(iL, c.daeOff)
+		c.bumpDAE()
+		b.Addi(iL, iL, 1)
+		b.Blt(iL, bound, top)
+		b.FreeInt(bound)
+	}
+	fb := b.Int()
+	if trip-ahead > 0 {
+		iC := b.Int()
+		bound := b.Int()
+		b.Li(iC, 0)
+		b.Li(bound, int32(trip-ahead))
+		top := b.NewLabel("pf_steady")
+		b.Label(top)
+		load(iL, c.daeOff)
+		c.bumpDAE()
+		b.Addi(iL, iL, 1)
+		b.FrameStart(fb)
+		consume(fb)
+		b.Remem()
+		b.Addi(iC, iC, 1)
+		b.Blt(iC, bound, top)
+		b.FreeInt(iC, bound)
+	}
+	if ahead > 0 {
+		k := b.Int()
+		bound := b.Int()
+		b.Li(k, 0)
+		b.Li(bound, int32(ahead))
+		top := b.NewLabel("pf_epi")
+		b.Label(top)
+		b.FrameStart(fb)
+		consume(fb)
+		b.Remem()
+		b.Addi(k, k, 1)
+		b.Blt(k, bound, top)
+		b.FreeInt(k, bound)
+	}
+	b.FreeInt(fb, iL)
+}
+
+// fatalNoFrames records a build error for DAE use before SetupFrames.
+func (c *Ctx) fatalNoFrames() {
+	// Emitting an invalid op surfaces the mistake at program validation.
+	c.B.Emit(isa.Instr{})
+}
+
+// VecDAE emits the vector-group scalar-side pipeline of §4.2: prologue
+// loads for `ahead` frames (bounded by prog.AheadOffset so the scalar core
+// cannot overrun the hardware frame counters), a steady state interleaving
+// one microthread issue with the loads for a future frame, and a drain
+// epilogue. load(iter, spadOff) must fill exactly frameWords words per lane
+// for iteration iter; mtLabel's microthread must frame_start/remem once.
+func (c *Ctx) VecDAE(trip, frameWords, frames, mtLen int, mtLabel string, load func(iter, spadOff isa.Reg)) {
+	b := c.B
+	if trip <= 0 {
+		return
+	}
+	if c.daeOff == 0 {
+		c.fatalNoFrames()
+		return
+	}
+	ahead := prog.AheadOffset(c.HW, c.Side(), mtLen)
+	if ahead >= frames {
+		ahead = frames - 1
+	}
+	if ahead > trip {
+		ahead = trip
+	}
+	iL := b.Int()
+	b.Li(iL, 0)
+	if ahead > 0 {
+		bound := b.Int()
+		b.Li(bound, int32(ahead))
+		top := b.NewLabel("dae_pro")
+		b.Label(top)
+		load(iL, c.daeOff)
+		c.bumpDAE()
+		b.Addi(iL, iL, 1)
+		b.Blt(iL, bound, top)
+		b.FreeInt(bound)
+	}
+	if trip-ahead > 0 {
+		iC := b.Int()
+		bound := b.Int()
+		b.Li(iC, 0)
+		b.Li(bound, int32(trip-ahead))
+		top := b.NewLabel("dae_steady")
+		b.Label(top)
+		b.VIssueAt(mtLabel)
+		load(iL, c.daeOff)
+		c.bumpDAE()
+		b.Addi(iL, iL, 1)
+		b.Addi(iC, iC, 1)
+		b.Blt(iC, bound, top)
+		b.FreeInt(iC, bound)
+	}
+	if ahead > 0 {
+		k := b.Int()
+		bound := b.Int()
+		b.Li(k, 0)
+		b.Li(bound, int32(ahead))
+		top := b.NewLabel("dae_epi")
+		b.Label(top)
+		b.VIssueAt(mtLabel)
+		b.Addi(k, k, 1)
+		b.Blt(k, bound, top)
+		b.FreeInt(k, bound)
+	}
+	b.FreeInt(iL)
+}

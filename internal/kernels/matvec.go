@@ -1,0 +1,377 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/isa"
+)
+
+// mvSpec describes a matrix-vector kernel: out[i] (+)= dot(A[i,:], x) in
+// row form, or out[j] (+)= dot(A[:,j], x) in transposed (column) form, for
+// a row-major Rows x Cols matrix. mvt and bicg are built from these; the
+// column form is the paper's group-load showcase.
+type mvSpec struct {
+	Rows, Cols int
+	A, X, Out  *Array
+	Accumulate bool // out += result (reads the old out)
+}
+
+func (s *mvSpec) check(name string) error {
+	if s.Cols%16 != 0 {
+		return fmt.Errorf("%s: Cols=%d must be a multiple of 16", name, s.Cols)
+	}
+	if s.Rows%16 != 0 {
+		return fmt.Errorf("%s: Rows=%d must be a multiple of 16", name, s.Rows)
+	}
+	return nil
+}
+
+// buildMVRowNV: rows interleaved across cores, blocking loads.
+func buildMVRowNV(ctx *Ctx, s mvSpec) {
+	b := ctx.B
+	ctx.MIMDKernel(func() {
+		fz := ctx.Fzero()
+		i := b.Int()
+		pA, pX, pOut := b.Int(), b.Int(), b.Int()
+		acc, old := b.Fp(), b.Fp()
+		ctx.StridedLoop(i, ctx.Tid, int32(s.Rows), int32(ctx.Workers()), func() {
+			ctx.AddrInto(pA, i, s.A.Addr, s.Cols, 0)
+			ctx.AddrInto(pOut, i, s.Out.Addr, 1, 0)
+			b.LiU(pX, s.X.Addr)
+			b.Fmv(acc, fz)
+			if s.Accumulate {
+				b.Flw(old, pOut, 0)
+			}
+			ctx.GlobalDot(acc, pA, pX, s.Cols)
+			if s.Accumulate {
+				b.Fadd(acc, acc, old)
+			}
+			b.Fsw(acc, pOut, 0)
+		})
+		b.FreeInt(i, pA, pX, pOut)
+		b.FreeFp(fz, acc, old)
+	})
+}
+
+// buildMVColNV: the PolyBench/GPU loop order for the transposed kernel:
+// each core owns a block of columns and sweeps all rows per column (word
+// loads; one useful word per fetched line — the pattern NV_PF cannot
+// improve with wide self-loads).
+func buildMVColNV(ctx *Ctx, s mvSpec) {
+	b := ctx.B
+	blockW := s.Cols / ctx.HW.Cores
+	if blockW == 0 {
+		blockW = 1
+	}
+	ctx.MIMDKernel(func() {
+		fz := ctx.Fzero()
+		jb, jEnd, jc := b.Int(), b.Int(), b.Int()
+		pA, pX, pOut, i := b.Int(), b.Int(), b.Int(), b.Int()
+		acc, old, fa, fx := b.Fp(), b.Fp(), b.Fp(), b.Fp()
+		bound := b.Int()
+		ctx.MulConst(jb, ctx.Tid, blockW)
+		b.Addi(jEnd, jb, int32(blockW))
+		b.Li(bound, int32(s.Cols))
+		b.Mv(jc, jb)
+		done := b.NewLabel("mvcol_done")
+		top := b.NewLabel("mvcol")
+		b.Bge(jc, bound, done) // more cores than column blocks
+		b.Label(top)
+		{
+			ctx.AddrInto(pA, jc, s.A.Addr, 1, 0) // &A[0][j]
+			ctx.AddrInto(pOut, jc, s.Out.Addr, 1, 0)
+			b.LiU(pX, s.X.Addr)
+			b.Fmv(acc, fz)
+			if s.Accumulate {
+				b.Flw(old, pOut, 0)
+			}
+			b.ForI(i, 0, int32(s.Rows), 1, func() {
+				b.Flw(fa, pA, 0)
+				b.Flw(fx, pX, 0)
+				b.Fmadd(acc, fa, fx, acc)
+				b.Addi(pA, pA, int32(4*s.Cols))
+				b.Addi(pX, pX, 4)
+			})
+			if s.Accumulate {
+				b.Fadd(acc, acc, old)
+			}
+			b.Fsw(acc, pOut, 0)
+		}
+		b.Addi(jc, jc, 1)
+		b.Blt(jc, jEnd, top)
+		b.Label(done)
+		b.FreeInt(jb, jEnd, jc, pA, pX, pOut, i, bound)
+		b.FreeFp(fz, acc, old, fa, fx)
+	})
+}
+
+// buildMVRowPF: self-prefetch frames (A chunk + x chunk), SIMD optional.
+func buildMVRowPF(ctx *Ctx, s mvSpec) {
+	b := ctx.B
+	lw := 16
+	frames := ctx.HW.FrameCounters
+	frameWords := 2 * lw
+	ctx.SetupFrames(frameWords, frames)
+	ctx.MIMDKernel(func() {
+		fz := ctx.Fzero()
+		var tmps [4]isa.FReg
+		for u := range tmps {
+			tmps[u] = b.Fp()
+		}
+		var accV, va, vb uint8
+		if ctx.SW.SIMD {
+			accV, va, vb = b.Vec(), b.Vec(), b.Vec()
+		}
+		i := b.Int()
+		pA, pX, pOut, t := b.Int(), b.Int(), b.Int(), b.Int()
+		acc, old := b.Fp(), b.Fp()
+		ctx.StridedLoop(i, ctx.Tid, int32(s.Rows), int32(ctx.Workers()), func() {
+			ctx.AddrInto(pA, i, s.A.Addr, s.Cols, 0)
+			ctx.AddrInto(pOut, i, s.Out.Addr, 1, 0)
+			b.LiU(pX, s.X.Addr)
+			b.Fmv(acc, fz)
+			if ctx.SW.SIMD {
+				b.VbcastF(accV, fz)
+			}
+			if s.Accumulate {
+				b.Flw(old, pOut, 0)
+			}
+			ctx.SelfDAE(s.Cols/lw, frameWords, frames,
+				func(_, off isa.Reg) {
+					b.VLoad(isa.VloadSelf, pA, off, 0, lw, true)
+					b.Addi(t, off, int32(4*lw))
+					b.VLoad(isa.VloadSelf, pX, t, 0, lw, true)
+					b.Addi(pA, pA, int32(4*lw))
+					b.Addi(pX, pX, int32(4*lw))
+				},
+				func(fb isa.Reg) {
+					if ctx.SW.SIMD {
+						ctx.FrameDotSIMD(accV, fb, va, vb, 0, int32(4*lw), lw)
+					} else {
+						ctx.FrameDot(acc, fb, tmps, 0, int32(4*lw), lw)
+					}
+				})
+			if ctx.SW.SIMD {
+				b.Vfredsum(acc, accV)
+			}
+			if s.Accumulate {
+				b.Fadd(acc, acc, old)
+			}
+			b.Fsw(acc, pOut, 0)
+		})
+		b.FreeInt(i, pA, pX, pOut, t)
+		b.FreeFp(fz, acc, old, tmps[0], tmps[1], tmps[2], tmps[3])
+		if ctx.SW.SIMD {
+			b.FreeVec(accV, va, vb)
+		}
+	})
+}
+
+// buildMVRowVec: each lane owns one row of a vlen-row block; the scalar
+// core single-loads each lane's A chunk and the shared x chunk.
+func buildMVRowVec(ctx *Ctx, s mvSpec) {
+	b := ctx.B
+	lw := 16
+	vlen := ctx.VLen()
+	groups := ctx.Workers()
+	rowBytes := 4 * s.Cols
+	frames := ctx.HW.FrameCounters
+	frameWords := 2 * lw
+	blocks := s.Rows / vlen
+
+	fz, acc, old := b.Fp(), b.Fp(), b.Fp()
+	var tmps [4]isa.FReg
+	for u := range tmps {
+		tmps[u] = b.Fp()
+	}
+	var accV, va, vb uint8
+	if ctx.SW.SIMD {
+		accV, va, vb = b.Vec(), b.Vec(), b.Vec()
+	}
+	outPtr, mtFb := b.Int(), b.Int()
+
+	mtInit, _ := b.Microthread(func() { b.FliF(fz, 0) })
+	mtBegin, _ := b.Microthread(func() {
+		if s.Accumulate {
+			b.Flw(old, outPtr, 0)
+		}
+		b.Fmv(acc, fz)
+		if ctx.SW.SIMD {
+			b.VbcastF(accV, fz)
+		}
+	})
+	mtAcc, mtAccLen := b.Microthread(func() {
+		b.FrameStart(mtFb)
+		if ctx.SW.SIMD {
+			ctx.FrameDotSIMD(accV, mtFb, va, vb, 0, int32(4*lw), lw)
+		} else {
+			ctx.FrameDot(acc, mtFb, tmps, 0, int32(4*lw), lw)
+		}
+		b.Remem()
+	})
+	advBytes := int32(groups * vlen * 4)
+	mtStore, _ := b.Microthread(func() {
+		if ctx.SW.SIMD {
+			b.Vfredsum(acc, accV)
+		}
+		if s.Accumulate {
+			b.Fadd(acc, acc, old)
+		}
+		b.Fsw(acc, outPtr, 0)
+		b.Addi(outPtr, outPtr, advBytes)
+	})
+
+	ctx.VectorKernel(frameWords, frames,
+		func() {
+			row := b.Int()
+			ctx.MulConst(row, ctx.Gid, vlen)
+			b.Add(row, row, ctx.Lane)
+			ctx.AddrInto(outPtr, row, s.Out.Addr, 1, 0)
+			b.FreeInt(row)
+		},
+		func() {
+			b.VIssueAt(mtInit)
+			rb, pA, pAcur, pX, t, toff := b.Int(), b.Int(), b.Int(), b.Int(), b.Int(), b.Int()
+			ctx.StridedLoop(rb, ctx.Gid, int32(blocks), int32(groups), func() {
+				ctx.AddrInto(pA, rb, s.A.Addr, vlen*s.Cols, 0)
+				b.VIssueAt(mtBegin)
+				b.Mv(pAcur, pA)
+				b.LiU(pX, s.X.Addr)
+				ctx.VecDAE(s.Cols/lw, frameWords, frames, mtAccLen, mtAcc,
+					func(_, off isa.Reg) {
+						for l := 0; l < vlen; l++ {
+							b.Addi(t, pAcur, int32(l*rowBytes))
+							b.VLoad(isa.VloadSingle, t, off, l, lw, true)
+						}
+						b.Addi(toff, off, int32(4*lw))
+						for l := 0; l < vlen; l++ {
+							b.VLoad(isa.VloadSingle, pX, toff, l, lw, true)
+						}
+						b.Addi(pAcur, pAcur, int32(4*lw))
+						b.Addi(pX, pX, int32(4*lw))
+					})
+				b.VIssueAt(mtStore)
+			})
+			b.FreeInt(rb, pA, pAcur, pX, t, toff)
+		})
+	b.FreeInt(outPtr, mtFb)
+	b.FreeFp(fz, acc, old, tmps[0], tmps[1], tmps[2], tmps[3])
+	if ctx.SW.SIMD {
+		b.FreeVec(accV, va, vb)
+	}
+}
+
+// buildMVColVec: lanes own adjacent columns of a vlen-wide stripe; one
+// GROUP load per row feeds the whole group from a single line (§6.6).
+func buildMVColVec(ctx *Ctx, s mvSpec) {
+	b := ctx.B
+	rows := 16 // rows per frame
+	vlen := ctx.VLen()
+	groups := ctx.Workers()
+	rowBytes := 4 * s.Cols
+	frames := ctx.HW.FrameCounters
+	frameWords := 2 * rows
+	stripes := s.Cols / vlen
+
+	fz, acc, old := b.Fp(), b.Fp(), b.Fp()
+	var tmps [4]isa.FReg
+	for u := range tmps {
+		tmps[u] = b.Fp()
+	}
+	var accV, va, vb uint8
+	if ctx.SW.SIMD {
+		accV, va, vb = b.Vec(), b.Vec(), b.Vec()
+	}
+	outPtr, mtFb := b.Int(), b.Int()
+
+	mtInit, _ := b.Microthread(func() { b.FliF(fz, 0) })
+	mtBegin, _ := b.Microthread(func() {
+		if s.Accumulate {
+			b.Flw(old, outPtr, 0)
+		}
+		b.Fmv(acc, fz)
+		if ctx.SW.SIMD {
+			b.VbcastF(accV, fz)
+		}
+	})
+	mtAcc, mtAccLen := b.Microthread(func() {
+		b.FrameStart(mtFb)
+		if ctx.SW.SIMD {
+			ctx.FrameDotSIMD(accV, mtFb, va, vb, 0, int32(4*rows), rows)
+		} else {
+			ctx.FrameDot(acc, mtFb, tmps, 0, int32(4*rows), rows)
+		}
+		b.Remem()
+	})
+	advBytes := int32(groups * vlen * 4)
+	mtStore, _ := b.Microthread(func() {
+		if ctx.SW.SIMD {
+			b.Vfredsum(acc, accV)
+		}
+		if s.Accumulate {
+			b.Fadd(acc, acc, old)
+		}
+		b.Fsw(acc, outPtr, 0)
+		b.Addi(outPtr, outPtr, advBytes)
+	})
+
+	ctx.VectorKernel(frameWords, frames,
+		func() {
+			col := b.Int()
+			ctx.MulConst(col, ctx.Gid, vlen)
+			b.Add(col, col, ctx.Lane)
+			ctx.AddrInto(outPtr, col, s.Out.Addr, 1, 0)
+			b.FreeInt(col)
+		},
+		func() {
+			b.VIssueAt(mtInit)
+			st, pACol, pAcur, pX, t, toff := b.Int(), b.Int(), b.Int(), b.Int(), b.Int(), b.Int()
+			ctx.StridedLoop(st, ctx.Gid, int32(stripes), int32(groups), func() {
+				ctx.AddrInto(pACol, st, s.A.Addr, vlen, 0) // &A[0][stripe*vlen]
+				b.VIssueAt(mtBegin)
+				b.Mv(pAcur, pACol)
+				b.LiU(pX, s.X.Addr)
+				ctx.VecDAE(s.Rows/rows, frameWords, frames, mtAccLen, mtAcc,
+					func(_, off isa.Reg) {
+						for r := 0; r < rows; r++ {
+							b.Addi(t, off, int32(4*r))
+							b.VLoad(isa.VloadGroup, pAcur, t, 0, 1, true)
+							b.Addi(pAcur, pAcur, int32(rowBytes))
+						}
+						b.Addi(toff, off, int32(4*rows))
+						for l := 0; l < vlen; l++ {
+							b.VLoad(isa.VloadSingle, pX, toff, l, rows, true)
+						}
+						b.Addi(pX, pX, int32(4*rows))
+					})
+				b.VIssueAt(mtStore)
+			})
+			b.FreeInt(st, pACol, pAcur, pX, t, toff)
+		})
+	b.FreeInt(outPtr, mtFb)
+	b.FreeFp(fz, acc, old, tmps[0], tmps[1], tmps[2], tmps[3])
+	if ctx.SW.SIMD {
+		b.FreeVec(accV, va, vb)
+	}
+}
+
+// buildMVRow dispatches the row form on style; buildMVCol the column form
+// (for which NV_PF has no wide-load option and falls back to word loads).
+func buildMVRow(ctx *Ctx, s mvSpec) {
+	switch {
+	case ctx.Vector():
+		buildMVRowVec(ctx, s)
+	case ctx.SW.WideAccess:
+		buildMVRowPF(ctx, s)
+	default:
+		buildMVRowNV(ctx, s)
+	}
+}
+
+func buildMVCol(ctx *Ctx, s mvSpec) {
+	if ctx.Vector() {
+		buildMVColVec(ctx, s)
+	} else {
+		buildMVColNV(ctx, s)
+	}
+}

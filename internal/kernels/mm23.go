@@ -1,0 +1,242 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/gpu"
+)
+
+// 2mm: D = alpha*A*B*C + beta*D as two matmul stages (tmp = alpha*A*B, then
+// D = tmp*C + beta*D), and 3mm: G = (A*B)*(C*D) as three stages. Both use
+// the Table 2 optimizations: tiled outer-product mapping via rowDot and
+// pre-transposed right-hand operands; intermediates that feed a later
+// stage's right-hand side are produced directly in transposed form.
+type mm2Bench struct{}
+type mm3Bench struct{}
+
+func init() {
+	register(mm2Bench{})
+	register(mm3Bench{})
+}
+
+const (
+	mmAlpha = float32(1.25)
+	mmBeta  = float32(0.75)
+)
+
+func (mm2Bench) Info() Info {
+	return Info{
+		Name:        "2mm",
+		InputDesc:   "NxN matrices",
+		Description: "Two matrix multiplies",
+		AlgOpt:      "Tiled Outer Product",
+		MemOpt:      "Transpose",
+		Kernels:     2,
+	}
+}
+
+func (mm3Bench) Info() Info {
+	return Info{
+		Name:        "3mm",
+		InputDesc:   "NxN matrices",
+		Description: "Three matrix multiplies",
+		AlgOpt:      "Tiled Outer product",
+		MemOpt:      "Transpose",
+		Kernels:     3,
+	}
+}
+
+func mmDefaults(s Scale) Params {
+	switch s {
+	case Tiny:
+		return Params{N: 16, Seed: 13}
+	case Small:
+		return Params{N: 32, Seed: 13}
+	default:
+		return Params{N: 64, Seed: 13}
+	}
+}
+
+func (mm2Bench) Defaults(s Scale) Params { return mmDefaults(s) }
+func (mm3Bench) Defaults(s Scale) Params { return mmDefaults(s) }
+
+func mmCheck(p Params) error {
+	if p.N%16 != 0 || log2(p.N) < 0 {
+		return fmt.Errorf("N=%d must be a power-of-two multiple of 16", p.N)
+	}
+	return nil
+}
+
+// transpose returns m' for an r x c row-major matrix.
+func transpose(m []float32, r, c int) []float32 {
+	out := make([]float32, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out[j*r+i] = m[i*c+j]
+		}
+	}
+	return out
+}
+
+// matmulRef computes X*Y' for row-major X (r x k) and YT (c x k), matching
+// the simulated accumulation order.
+func matmulRef(x, yt []float32, r, c, k int) []float32 {
+	out := make([]float32, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var acc float32
+			for kk := 0; kk < k; kk++ {
+				acc += x[i*k+kk] * yt[j*k+kk]
+			}
+			out[i*c+j] = acc
+		}
+	}
+	return out
+}
+
+func scaleMat(m []float32, s float32) []float32 {
+	out := make([]float32, len(m))
+	for i, v := range m {
+		out[i] = s * v
+	}
+	return out
+}
+
+func (mm2Bench) Prepare(p Params) (*Image, error) {
+	n := p.N
+	r := rng(p.Seed)
+	a := randF(r, n*n, 0, 1)
+	bm := randF(r, n*n, 0, 1)
+	cm := randF(r, n*n, 0, 1)
+	d0 := randF(r, n*n, 0, 1)
+	bt := transpose(bm, n, n)
+	ct := transpose(cm, n, n)
+	// tmp = alpha*(A*B); D = tmp*C + beta*D.
+	tmp := scaleMat(matmulRef(a, bt, n, n, n), mmAlpha)
+	td := matmulRef(tmp, ct, n, n, n)
+	want := make([]float32, n*n)
+	for i := range want {
+		want[i] = td[i] + mmBeta*d0[i]
+	}
+	img := NewImage()
+	img.AllocF("A", a)
+	img.AllocF("BT", bt)
+	img.AllocF("B", bm)
+	img.AllocF("CT", ct)
+	img.AllocF("C", cm)
+	img.AllocF("D", d0)
+	img.AllocZero("tmp", n*n)
+	img.ExpectF("tmp", tmp, 2e-3)
+	img.ExpectF("D", want, 2e-3)
+	return img, nil
+}
+
+func (mm2Bench) Build(ctx *Ctx) error {
+	if err := mmCheck(ctx.P); err != nil {
+		return err
+	}
+	n := ctx.P.N
+	img := ctx.Img
+	ctx.Begin()
+	buildRowDot(ctx, rowDotSpec{
+		NI: n, NJ: n, NK: n,
+		A1: img.Arr("A"), B1: img.Arr("BT"), C: img.Arr("tmp"),
+		Alpha: mmAlpha,
+	})
+	buildRowDot(ctx, rowDotSpec{
+		NI: n, NJ: n, NK: n,
+		A1: img.Arr("tmp"), B1: img.Arr("CT"), C: img.Arr("D"),
+		Alpha: 1, AlphaOne: true, Beta: mmBeta,
+	})
+	ctx.Finish()
+	return nil
+}
+
+func (mm2Bench) GPU(p Params, img *Image) ([]gpu.Kernel, error) {
+	n := p.N
+	a, bm, tmp, cm, d := img.Arr("A"), img.Arr("B"), img.Arr("tmp"), img.Arr("C"), img.Arr("D")
+	k1 := rowDotGPU("2mm-k1", n, n, n, 1,
+		func(_, i, k int) uint32 { return a.At(i*n + k) },
+		func(_, k, j int) uint32 { return bm.At(k*n + j) },
+		func(i, j int) uint32 { return tmp.At(i*n + j) }, false)
+	k2 := rowDotGPU("2mm-k2", n, n, n, 1,
+		func(_, i, k int) uint32 { return tmp.At(i*n + k) },
+		func(_, k, j int) uint32 { return cm.At(k*n + j) },
+		func(i, j int) uint32 { return d.At(i*n + j) }, true)
+	return []gpu.Kernel{k1, k2}, nil
+}
+
+func (mm3Bench) Prepare(p Params) (*Image, error) {
+	n := p.N
+	r := rng(p.Seed)
+	a := randF(r, n*n, 0, 1)
+	bm := randF(r, n*n, 0, 1)
+	cm := randF(r, n*n, 0, 1)
+	dm := randF(r, n*n, 0, 1)
+	bt := transpose(bm, n, n)
+	dt := transpose(dm, n, n)
+	// E = A*B; F = C*D (produced transposed: FT[l][j] = dot(DT[l,:], C[j,:]));
+	// G = E*F.
+	e := matmulRef(a, bt, n, n, n)
+	ft := matmulRef(dt, cm, n, n, n)
+	g := matmulRef(e, ft, n, n, n)
+	img := NewImage()
+	img.AllocF("A", a)
+	img.AllocF("BT", bt)
+	img.AllocF("B", bm)
+	img.AllocF("C", cm)
+	img.AllocF("D", dm)
+	img.AllocF("DT", dt)
+	img.AllocZero("E", n*n)
+	img.AllocZero("FT", n*n)
+	img.AllocZero("G", n*n)
+	img.ExpectF("E", e, 2e-3)
+	img.ExpectF("FT", ft, 4e-3)
+	img.ExpectF("G", g, 2e-2)
+	return img, nil
+}
+
+func (mm3Bench) Build(ctx *Ctx) error {
+	if err := mmCheck(ctx.P); err != nil {
+		return err
+	}
+	n := ctx.P.N
+	img := ctx.Img
+	ctx.Begin()
+	buildRowDot(ctx, rowDotSpec{ // E = A*B
+		NI: n, NJ: n, NK: n,
+		A1: img.Arr("A"), B1: img.Arr("BT"), C: img.Arr("E"),
+		Alpha: 1, AlphaOne: true,
+	})
+	buildRowDot(ctx, rowDotSpec{ // FT = DT * C' (F = C*D, stored transposed)
+		NI: n, NJ: n, NK: n,
+		A1: img.Arr("DT"), B1: img.Arr("C"), C: img.Arr("FT"),
+		Alpha: 1, AlphaOne: true,
+	})
+	buildRowDot(ctx, rowDotSpec{ // G = E*F = E . FT rows
+		NI: n, NJ: n, NK: n,
+		A1: img.Arr("E"), B1: img.Arr("FT"), C: img.Arr("G"),
+		Alpha: 1, AlphaOne: true,
+	})
+	ctx.Finish()
+	return nil
+}
+
+func (mm3Bench) GPU(p Params, img *Image) ([]gpu.Kernel, error) {
+	n := p.N
+	a, bm, cm, dm := img.Arr("A"), img.Arr("B"), img.Arr("C"), img.Arr("D")
+	e, ft, g := img.Arr("E"), img.Arr("FT"), img.Arr("G")
+	k1 := rowDotGPU("3mm-k1", n, n, n, 1,
+		func(_, i, k int) uint32 { return a.At(i*n + k) },
+		func(_, k, j int) uint32 { return bm.At(k*n + j) },
+		func(i, j int) uint32 { return e.At(i*n + j) }, false)
+	k2 := rowDotGPU("3mm-k2", n, n, n, 1,
+		func(_, i, k int) uint32 { return cm.At(i*n + k) },
+		func(_, k, j int) uint32 { return dm.At(k*n + j) },
+		func(i, j int) uint32 { return ft.At(j*n + i) }, false)
+	k3 := rowDotGPU("3mm-k3", n, n, n, 1,
+		func(_, i, k int) uint32 { return e.At(i*n + k) },
+		func(_, k, j int) uint32 { return ft.At(j*n + k) },
+		func(i, j int) uint32 { return g.At(i*n + j) }, false)
+	return []gpu.Kernel{k1, k2, k3}, nil
+}

@@ -1,0 +1,113 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/config"
+	"rockcress/internal/energy"
+	"rockcress/internal/gpu"
+	"rockcress/internal/machine"
+	"rockcress/internal/stats"
+)
+
+// DefaultMaxCycles bounds a single benchmark simulation.
+const DefaultMaxCycles = 200_000_000
+
+// Result is one benchmark x configuration run.
+type Result struct {
+	Bench  string
+	Config string
+	Params Params
+	HW     config.Manycore
+	Stats  *stats.Machine
+	Energy energy.Breakdown
+	Groups []*config.Group
+	GPU    *gpu.Stats // set for the GPU configuration
+}
+
+// Cycles returns the run time in cycles (GPU or manycore).
+func (r *Result) Cycles() int64 {
+	if r.GPU != nil {
+		return r.GPU.Cycles
+	}
+	return r.Stats.Cycles
+}
+
+// Execute runs benchmark b with parameters p under the given software row
+// and hardware base configuration, checks the results against the serial
+// reference, and returns the statistics.
+func Execute(b Benchmark, p Params, sw config.Software, hw config.Manycore, maxCycles int64) (*Result, error) {
+	name := b.Info().Name
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	if sw.Style == config.StyleGPU {
+		return executeGPU(b, p, maxCycles)
+	}
+	hw = sw.Apply(hw)
+	groups, err := GroupsFor(sw, hw)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", name, sw.Name, err)
+	}
+	img, err := b.Prepare(p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: prepare: %w", name, err)
+	}
+	ctx := NewCtx(p, img, sw, hw, groups)
+	if err := b.Build(ctx); err != nil {
+		return nil, fmt.Errorf("%s/%s: build: %w", name, sw.Name, err)
+	}
+	prog, err := ctx.B.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: assemble: %w", name, sw.Name, err)
+	}
+	memBytes := img.SizeBytes()
+	if memBytes < machine.DefaultMemBytes {
+		memBytes = machine.DefaultMemBytes
+	}
+	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
+	}
+	img.Apply(m.Global)
+	st, err := m.Run(maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: run: %w", name, sw.Name, err)
+	}
+	if err := img.Check(m.Global); err != nil {
+		return nil, fmt.Errorf("%s/%s: wrong result: %w", name, sw.Name, err)
+	}
+	return &Result{
+		Bench: name, Config: sw.Name, Params: p, HW: hw,
+		Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,
+	}, nil
+}
+
+func executeGPU(b Benchmark, p Params, maxCycles int64) (*Result, error) {
+	name := b.Info().Name
+	img, err := b.Prepare(p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: prepare: %w", name, err)
+	}
+	launches, err := b.GPU(p, img)
+	if err != nil {
+		return nil, fmt.Errorf("%s/GPU: %w", name, err)
+	}
+	// Kernels launch back to back on one device: caches stay warm, cycles
+	// accumulate.
+	sim := gpu.NewSim(config.GPUDefault())
+	var total gpu.Stats
+	for _, k := range launches {
+		st, err := sim.Run(k, maxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("%s/GPU: %w", name, err)
+		}
+		total.Add(st)
+	}
+	return &Result{Bench: name, Config: "GPU", Params: p, GPU: &total}, nil
+}
+
+// GPUSoftware is the Table 3 GPU row.
+func GPUSoftware() config.Software {
+	return config.Software{Name: "GPU", Style: config.StyleGPU, VLen: 1}
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"testing"
+
+	"rockcress/internal/stats"
+)
+
+// TestDeterminism: the simulator is seedless and event-ordered, so two
+// identical runs must agree cycle for cycle and counter for counter.
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		return runTiny(t, "mvt", "V4")
+	}
+	a, b := run(), run()
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Stats.Cycles, b.Stats.Cycles)
+	}
+	if a.Stats.TotalInstrs() != b.Stats.TotalInstrs() {
+		t.Fatal("instruction counts differ")
+	}
+	if a.Stats.NocFlits != b.Stats.NocFlits || a.Stats.DramReads != b.Stats.DramReads {
+		t.Fatal("memory traffic differs")
+	}
+	for i := range a.Stats.Cores {
+		if a.Stats.Cores[i].StallCycles != b.Stats.Cores[i].StallCycles {
+			t.Fatalf("core %d stall breakdown differs", i)
+		}
+	}
+}
+
+// TestShapeInvariants pins the qualitative results the paper's argument
+// rests on, at tiny scale (robust margins only).
+func TestShapeInvariants(t *testing.T) {
+	t.Run("vector mode slashes icache accesses", func(t *testing.T) {
+		nv := runTiny(t, "gemm", "NV")
+		v4 := runTiny(t, "gemm", "V4")
+		rn := float64(v4.Stats.TotalICacheAccesses()) / float64(nv.Stats.TotalICacheAccesses())
+		if rn > 0.6 {
+			t.Fatalf("V4 icache accesses at %.2f of NV; expected a large cut", rn)
+		}
+	})
+	t.Run("vector mode saves on-chip energy vs NV", func(t *testing.T) {
+		nv := runTiny(t, "2dconv", "NV")
+		v4 := runTiny(t, "2dconv", "V4")
+		if v4.Energy.OnChip() >= nv.Energy.OnChip() {
+			t.Fatalf("V4 energy %.3g not below NV %.3g", v4.Energy.OnChip(), nv.Energy.OnChip())
+		}
+	})
+	t.Run("irregular bfs prefers manycore mode", func(t *testing.T) {
+		nv := runTiny(t, "bfs", "NV")
+		v4 := runTiny(t, "bfs", "V4")
+		if v4.Cycles() < 2*nv.Cycles() {
+			t.Fatalf("bfs V4 %d vs NV %d: manycore should win decisively", v4.Cycles(), nv.Cycles())
+		}
+	})
+	t.Run("wide self loads beat blocking loads", func(t *testing.T) {
+		nv := runTiny(t, "syrk", "NV")
+		pf := runTiny(t, "syrk", "NV_PF")
+		if pf.Cycles() >= nv.Cycles() {
+			t.Fatalf("NV_PF %d not faster than NV %d", pf.Cycles(), nv.Cycles())
+		}
+	})
+	t.Run("DAE cuts frame stalls", func(t *testing.T) {
+		pf := runTiny(t, "mvt", "NV_PF")
+		v4 := runTiny(t, "mvt", "V4")
+		all := make([]int, pf.HW.Cores)
+		for i := range all {
+			all[i] = i
+		}
+		var lanes []int
+		for _, g := range v4.Groups {
+			lanes = append(lanes, g.Lanes...)
+		}
+		if v4.Stats.FrameStallFraction(lanes) >= pf.Stats.FrameStallFraction(all) {
+			t.Fatal("V4 lanes wait for memory at least as much as NV_PF cores")
+		}
+	})
+	t.Run("inet stalls plateau past hop two", func(t *testing.T) {
+		v16 := runTiny(t, "bicg", "V16")
+		frac := v16.Stats.StallFractionByHop(stats.StallInet)
+		// The paper's §6.6 observation: stalls originate at the expander
+		// pipeline and persist; deeper hops do not add much.
+		if frac[7] > frac[2]+0.15 {
+			t.Fatalf("inet stalls grow along the tree: hop2=%.2f hop7=%.2f", frac[2], frac[7])
+		}
+	})
+}
+
+// TestAllBenchmarksPrepare checks every benchmark's image builds at every
+// scale with self-consistent expectations.
+func TestAllBenchmarksPrepare(t *testing.T) {
+	for _, b := range All() {
+		for _, s := range []Scale{Tiny, Small, Full} {
+			img, err := b.Prepare(b.Defaults(s))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Info().Name, s, err)
+			}
+			if img.SizeBytes() > 128*1024*1024 {
+				t.Fatalf("%s/%s image too large: %d bytes", b.Info().Name, s, img.SizeBytes())
+			}
+			checked := false
+			for _, a := range img.Arrays() {
+				if a.Want != nil {
+					checked = true
+				}
+			}
+			if !checked {
+				t.Fatalf("%s/%s has no checked outputs", b.Info().Name, s)
+			}
+		}
+	}
+}
+
+// TestTable2Metadata pins the Table 2 rows' per-benchmark optimizations.
+func TestTable2Metadata(t *testing.T) {
+	want := map[string]struct{ alg, mem string }{
+		"2mm":   {"Tiled Outer Product", "Transpose"},
+		"atax":  {"Loop reordering", ""},
+		"corr":  {"Kernel fusion", "Transpose"},
+		"covar": {"Kernel fusion", "Transpose"},
+		"gemm":  {"Tiled Outer product", "Transpose"},
+	}
+	for name, w := range want {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := b.Info()
+		if info.AlgOpt != w.alg || info.MemOpt != w.mem {
+			t.Errorf("%s: opts %q/%q, want %q/%q", name, info.AlgOpt, info.MemOpt, w.alg, w.mem)
+		}
+	}
+	if n := len(PolyBench()); n != 15 {
+		t.Fatalf("PolyBench suite has %d entries, want 15", n)
+	}
+}

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/gpu"
+)
+
+// syrk: C = alpha*A*A' + beta*C, and syr2k: C = alpha*(A*B' + B*A') +
+// beta*C (PolyBench/GPU). Both are rank-update row-dot kernels; syr2k's
+// two-dot frames make it the most bandwidth-hungry of the family, which is
+// why it is the benchmark most sensitive to LLC capacity and network width
+// in Figures 17b/17c.
+type syrkBench struct{}
+type syr2kBench struct{}
+
+func init() {
+	register(syrkBench{})
+	register(syr2kBench{})
+}
+
+const (
+	syrkAlpha = float32(0.8)
+	syrkBeta  = float32(1.1)
+)
+
+func (syrkBench) Info() Info {
+	return Info{
+		Name:        "syrk",
+		InputDesc:   "NxM matrix",
+		Description: "Symmetric Rank-K Update",
+		Kernels:     1,
+	}
+}
+
+func (syr2kBench) Info() Info {
+	return Info{
+		Name:        "syr2k",
+		InputDesc:   "NxM matrices",
+		Description: "Symmetric Rank-2K Update",
+		Kernels:     1,
+	}
+}
+
+func syrkDefaults(s Scale) Params {
+	switch s {
+	case Tiny:
+		return Params{N: 32, M: 16, Seed: 17}
+	case Small:
+		return Params{N: 64, M: 32, Seed: 17}
+	default:
+		return Params{N: 128, M: 64, Seed: 17}
+	}
+}
+
+func (syrkBench) Defaults(s Scale) Params  { return syrkDefaults(s) }
+func (syr2kBench) Defaults(s Scale) Params { return syrkDefaults(s) }
+
+func syrkCheck(p Params) error {
+	if p.M%16 != 0 || log2(p.M) < 0 {
+		return fmt.Errorf("M=%d must be a power-of-two multiple of 16", p.M)
+	}
+	if p.N%16 != 0 {
+		return fmt.Errorf("N=%d must be a multiple of 16", p.N)
+	}
+	return nil
+}
+
+func (syrkBench) Prepare(p Params) (*Image, error) {
+	n, m := p.N, p.M
+	r := rng(p.Seed)
+	a := randF(r, n*m, 0, 1)
+	c0 := randF(r, n*n, 0, 1)
+	want := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < m; k++ {
+				acc += a[i*m+k] * a[j*m+k]
+			}
+			want[i*n+j] = syrkAlpha*acc + syrkBeta*c0[i*n+j]
+		}
+	}
+	img := NewImage()
+	img.AllocF("A", a)
+	img.AllocF("C", c0)
+	img.ExpectF("C", want, 2e-3)
+	return img, nil
+}
+
+func (syrkBench) Build(ctx *Ctx) error {
+	if err := syrkCheck(ctx.P); err != nil {
+		return err
+	}
+	img := ctx.Img
+	ctx.Begin()
+	buildRowDot(ctx, rowDotSpec{
+		NI: ctx.P.N, NJ: ctx.P.N, NK: ctx.P.M,
+		A1: img.Arr("A"), B1: img.Arr("A"), C: img.Arr("C"),
+		Alpha: syrkAlpha, Beta: syrkBeta,
+	})
+	ctx.Finish()
+	return nil
+}
+
+func (syrkBench) GPU(p Params, img *Image) ([]gpu.Kernel, error) {
+	n, m := p.N, p.M
+	a, c := img.Arr("A"), img.Arr("C")
+	k := rowDotGPU("syrk", n, n, m, 1,
+		func(_, i, kk int) uint32 { return a.At(i*m + kk) },
+		func(_, kk, j int) uint32 { return a.At(j*m + kk) },
+		func(i, j int) uint32 { return c.At(i*n + j) }, true)
+	return []gpu.Kernel{k}, nil
+}
+
+func (syr2kBench) Prepare(p Params) (*Image, error) {
+	n, m := p.N, p.M
+	r := rng(p.Seed)
+	a := randF(r, n*m, 0, 1)
+	bm := randF(r, n*m, 0, 1)
+	c0 := randF(r, n*n, 0, 1)
+	want := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc1, acc2 float32
+			for k := 0; k < m; k++ {
+				acc1 += a[i*m+k] * bm[j*m+k]
+			}
+			for k := 0; k < m; k++ {
+				acc2 += bm[i*m+k] * a[j*m+k]
+			}
+			want[i*n+j] = syrkAlpha*(acc1+acc2) + syrkBeta*c0[i*n+j]
+		}
+	}
+	img := NewImage()
+	img.AllocF("A", a)
+	img.AllocF("B", bm)
+	img.AllocF("C", c0)
+	img.ExpectF("C", want, 2e-3)
+	return img, nil
+}
+
+func (syr2kBench) Build(ctx *Ctx) error {
+	if err := syrkCheck(ctx.P); err != nil {
+		return err
+	}
+	img := ctx.Img
+	ctx.Begin()
+	buildRowDot(ctx, rowDotSpec{
+		NI: ctx.P.N, NJ: ctx.P.N, NK: ctx.P.M,
+		A1: img.Arr("A"), B1: img.Arr("B"),
+		A2: img.Arr("B"), B2: img.Arr("A"),
+		C:     img.Arr("C"),
+		Alpha: syrkAlpha, Beta: syrkBeta,
+	})
+	ctx.Finish()
+	return nil
+}
+
+func (syr2kBench) GPU(p Params, img *Image) ([]gpu.Kernel, error) {
+	n, m := p.N, p.M
+	a, bm, c := img.Arr("A"), img.Arr("B"), img.Arr("C")
+	k := rowDotGPU("syr2k", n, n, m, 2,
+		func(d, i, kk int) uint32 {
+			if d == 0 {
+				return a.At(i*m + kk)
+			}
+			return bm.At(i*m + kk)
+		},
+		func(d, kk, j int) uint32 {
+			if d == 0 {
+				return bm.At(j*m + kk)
+			}
+			return a.At(j*m + kk)
+		},
+		func(i, j int) uint32 { return c.At(i*n + j) }, true)
+	return []gpu.Kernel{k}, nil
+}

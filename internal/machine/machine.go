@@ -1,0 +1,441 @@
+// Package machine composes the Rockcress fabric: the tiled cores, their
+// scratchpads and inet wiring, the data mesh, the banked LLCs, and DRAM. It
+// implements the cpu.Env contract (group formation rendezvous, the global
+// barrier, NoC injection) and owns the cycle loop.
+package machine
+
+import (
+	"fmt"
+	"os"
+
+	"rockcress/internal/config"
+	"rockcress/internal/cpu"
+	"rockcress/internal/inet"
+	"rockcress/internal/isa"
+	"rockcress/internal/mem"
+	"rockcress/internal/msg"
+	"rockcress/internal/noc"
+	"rockcress/internal/stats"
+)
+
+// DefaultMemBytes sizes the global backing store.
+const DefaultMemBytes = 32 * 1024 * 1024
+
+// traceBarriers logs barrier releases when ROCKTRACE is set (debug aid).
+var traceBarriers = os.Getenv("ROCKTRACE") != ""
+
+// Params configures a machine instance.
+type Params struct {
+	Cfg      config.Manycore
+	Prog     *isa.Program
+	Groups   []*config.Group // nil for pure-MIMD configurations
+	MemBytes int             // backing store size; DefaultMemBytes if 0
+}
+
+type genBarrier struct {
+	gen     int64
+	arrived int
+}
+
+// Machine is one simulated Rockcress fabric.
+type Machine struct {
+	Cfg    config.Manycore
+	Prog   *isa.Program
+	Groups []*config.Group
+	Global *mem.Global
+	Stats  *stats.Machine
+
+	cores []*cpu.Core
+	spads []*mem.Scratchpad
+	// Two physical mesh planes stand in for the request/response virtual
+	// networks a Garnet-style NoC uses: without the split, a full LLC
+	// request queue can block the responses that would drain it (protocol
+	// deadlock).
+	meshReq  *noc.Mesh
+	meshResp *noc.Mesh
+	llcs     []*mem.LLCBank
+	dram     *mem.DRAM
+	space    msg.NodeSpace
+
+	tileGroup []int // tile -> group id, -1 if none
+
+	now        int64
+	active     int
+	barrier    genBarrier
+	barPending bool         // all cores arrived; release waits for memory drain
+	formation  []genBarrier // per group
+	err        error
+}
+
+// New builds and wires a machine.
+func New(p Params) (*Machine, error) {
+	if err := p.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Prog == nil {
+		return nil, fmt.Errorf("machine: nil program")
+	}
+	if err := p.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := config.ValidateGroups(p.Cfg, p.Groups); err != nil {
+		return nil, err
+	}
+	memBytes := p.MemBytes
+	if memBytes == 0 {
+		memBytes = DefaultMemBytes
+	}
+	cfg := p.Cfg
+	m := &Machine{
+		Cfg: cfg, Prog: p.Prog, Groups: p.Groups,
+		Global:    mem.NewGlobal(memBytes),
+		Stats:     stats.New(cfg.Cores, cfg.LLCBanks),
+		dram:      mem.NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth),
+		space:     msg.NodeSpace{Cores: cfg.Cores, Banks: cfg.LLCBanks},
+		active:    cfg.Cores,
+		formation: make([]genBarrier, len(p.Groups)),
+		tileGroup: make([]int, cfg.Cores),
+	}
+	for i := range m.tileGroup {
+		m.tileGroup[i] = -1
+	}
+	for _, g := range p.Groups {
+		for _, t := range g.Tiles() {
+			m.tileGroup[t] = g.ID
+		}
+	}
+	m.meshReq = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
+	m.meshResp = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
+	m.llcs = make([]*mem.LLCBank, cfg.LLCBanks)
+	for b := range m.llcs {
+		m.llcs[b] = mem.NewLLCBank(b, cfg, m.space.LLCNode(b), m.meshResp, m.dram,
+			m.Global, m, &m.Stats.LLCs[b])
+	}
+	m.spads = make([]*mem.Scratchpad, cfg.Cores)
+	for t := range m.spads {
+		m.spads[t] = mem.NewScratchpad(t, cfg.SpadBytes, cfg.FrameCounters, &m.Stats.Cores[t])
+	}
+	// inet wiring: one input queue per grouped tile, children per tree.
+	inQs := make([]*inet.Queue, cfg.Cores)
+	for _, g := range p.Groups {
+		for _, t := range g.Tiles() {
+			inQs[t] = inet.NewQueue(cfg.InetQueueEntries)
+		}
+	}
+	m.cores = make([]*cpu.Core, cfg.Cores)
+	for t := range m.cores {
+		var (
+			group *config.Group
+			lane  = -1
+			inQ   *inet.Queue
+			outQs []*inet.Queue
+		)
+		if gid := m.tileGroup[t]; gid >= 0 {
+			group = p.Groups[gid]
+			lane = group.LaneIndex(t)
+			inQ = inQs[t]
+			for _, child := range group.Children[t] {
+				outQs = append(outQs, inQs[child])
+			}
+		}
+		m.cores[t] = cpu.New(t, cfg, p.Prog, m, &m.Stats.Cores[t],
+			m.spads[t], group, lane, inQ, outQs)
+	}
+	return m, nil
+}
+
+// Core returns tile t's processor (test and harness hook).
+func (m *Machine) Core(t int) *cpu.Core { return m.cores[t] }
+
+// Spad returns tile t's scratchpad (test hook).
+func (m *Machine) Spad(t int) *mem.Scratchpad { return m.spads[t] }
+
+// Now returns the current cycle.
+func (m *Machine) Now() int64 { return m.now }
+
+// --- cpu.Env implementation ---
+
+// TrySend injects a message at its source node: memory requests ride the
+// request plane; core-to-core scratchpad stores ride the response plane
+// (they sink unconditionally at scratchpads).
+func (m *Machine) TrySend(f msg.Message) bool {
+	if f.Kind == msg.KindRemoteStore {
+		return m.meshResp.TrySend(f)
+	}
+	return m.meshReq.TrySend(f)
+}
+
+// LLCNodeFor returns the node id of the bank owning addr's line (striped).
+func (m *Machine) LLCNodeFor(addr uint32) int {
+	lineNum := int(addr) / m.Cfg.CacheLineBytes
+	return m.space.LLCNode(lineNum % m.Cfg.LLCBanks)
+}
+
+// GroupArrive registers a tile at its group's formation rendezvous. The
+// formation latency is that of a software barrier over the group (§2.1).
+func (m *Machine) GroupArrive(tile int) int64 {
+	gid := m.tileGroup[tile]
+	if gid < 0 {
+		m.Error(fmt.Errorf("machine: tile %d entered vector mode outside any group", tile))
+		return 0
+	}
+	g := &m.formation[gid]
+	ticket := g.gen
+	g.arrived++
+	if g.arrived == len(m.Groups[gid].Tiles()) {
+		g.gen++
+		g.arrived = 0
+	}
+	return ticket
+}
+
+// GroupFormed reports whether the rendezvous with the given ticket is done.
+func (m *Machine) GroupFormed(tile int, ticket int64) bool {
+	gid := m.tileGroup[tile]
+	if gid < 0 {
+		return true
+	}
+	return m.formation[gid].gen > ticket
+}
+
+// BarrierArrive registers a tile at the global barrier.
+func (m *Machine) BarrierArrive(tile int) int64 {
+	ticket := m.barrier.gen
+	m.barrier.arrived++
+	m.checkBarrier()
+	return ticket
+}
+
+// BarrierDone reports whether the barrier generation has passed.
+func (m *Machine) BarrierDone(ticket int64) bool { return m.barrier.gen > ticket }
+
+// checkBarrier arms the release once every active core has arrived. The
+// actual release happens in step() once the memory system drains: without
+// cache coherence the global barrier doubles as a store fence, so writes
+// from before the barrier are visible to every core after it.
+func (m *Machine) checkBarrier() {
+	if m.active > 0 && m.barrier.arrived == m.active {
+		m.barPending = true
+	}
+}
+
+func (m *Machine) memQuiescent() bool {
+	return !m.meshReq.Busy() && !m.meshResp.Busy() && m.dram.Pending() == 0 && !m.llcsBusy()
+}
+
+// NotifyHalt records that a core has finished; cores that halted no longer
+// participate in the global barrier.
+func (m *Machine) NotifyHalt(tile int) {
+	m.active--
+	m.checkBarrier()
+}
+
+// NumGroups returns the configured group count.
+func (m *Machine) NumGroups() int { return len(m.Groups) }
+
+// Error records the first fatal simulation error.
+func (m *Machine) Error(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// LaneTile implements mem.GroupLanes for the LLC response fan-out.
+func (m *Machine) LaneTile(group, lane int) (int, bool) {
+	if group < 0 || group >= len(m.Groups) {
+		return 0, false
+	}
+	g := m.Groups[group]
+	if lane < 0 || lane >= len(g.Lanes) {
+		return 0, false
+	}
+	return g.Lanes[lane], true
+}
+
+// deliver hands a flit that reached its destination to the endpoint.
+func (m *Machine) deliver(node int, f msg.Message) bool {
+	if bank, ok := m.space.IsLLC(node); ok {
+		if !m.llcs[bank].CanAccept() {
+			return false
+		}
+		m.llcs[bank].Accept(f)
+		return true
+	}
+	switch f.Kind {
+	case msg.KindLoadResp:
+		m.cores[node].OnLoadResp(m.now, f)
+	case msg.KindSpadWord:
+		for i, v := range f.Vals {
+			m.spads[node].ArriveWord(f.SpadOff+uint32(4*i), v)
+		}
+	case msg.KindRemoteStore:
+		m.spads[node].WriteWord(f.SpadOff, f.Vals[0])
+		m.Stats.RemoteStores++
+	default:
+		m.Error(fmt.Errorf("machine: tile %d received %s", node, f.Kind))
+	}
+	return true
+}
+
+// step advances the whole machine one cycle.
+func (m *Machine) step() {
+	now := m.now
+	for _, f := range m.dram.Completed(now, m.Global) {
+		m.llcs[f.Bank].Install(now, f.LineAddr)
+	}
+	for _, b := range m.llcs {
+		b.Tick(now)
+	}
+	m.meshReq.Tick()
+	m.meshResp.Tick()
+	if m.barPending && m.memQuiescent() {
+		m.barPending = false
+		m.barrier.gen++
+		m.barrier.arrived = 0
+		if traceBarriers {
+			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
+		}
+	}
+	for _, c := range m.cores {
+		c.Tick(now)
+	}
+	m.now++
+}
+
+func (m *Machine) checkComponents() error {
+	if m.err != nil {
+		return m.err
+	}
+	for _, b := range m.llcs {
+		if err := b.Err(); err != nil {
+			return err
+		}
+	}
+	for _, s := range m.spads {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run simulates until every core halts (plus memory drain), or maxCycles
+// elapse, or a simulation error surfaces. It returns the collected stats.
+// A progress watchdog aborts early (with a per-core state dump) when no
+// core issues an instruction for a long stretch: a deadlocked program.
+func (m *Machine) Run(maxCycles int64) (*stats.Machine, error) {
+	const checkEvery = 1024
+	const stallLimit = 64 // checkEvery intervals without any issue
+	var lastIssued int64 = -1
+	stalled := 0
+	for m.active > 0 {
+		m.step()
+		if m.now%checkEvery == 0 {
+			if err := m.checkComponents(); err != nil {
+				return m.Stats, err
+			}
+			var issued int64
+			for i := range m.Stats.Cores {
+				issued += m.Stats.Cores[i].StallCycles[stats.StallNone]
+			}
+			if issued == lastIssued {
+				stalled++
+				if stalled >= stallLimit {
+					return m.Stats, fmt.Errorf("machine: deadlock: no instruction issued for %d cycles\n%s",
+						int64(stalled)*checkEvery, m.debugState())
+				}
+			} else {
+				stalled = 0
+				lastIssued = issued
+			}
+		}
+		if m.now >= maxCycles {
+			return m.Stats, fmt.Errorf("machine: no completion after %d cycles (%d cores active): likely deadlock or undersized budget\n%s",
+				maxCycles, m.active, m.debugState())
+		}
+	}
+	if err := m.checkComponents(); err != nil {
+		return m.Stats, err
+	}
+	// Drain in-flight stores and responses so the flush below is complete.
+	drainDeadline := m.now + maxCycles
+	for m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
+		m.step()
+		if m.now >= drainDeadline {
+			return m.Stats, fmt.Errorf("machine: memory system failed to drain")
+		}
+	}
+	if err := m.checkComponents(); err != nil {
+		return m.Stats, err
+	}
+	for _, b := range m.llcs {
+		b.FlushTo(m.Global)
+	}
+	m.collect()
+	return m.Stats, nil
+}
+
+func (m *Machine) llcsBusy() bool {
+	for _, b := range m.llcs {
+		if b.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) collect() {
+	st := m.Stats
+	st.Cycles = m.now
+	st.NocFlits = m.meshReq.Flits + m.meshResp.Flits
+	st.NocHops = m.meshReq.Hops + m.meshResp.Hops
+	st.DramReads = m.dram.Reads
+	st.DramWrites = m.dram.Writes
+	st.DramBusy = m.dram.BusyCycles
+}
+
+// debugState summarizes non-halted cores for deadlock diagnostics.
+func (m *Machine) debugState() string {
+	out := ""
+	n := 0
+	for _, c := range m.cores {
+		if c.Halted() {
+			continue
+		}
+		if n >= 12 {
+			out += "  ...\n"
+			break
+		}
+		out += "  " + c.DebugState() + "\n"
+		n++
+	}
+	return out
+}
+
+// ExpanderTiles returns the expander core of each group (Figure 13 averages
+// CPI events over expander cores only).
+func (m *Machine) ExpanderTiles() []int {
+	var out []int
+	for _, g := range m.Groups {
+		out = append(out, g.Expander)
+	}
+	return out
+}
+
+// LaneTiles returns every vector-lane tile across groups.
+func (m *Machine) LaneTiles() []int {
+	var out []int
+	for _, g := range m.Groups {
+		out = append(out, g.Lanes...)
+	}
+	return out
+}
+
+// AllTiles returns 0..Cores-1.
+func (m *Machine) AllTiles() []int {
+	out := make([]int, m.Cfg.Cores)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package mem
+
+import "sort"
+
+// DRAM models the paper's fixed-latency, fixed-bandwidth main memory: one
+// shared channel whose bandwidth is a hard cap (16 GB/s = 16 B/cycle at
+// 1 GHz by default). Requests serialize on channel occupancy; each transfer
+// additionally pays the fixed access latency.
+type DRAM struct {
+	latency     int64
+	bytesPerCyc int64
+	channelFree int64
+	inFlight    []dramOp
+
+	// Stats.
+	Reads, Writes int64
+	BusyCycles    int64
+}
+
+type dramOp struct {
+	doneAt   int64
+	lineAddr uint32
+	bank     int
+	write    bool
+	data     []uint32 // writeback payload
+}
+
+// NewDRAM builds a channel with the given access latency (cycles) and
+// bandwidth (bytes per cycle).
+func NewDRAM(latency, bytesPerCycle int) *DRAM {
+	if latency < 0 || bytesPerCycle <= 0 {
+		panic("mem: invalid DRAM parameters")
+	}
+	return &DRAM{latency: int64(latency), bytesPerCyc: int64(bytesPerCycle)}
+}
+
+func (d *DRAM) schedule(now int64, bytes int) (doneAt int64) {
+	start := now
+	if d.channelFree > start {
+		start = d.channelFree
+	}
+	transfer := (int64(bytes) + d.bytesPerCyc - 1) / d.bytesPerCyc
+	d.channelFree = start + transfer
+	d.BusyCycles += transfer
+	return start + d.latency + transfer
+}
+
+// Read schedules a line fill for bank and returns nothing; the completion
+// surfaces from Completed once the channel and latency allow.
+func (d *DRAM) Read(now int64, lineAddr uint32, lineBytes, bank int) {
+	done := d.schedule(now, lineBytes)
+	d.Reads++
+	d.inFlight = append(d.inFlight, dramOp{doneAt: done, lineAddr: lineAddr, bank: bank})
+}
+
+// Write schedules a dirty-line writeback. The data lands in the backing
+// store when the transfer completes.
+func (d *DRAM) Write(now int64, lineAddr uint32, data []uint32, bank int) {
+	done := d.schedule(now, len(data)*4)
+	d.Writes++
+	cp := make([]uint32, len(data))
+	copy(cp, data)
+	d.inFlight = append(d.inFlight, dramOp{doneAt: done, lineAddr: lineAddr, bank: bank, write: true, data: cp})
+}
+
+// Fill is a completed line read.
+type Fill struct {
+	LineAddr uint32
+	Bank     int
+}
+
+// Completed drains operations that finish at or before now. Write
+// completions are applied to g; read completions are returned so the owning
+// bank can install the line. Results are ordered by completion time then
+// address for determinism.
+func (d *DRAM) Completed(now int64, g *Global) []Fill {
+	var done []dramOp
+	rest := d.inFlight[:0]
+	for _, op := range d.inFlight {
+		if op.doneAt <= now {
+			done = append(done, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	d.inFlight = rest
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].doneAt != done[j].doneAt {
+			return done[i].doneAt < done[j].doneAt
+		}
+		return done[i].lineAddr < done[j].lineAddr
+	})
+	var fills []Fill
+	for _, op := range done {
+		if op.write {
+			g.WriteLine(op.lineAddr, op.data)
+		} else {
+			fills = append(fills, Fill{LineAddr: op.lineAddr, Bank: op.bank})
+		}
+	}
+	return fills
+}
+
+// Pending reports the number of in-flight operations (used by the machine's
+// quiescence check).
+func (d *DRAM) Pending() int { return len(d.inFlight) }

@@ -1,0 +1,66 @@
+// Package mem models the Rockcress memory system: the flat DRAM-backed
+// global store, the fixed-latency fixed-bandwidth DRAM channel, the banked
+// last-level caches with the wide-access response counter of §3.4, and the
+// per-tile scratchpads with the frame counters of §3.3.
+package mem
+
+import "fmt"
+
+// Global is the word-addressed backing store behind the LLCs. The harness
+// initializes benchmark inputs here and reads results back after the LLCs
+// are flushed.
+type Global struct {
+	words []uint32
+}
+
+// NewGlobal allocates a backing store of the given byte size.
+func NewGlobal(bytes int) *Global {
+	if bytes%4 != 0 || bytes <= 0 {
+		panic(fmt.Sprintf("mem: global size %d must be a positive word multiple", bytes))
+	}
+	return &Global{words: make([]uint32, bytes/4)}
+}
+
+// Size returns the store's capacity in bytes.
+func (g *Global) Size() int { return len(g.words) * 4 }
+
+func (g *Global) check(addr uint32) {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("mem: unaligned global access at %#x", addr))
+	}
+	if int(addr/4) >= len(g.words) {
+		panic(fmt.Sprintf("mem: global access at %#x beyond %d bytes", addr, g.Size()))
+	}
+}
+
+// ReadWord returns the word at byte address addr.
+func (g *Global) ReadWord(addr uint32) uint32 {
+	g.check(addr)
+	return g.words[addr/4]
+}
+
+// WriteWord stores v at byte address addr.
+func (g *Global) WriteWord(addr uint32, v uint32) {
+	g.check(addr)
+	g.words[addr/4] = v
+}
+
+// ReadLine copies the line at lineAddr into dst (len(dst) words).
+func (g *Global) ReadLine(lineAddr uint32, dst []uint32) {
+	g.check(lineAddr)
+	end := int(lineAddr/4) + len(dst)
+	if end > len(g.words) {
+		panic(fmt.Sprintf("mem: line read at %#x runs past %d bytes", lineAddr, g.Size()))
+	}
+	copy(dst, g.words[lineAddr/4:end])
+}
+
+// WriteLine copies src into the line at lineAddr.
+func (g *Global) WriteLine(lineAddr uint32, src []uint32) {
+	g.check(lineAddr)
+	end := int(lineAddr/4) + len(src)
+	if end > len(g.words) {
+		panic(fmt.Sprintf("mem: line write at %#x runs past %d bytes", lineAddr, g.Size()))
+	}
+	copy(g.words[lineAddr/4:end], src)
+}

@@ -1,0 +1,525 @@
+package mem
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"rockcress/internal/config"
+	"rockcress/internal/isa"
+	"rockcress/internal/msg"
+	"rockcress/internal/stats"
+)
+
+// GroupLanes resolves a vector group's lane index to a tile id. The scalar
+// core's memory unit attaches the group id to wide access packets; the LLC
+// uses the layout to steer each response word (paper §3.4).
+type GroupLanes interface {
+	LaneTile(group, lane int) (int, bool)
+}
+
+// Sender injects a message into the NoC at the bank's node. TrySend returns
+// false when the local injection queue is full; the bank retries next cycle.
+type Sender interface {
+	TrySend(m msg.Message) bool
+}
+
+type llcLine struct {
+	valid bool
+	dirty bool
+	addr  uint32 // full line address (tag)
+	data  []uint32
+}
+
+type wordWrite struct {
+	off int // word offset within the line
+	val uint32
+}
+
+// mshrEvent is one queued request against a missing line. Events replay in
+// arrival order at fill time so a waiting load never observes a store that
+// reached the bank after it.
+type mshrEvent struct {
+	isStore bool
+	store   wordWrite
+	req     msg.Message
+}
+
+type llcMSHR struct {
+	busy     bool
+	lineAddr uint32
+	events   []mshrEvent
+}
+
+// respJob streams one wide access's words out of the bank. The bank owns a
+// single response counter, so jobs serialize (paper: "we add a counter to
+// each cache, which it uses to serially generate responses").
+type respJob struct {
+	req    msg.Message
+	kStart int      // first global word index this bank serves
+	data   []uint32 // snapshot of the served words
+	sent   int
+}
+
+// LLCBank is one slice of the shared last-level cache. Banks partition the
+// address space by line striping and are write-back with tree pseudo-LRU
+// replacement.
+type LLCBank struct {
+	ID   int
+	node int
+
+	cfg       config.Manycore
+	lineBytes int
+	lineWords int
+	ways      int
+	sets      int
+
+	lines []llcLine // sets*ways
+	plru  []uint8   // tree-PLRU state per set
+
+	reqQ []msg.Message
+	mshr []llcMSHR
+	jobs []respJob
+
+	out    Sender
+	dram   *DRAM
+	global *Global
+	groups GroupLanes
+	st     *stats.LLC
+
+	err error
+}
+
+// NewLLCBank builds bank id of the configured cache.
+func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, global *Global, groups GroupLanes, st *stats.LLC) *LLCBank {
+	perBank := cfg.LLCBytes / cfg.LLCBanks
+	ways := cfg.LLCWays
+	sets := perBank / (cfg.CacheLineBytes * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: llc sets %d must be a power of two", sets))
+	}
+	b := &LLCBank{
+		ID: id, node: node, cfg: cfg,
+		lineBytes: cfg.CacheLineBytes, lineWords: cfg.CacheLineBytes / 4,
+		ways: ways, sets: sets,
+		lines: make([]llcLine, sets*ways),
+		plru:  make([]uint8, sets),
+		mshr:  make([]llcMSHR, cfg.LLCMSHRs),
+		out:   out, dram: dram, global: global, groups: groups, st: st,
+	}
+	for i := range b.lines {
+		b.lines[i].data = make([]uint32, b.lineWords)
+	}
+	return b
+}
+
+// traceAddr enables ad-hoc tracing of one word address via ROCKTRACE=addr
+// (debug aid; zero means off).
+var traceAddr = func() uint32 {
+	v, _ := strconv.ParseUint(os.Getenv("ROCKTRACE"), 0, 32)
+	return uint32(v)
+}()
+
+// Err returns the first invariant violation the bank observed, if any.
+func (b *LLCBank) Err() error { return b.err }
+
+func (b *LLCBank) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("llc bank %d: %s", b.ID, fmt.Sprintf(format, args...))
+	}
+}
+
+// CanAccept reports whether the request queue has room.
+func (b *LLCBank) CanAccept() bool { return len(b.reqQ) < b.cfg.LLCReqQueue }
+
+// Accept enqueues an incoming request (the machine delivers NoC arrivals).
+func (b *LLCBank) Accept(m msg.Message) {
+	if !b.CanAccept() {
+		b.fail("accept on full request queue")
+		return
+	}
+	b.reqQ = append(b.reqQ, m)
+}
+
+// Busy reports whether the bank has buffered work (quiescence check).
+func (b *LLCBank) Busy() bool {
+	if len(b.reqQ) > 0 || len(b.jobs) > 0 {
+		return true
+	}
+	for i := range b.mshr {
+		if b.mshr[i].busy {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *LLCBank) lineAddrOf(addr uint32) uint32 {
+	return addr &^ uint32(b.lineBytes-1)
+}
+
+func (b *LLCBank) setOf(lineAddr uint32) int {
+	lineNum := int(lineAddr) / b.lineBytes
+	return (lineNum / b.cfg.LLCBanks) & (b.sets - 1)
+}
+
+// lookup returns the way holding lineAddr, or -1.
+func (b *LLCBank) lookup(lineAddr uint32) int {
+	set := b.setOf(lineAddr)
+	for w := 0; w < b.ways; w++ {
+		l := &b.lines[set*b.ways+w]
+		if l.valid && l.addr == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch updates tree-PLRU state so way is most-recently used.
+func (b *LLCBank) touch(set, way int) {
+	bits := b.plru[set]
+	node, lo, hi := 0, 0, b.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			bits |= 1 << node // 1 means "recent on left, evict right"
+			node = 2*node + 1
+			hi = mid
+		} else {
+			bits &^= 1 << node
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	b.plru[set] = bits
+}
+
+// victim picks the pseudo-LRU way of a set, preferring invalid ways.
+func (b *LLCBank) victim(set int) int {
+	for w := 0; w < b.ways; w++ {
+		if !b.lines[set*b.ways+w].valid {
+			return w
+		}
+	}
+	bits := b.plru[set]
+	node, lo, hi := 0, 0, b.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bits&(1<<node) != 0 { // left is recent: evict right
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// portion computes the global word-index range [kStart, kEnd) of the
+// combined access block that THIS request serves, and the line address it
+// reads. For the aligned variants that is the whole block; the unaligned
+// Suffix/Prefix pair split a block that straddles a line boundary (§2.3.2).
+func (b *LLCBank) portion(m msg.Message) (lineAddr uint32, kStart, kEnd int, ok bool) {
+	if m.Addr%4 != 0 {
+		b.fail("unaligned word address %#x", m.Addr)
+		return 0, 0, 0, false
+	}
+	la := b.lineAddrOf(m.Addr)
+	skew := int(m.Addr-la) / 4
+	total := m.Words
+	switch m.Vload.Part {
+	case isa.VloadSuffix:
+		cut := b.lineWords - skew
+		if cut > total {
+			cut = total
+		}
+		return la, 0, cut, true
+	case isa.VloadPrefix:
+		cut := b.lineWords - skew
+		if cut >= total {
+			return la + uint32(b.lineBytes), 0, 0, true // nothing to do
+		}
+		return la + uint32(b.lineBytes), cut, total, true
+	default:
+		if skew+total > b.lineWords {
+			b.fail("aligned %s vload of %d words at %#x crosses a line; use the suffix/prefix pair",
+				m.Vload.Dist, total, m.Addr)
+			return 0, 0, 0, false
+		}
+		return la, 0, total, true
+	}
+}
+
+// destOf resolves global word index k of a block to its destination tile
+// and scratchpad byte offset: (Addr+Cnt) -> (BC + Cnt/RPC, BO + Cnt%RPC).
+func (b *LLCBank) destOf(m msg.Message, k int) (tile int, spadOff uint32, ok bool) {
+	if m.Vload.Dist == isa.VloadSelf || m.Group < 0 {
+		return m.ReqCore, m.SpadOff + uint32(4*k), true
+	}
+	rpc := m.Vload.Width
+	lane := m.Vload.BaseLane + k/rpc
+	off := m.SpadOff + uint32(4*(k%rpc))
+	tile, found := b.groups.LaneTile(m.Group, lane)
+	if !found {
+		b.fail("vload lane %d not in group %d", lane, m.Group)
+		return 0, 0, false
+	}
+	return tile, off, true
+}
+
+// Tick advances the bank one cycle: drain DRAM fills assigned to this bank
+// (delivered by the machine through Install), process one request, and
+// stream response words.
+func (b *LLCBank) Tick(now int64) {
+	b.processRequest(now)
+	b.streamResponses(now)
+}
+
+func (b *LLCBank) processRequest(now int64) {
+	if len(b.reqQ) == 0 || b.err != nil {
+		return
+	}
+	m := b.reqQ[0]
+	switch m.Kind {
+	case msg.KindStoreReq:
+		if !b.handleStore(now, m) {
+			return
+		}
+	case msg.KindLoadReq, msg.KindVloadReq:
+		if !b.handleLoad(now, m) {
+			return
+		}
+	default:
+		b.fail("unexpected message kind %s", m.Kind)
+		return
+	}
+	b.reqQ = b.reqQ[1:]
+}
+
+func (b *LLCBank) handleStore(now int64, m msg.Message) bool {
+	if traceAddr != 0 && m.Addr == traceAddr {
+		fmt.Printf("[%d] bank%d STORE addr=%#x val=%d from core %d\n", now, b.ID, m.Addr, int32(m.Vals[0]), m.Src)
+	}
+	lineAddr := b.lineAddrOf(m.Addr)
+	if w := b.lookup(lineAddr); w >= 0 {
+		set := b.setOf(lineAddr)
+		l := &b.lines[set*b.ways+w]
+		l.data[(m.Addr-lineAddr)/4] = m.Vals[0]
+		l.dirty = true
+		b.touch(set, w)
+		b.st.Accesses++
+		b.st.StoreHits++
+		return true
+	}
+	// Write-allocate: coalesce into an MSHR.
+	mi, isNew := b.mshrFor(lineAddr)
+	if mi < 0 {
+		return false // no MSHR free: head-of-line stall
+	}
+	b.st.Accesses++
+	b.st.StoreMisses++
+	if isNew {
+		b.st.Misses++
+		b.dram.Read(now, lineAddr, b.lineBytes, b.ID)
+	}
+	b.mshr[mi].events = append(b.mshr[mi].events, mshrEvent{
+		isStore: true,
+		store:   wordWrite{off: int((m.Addr - lineAddr) / 4), val: m.Vals[0]},
+	})
+	return true
+}
+
+func (b *LLCBank) handleLoad(now int64, m msg.Message) bool {
+	if traceAddr != 0 && m.Kind == msg.KindLoadReq && m.Addr == traceAddr {
+		w := b.lookup(b.lineAddrOf(m.Addr))
+		v := int32(-999)
+		if w >= 0 {
+			set := b.setOf(b.lineAddrOf(m.Addr))
+			v = int32(b.lines[set*b.ways+w].data[(m.Addr-b.lineAddrOf(m.Addr))/4])
+		}
+		fmt.Printf("[%d] bank%d LOAD addr=%#x cached=%d from core %d\n", now, b.ID, m.Addr, v, m.Src)
+	}
+	lineAddr, kStart, kEnd, ok := b.portion(m)
+	if !ok {
+		return true // error already recorded; drop
+	}
+	if kEnd == kStart {
+		return true // empty prefix portion: nothing to serve
+	}
+	if w := b.lookup(lineAddr); w >= 0 {
+		if len(b.jobs) >= b.cfg.LLCRespJobs {
+			return false // response queue full
+		}
+		set := b.setOf(lineAddr)
+		b.touch(set, w)
+		b.st.Accesses++
+		if m.Kind == msg.KindVloadReq {
+			b.st.WideReqs++
+		}
+		b.jobs = append(b.jobs, b.makeJob(m, &b.lines[set*b.ways+w], lineAddr, kStart, kEnd))
+		return true
+	}
+	mi, isNew := b.mshrFor(lineAddr)
+	if mi < 0 {
+		return false
+	}
+	b.st.Accesses++
+	b.st.Misses++
+	if m.Kind == msg.KindVloadReq {
+		b.st.WideReqs++
+	}
+	if isNew {
+		b.dram.Read(now, lineAddr, b.lineBytes, b.ID)
+	}
+	b.mshr[mi].events = append(b.mshr[mi].events, mshrEvent{req: m})
+	return true
+}
+
+// mshrFor returns the index of an MSHR tracking lineAddr, allocating one if
+// needed. Returns (-1, false) when none is free.
+func (b *LLCBank) mshrFor(lineAddr uint32) (int, bool) {
+	free := -1
+	for i := range b.mshr {
+		if b.mshr[i].busy && b.mshr[i].lineAddr == lineAddr {
+			return i, false
+		}
+		if !b.mshr[i].busy && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		return -1, false
+	}
+	b.mshr[free] = llcMSHR{busy: true, lineAddr: lineAddr}
+	return free, true
+}
+
+func (b *LLCBank) makeJob(m msg.Message, l *llcLine, lineAddr uint32, kStart, kEnd int) respJob {
+	skewBase := b.lineAddrOf(m.Addr)
+	var firstWordInLine int
+	if lineAddr == skewBase {
+		firstWordInLine = int(m.Addr-skewBase)/4 + kStart
+	} else {
+		firstWordInLine = 0 // prefix: starts at the head of the next line
+	}
+	n := kEnd - kStart
+	data := make([]uint32, n)
+	copy(data, l.data[firstWordInLine:firstWordInLine+n])
+	return respJob{req: m, kStart: kStart, data: data}
+}
+
+// Install receives a completed DRAM fill for this bank: evict a victim,
+// install the line, apply coalesced stores, and queue waiting responses.
+func (b *LLCBank) Install(now int64, lineAddr uint32) {
+	mi := -1
+	for i := range b.mshr {
+		if b.mshr[i].busy && b.mshr[i].lineAddr == lineAddr {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 {
+		b.fail("fill for %#x with no MSHR", lineAddr)
+		return
+	}
+	set := b.setOf(lineAddr)
+	w := b.victim(set)
+	l := &b.lines[set*b.ways+w]
+	if l.valid && l.dirty {
+		b.dram.Write(now, l.addr, l.data, b.ID)
+		b.st.Writebacks++
+	}
+	l.valid = true
+	l.dirty = false
+	l.addr = lineAddr
+	b.global.ReadLine(lineAddr, l.data)
+	b.touch(set, w)
+	// Replay coalesced requests in arrival order: loads snapshot the line
+	// as of their position, so they never observe later stores.
+	for _, ev := range b.mshr[mi].events {
+		if ev.isStore {
+			l.data[ev.store.off] = ev.store.val
+			l.dirty = true
+			continue
+		}
+		m := ev.req
+		la, kStart, kEnd, ok := b.portion(m)
+		if !ok || kEnd == kStart {
+			continue
+		}
+		if la != lineAddr {
+			b.fail("waiting request line %#x != fill %#x", la, lineAddr)
+			continue
+		}
+		// Fills may exceed the hit-path job cap transiently; bounding only
+		// the hit path keeps the bank deadlock-free.
+		b.jobs = append(b.jobs, b.makeJob(m, l, lineAddr, kStart, kEnd))
+	}
+	b.mshr[mi] = llcMSHR{}
+}
+
+// streamResponses emits at most one flit per cycle from the head job,
+// carrying up to NetWidthWords consecutive words for a single destination.
+func (b *LLCBank) streamResponses(now int64) {
+	if len(b.jobs) == 0 {
+		return
+	}
+	j := &b.jobs[0]
+	m := j.req
+	if m.Kind == msg.KindLoadReq {
+		resp := msg.Message{
+			Kind: msg.KindLoadResp, Src: b.node, Dst: m.Src,
+			Vals: []uint32{j.data[0]}, Words: 1, LQSlot: m.LQSlot, Addr: m.Addr,
+		}
+		if b.out.TrySend(resp) {
+			b.st.RespWords++
+			b.jobs = b.jobs[1:]
+		}
+		return
+	}
+	// Wide access: bundle consecutive words for the same tile.
+	k := j.kStart + j.sent
+	tile, off, ok := b.destOf(m, k)
+	if !ok {
+		b.jobs = b.jobs[1:]
+		return
+	}
+	maxW := b.cfg.NetWidthWords
+	vals := []uint32{j.data[j.sent]}
+	for len(vals) < maxW && j.sent+len(vals) < len(j.data) {
+		nk := j.kStart + j.sent + len(vals)
+		nt, noff, ok2 := b.destOf(m, nk)
+		if !ok2 || nt != tile || noff != off+uint32(4*len(vals)) {
+			break
+		}
+		vals = append(vals, j.data[j.sent+len(vals)])
+	}
+	resp := msg.Message{
+		Kind: msg.KindSpadWord, Src: b.node, Dst: tile,
+		Vals: vals, Words: len(vals), SpadOff: off,
+	}
+	if !b.out.TrySend(resp) {
+		return
+	}
+	b.st.RespWords += int64(len(vals))
+	j.sent += len(vals)
+	if j.sent == len(j.data) {
+		b.jobs = b.jobs[1:]
+	}
+}
+
+// FlushTo writes every dirty line back to the global store (end of
+// simulation, so the harness can validate results).
+func (b *LLCBank) FlushTo(g *Global) {
+	for i := range b.lines {
+		l := &b.lines[i]
+		if l.valid && l.dirty {
+			g.WriteLine(l.addr, l.data)
+			l.dirty = false
+		}
+	}
+}

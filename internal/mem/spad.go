@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"fmt"
+
+	"rockcress/internal/stats"
+)
+
+// Scratchpad is a tile's explicitly managed local memory, augmented with
+// the frame counters of §3.3: a fixed number of hardware counters track how
+// many words have arrived in each open frame, allowing out-of-order arrival
+// within a frame while enforcing in-order consumption of frames.
+//
+// The frame region occupies the bottom of the scratchpad
+// (frameWords*numFrames words); the rest is free for program data.
+type Scratchpad struct {
+	tile     int
+	words    []uint32
+	hwFrames int // hardware counters (paper: five 10-bit counters)
+
+	frameWords int // words per frame (0 until configured)
+	numFrames  int
+	counters   []int
+	headSeq    int64
+
+	st  *stats.Core
+	err error
+}
+
+// NewScratchpad builds a scratchpad of the given byte size with the given
+// number of hardware frame counters.
+func NewScratchpad(tile, bytes, hwFrames int, st *stats.Core) *Scratchpad {
+	if bytes%4 != 0 || bytes <= 0 {
+		panic(fmt.Sprintf("mem: scratchpad size %d must be a positive word multiple", bytes))
+	}
+	return &Scratchpad{tile: tile, words: make([]uint32, bytes/4), hwFrames: hwFrames, st: st}
+}
+
+// Err returns the first invariant violation observed, if any.
+func (s *Scratchpad) Err() error { return s.err }
+
+func (s *Scratchpad) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("scratchpad %d: %s", s.tile, fmt.Sprintf(format, args...))
+	}
+}
+
+// SizeBytes returns the scratchpad capacity.
+func (s *Scratchpad) SizeBytes() int { return len(s.words) * 4 }
+
+// FrameRegionBytes returns the bytes reserved for the frame queue.
+func (s *Scratchpad) FrameRegionBytes() int { return s.frameWords * s.numFrames * 4 }
+
+// NumFrames returns the configured frame-window depth.
+func (s *Scratchpad) NumFrames() int { return s.numFrames }
+
+// FrameWords returns the configured frame size in words.
+func (s *Scratchpad) FrameWords() int { return s.frameWords }
+
+// Configure sets the frame size and count (the CsrFrameCfg write in §2.3.1)
+// and resets the queue. frames may not exceed the hardware counters.
+func (s *Scratchpad) Configure(frameWords, frames int) {
+	if frameWords <= 0 || frames <= 0 {
+		s.fail("frame config %dx%d must be positive", frameWords, frames)
+		return
+	}
+	if frames > s.hwFrames {
+		s.fail("configured frames %d exceed %d hardware counters", frames, s.hwFrames)
+		return
+	}
+	if frameWords*frames > len(s.words) {
+		s.fail("frame region %d words exceeds scratchpad %d words", frameWords*frames, len(s.words))
+		return
+	}
+	s.frameWords = frameWords
+	s.numFrames = frames
+	s.counters = make([]int, frames)
+	s.headSeq = 0
+}
+
+func (s *Scratchpad) checkOff(off uint32) bool {
+	if off%4 != 0 {
+		s.fail("unaligned access at offset %#x", off)
+		return false
+	}
+	if int(off/4) >= len(s.words) {
+		s.fail("access at offset %#x beyond %d bytes", off, s.SizeBytes())
+		return false
+	}
+	return true
+}
+
+// ReadWord performs a program load from the scratchpad.
+func (s *Scratchpad) ReadWord(off uint32) uint32 {
+	if !s.checkOff(off) {
+		return 0
+	}
+	s.st.SpadReads++
+	return s.words[off/4]
+}
+
+// WriteWord performs a program store (local or remote) to the scratchpad.
+func (s *Scratchpad) WriteWord(off uint32, v uint32) {
+	if !s.checkOff(off) {
+		return
+	}
+	s.st.SpadWrites++
+	s.words[off/4] = v
+}
+
+// ArriveWord delivers one word of vload data from the data network. Words
+// landing inside the frame region increment the owning frame's counter;
+// arrival order within a frame does not matter (§3.3).
+func (s *Scratchpad) ArriveWord(off uint32, v uint32) {
+	if !s.checkOff(off) {
+		return
+	}
+	s.st.SpadWrites++
+	s.words[off/4] = v
+	region := uint32(s.FrameRegionBytes())
+	if s.numFrames == 0 || off >= region {
+		return
+	}
+	slot := int(off) / (s.frameWords * 4)
+	if s.counters[slot] >= s.frameWords {
+		s.fail("frame slot %d overflow: data arrived for a frame more than %d ahead of the head (paper Fig. 9)",
+			slot, s.numFrames)
+		return
+	}
+	s.counters[slot]++
+}
+
+// FrameReady reports whether the head frame is completely filled.
+func (s *Scratchpad) FrameReady() bool {
+	if s.numFrames == 0 {
+		s.fail("frame_start before frame configuration")
+		return false
+	}
+	return s.counters[s.headSeq%int64(s.numFrames)] == s.frameWords
+}
+
+// FrameBase returns the byte offset of the head frame (the frame_start
+// writeback value).
+func (s *Scratchpad) FrameBase() uint32 {
+	return uint32(s.headSeq%int64(s.numFrames)) * uint32(s.frameWords*4)
+}
+
+// FreeFrame releases the head frame (the remem instruction): its counter
+// resets and the window advances.
+func (s *Scratchpad) FreeFrame() {
+	if s.numFrames == 0 {
+		s.fail("remem before frame configuration")
+		return
+	}
+	slot := s.headSeq % int64(s.numFrames)
+	if s.counters[slot] != s.frameWords {
+		s.fail("remem on frame with %d/%d words", s.counters[slot], s.frameWords)
+		return
+	}
+	s.counters[slot] = 0
+	s.headSeq++
+	s.st.FramesConsumed++
+}
+
+// HeadSeq returns the number of frames consumed so far.
+func (s *Scratchpad) HeadSeq() int64 { return s.headSeq }

@@ -1,0 +1,89 @@
+// Package msg defines the messages that travel on the data NoC between
+// cores, LLC banks, and scratchpads. It exists below both the noc and mem
+// packages so they can share payload types without an import cycle.
+package msg
+
+import (
+	"fmt"
+
+	"rockcress/internal/isa"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+const (
+	// KindLoadReq is a scalar word-load request from a core to an LLC bank.
+	KindLoadReq Kind = iota
+	// KindStoreReq is a non-blocking word store to an LLC bank.
+	KindStoreReq
+	// KindVloadReq is a wide vector load request (paper §3.4).
+	KindVloadReq
+	// KindLoadResp returns a scalar load's word to the requesting core's
+	// load queue slot.
+	KindLoadResp
+	// KindSpadWord delivers one word of a wide load into a scratchpad,
+	// incrementing the destination frame's counter.
+	KindSpadWord
+	// KindRemoteStore is a core-to-core scratchpad store (shuffles).
+	KindRemoteStore
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLoadReq:
+		return "load-req"
+	case KindStoreReq:
+		return "store-req"
+	case KindVloadReq:
+		return "vload-req"
+	case KindLoadResp:
+		return "load-resp"
+	case KindSpadWord:
+		return "spad-word"
+	case KindRemoteStore:
+		return "remote-store"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is one NoC payload. A message occupies one flit; a KindSpadWord
+// or KindLoadResp flit may carry up to the network width in consecutive
+// words for a single destination (Words > 1).
+type Message struct {
+	Kind     Kind
+	Src, Dst int    // NoC node ids
+	Addr     uint32 // global byte address (requests)
+	Vals     []uint32
+	Words    int // request: words wanted; response: words carried
+
+	// Load responses.
+	LQSlot int // destination load-queue slot
+
+	// Wide loads.
+	SpadOff uint32 // destination scratchpad byte offset of the first word
+	Vload   isa.VloadArgs
+	Group   int // vector group id (-1 for self loads)
+	ReqCore int // tile that issued the request (for self/group fan-out)
+}
+
+// NodeSpace maps cores and LLC banks onto NoC node ids: tiles occupy
+// [0, Cores), LLC banks occupy [Cores, Cores+Banks).
+type NodeSpace struct {
+	Cores int
+	Banks int
+}
+
+// LLCNode returns the node id of bank b.
+func (s NodeSpace) LLCNode(b int) int { return s.Cores + b }
+
+// IsLLC reports whether node is an LLC bank, and which.
+func (s NodeSpace) IsLLC(node int) (int, bool) {
+	if node >= s.Cores && node < s.Cores+s.Banks {
+		return node - s.Cores, true
+	}
+	return 0, false
+}
+
+// Nodes returns the total node count.
+func (s NodeSpace) Nodes() int { return s.Cores + s.Banks }

@@ -1,0 +1,289 @@
+// Package noc models the manycore's packet-switched data mesh: XY-routed,
+// one flit per link per cycle, bounded per-link input queues with
+// backpressure, and LLC banks attached above the top row and below the
+// bottom row of each column (§3.1, §5.1).
+//
+// A flit carries one msg.Message; wide responses bundle up to the network
+// width in words, so the configured width changes flit counts rather than
+// flit size (§5.1's "on-chip net width" knob).
+package noc
+
+import (
+	"fmt"
+
+	"rockcress/internal/msg"
+)
+
+// port indexes a router's five or six ports.
+type port int
+
+const (
+	portN port = iota
+	portE
+	portS
+	portW
+	portLocal // inject from / eject to the tile's core+scratchpad
+	portLLC   // edge routers only: the column's LLC bank
+	numPorts
+)
+
+// Deliver receives a flit that has reached its destination node. It returns
+// false if the destination cannot accept it this cycle (e.g. an LLC request
+// queue is full), in which case the flit stays queued and retries.
+type Deliver func(node int, m msg.Message) bool
+
+// ring is a fixed-capacity FIFO of flits (per-link input queue). Each
+// entry caches the flit's output port at this router, computed once at
+// enqueue time (XY routing is static, so the decision never changes).
+type ring struct {
+	buf  []msg.Message
+	outs []port
+	head int
+	n    int
+}
+
+func (r *ring) init(capacity int) {
+	r.buf = make([]msg.Message, capacity)
+	r.outs = make([]port, capacity)
+}
+
+func (r *ring) full() bool  { return r.n == len(r.buf) }
+func (r *ring) empty() bool { return r.n == 0 }
+
+func (r *ring) push(m msg.Message, out port) {
+	i := (r.head + r.n) % len(r.buf)
+	r.buf[i] = m
+	r.outs[i] = out
+	r.n++
+}
+
+func (r *ring) headOut() port { return r.outs[r.head] }
+
+func (r *ring) pop() msg.Message {
+	m := r.buf[r.head]
+	r.buf[r.head] = msg.Message{} // drop references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m
+}
+
+// Mesh is the data network.
+type Mesh struct {
+	w, h    int
+	space   msg.NodeSpace
+	queues  []ring // router*numPorts + port
+	rrPtr   []uint8
+	occ     []int32 // flits buffered per router
+	cap     int
+	deliver Deliver
+
+	incoming []int8 // per (router,port) reservation scratch
+	moves    []move
+
+	// Stats.
+	Flits int64 // flits injected
+	Hops  int64 // link traversals
+}
+
+type move struct {
+	tile   int
+	in     port
+	out    port
+	toTile int // destination router for link moves; -1 for delivery
+}
+
+// New builds a w x h mesh with the given per-link queue capacity. banks is
+// the number of LLC nodes (first half above row 0, second half below row
+// h-1, one per column).
+func New(w, h, banks, queueCap int, deliver Deliver) *Mesh {
+	if banks > 2*w {
+		panic(fmt.Sprintf("noc: %d banks exceed 2x mesh width %d", banks, w))
+	}
+	m := &Mesh{
+		w: w, h: h,
+		space:    msg.NodeSpace{Cores: w * h, Banks: banks},
+		queues:   make([]ring, w*h*int(numPorts)),
+		rrPtr:    make([]uint8, w*h*int(numPorts)),
+		occ:      make([]int32, w*h),
+		cap:      queueCap,
+		deliver:  deliver,
+		incoming: make([]int8, w*h*int(numPorts)),
+	}
+	for i := range m.queues {
+		m.queues[i].init(queueCap)
+	}
+	return m
+}
+
+// Space returns the node-id layout.
+func (m *Mesh) Space() msg.NodeSpace { return m.space }
+
+func (m *Mesh) q(tile int, p port) *ring { return &m.queues[tile*int(numPorts)+int(p)] }
+
+// attachTile returns the router a node hangs off, and the port it uses.
+func (m *Mesh) attachTile(node int) (tile int, p port) {
+	if bank, ok := m.space.IsLLC(node); ok {
+		if bank < m.w {
+			return bank, portLLC // above top row, column = bank
+		}
+		return (m.h-1)*m.w + (bank - m.w), portLLC
+	}
+	return node, portLocal
+}
+
+// TrySend injects a flit at src's router. Returns false when the local
+// injection queue is full.
+func (m *Mesh) TrySend(f msg.Message) bool {
+	tile, p := m.attachTile(f.Src)
+	q := m.q(tile, p)
+	if q.full() {
+		return false
+	}
+	q.push(f, m.route(tile, f.Dst))
+	m.occ[tile]++
+	m.Flits++
+	return true
+}
+
+// route returns the output port a flit at router tile should take toward
+// dst (XY routing: X first, then Y, then the local/LLC port).
+func (m *Mesh) route(tile int, dst int) port {
+	dtile, dport := m.attachTile(dst)
+	c, dc := tile%m.w, dtile%m.w
+	switch {
+	case c < dc:
+		return portE
+	case c > dc:
+		return portW
+	}
+	r, dr := tile/m.w, dtile/m.w
+	switch {
+	case r < dr:
+		return portS
+	case r > dr:
+		return portN
+	default:
+		return dport
+	}
+}
+
+// Tick advances the network one cycle: every output link moves at most one
+// flit, chosen round-robin among input queues whose head routes to it.
+// Moves are computed against pre-tick state, so a flit advances at most one
+// hop per cycle. Routers with no buffered flits are skipped entirely.
+func (m *Mesh) Tick() {
+	moves := m.moves[:0]
+	incoming := m.incoming
+	for tile := range m.occ {
+		if m.occ[tile] == 0 {
+			continue
+		}
+		base := tile * int(numPorts)
+		// Each non-empty input nominates its head flit's (cached) output.
+		var want [numPorts]int8
+		any := false
+		for in := 0; in < int(numPorts); in++ {
+			q := &m.queues[base+in]
+			if q.empty() {
+				want[in] = -1
+				continue
+			}
+			want[in] = int8(q.headOut())
+			any = true
+		}
+		if !any {
+			continue
+		}
+		// Per output, pick the round-robin-first nominating input.
+		for outOff := 0; outOff < int(numPorts); outOff++ {
+			start := int(m.rrPtr[base+outOff])
+			for k := 0; k < int(numPorts); k++ {
+				in := port((start + k) % int(numPorts))
+				if int(want[in]) != outOff {
+					continue
+				}
+				out := port(outOff)
+				if out == portLocal || out == portLLC {
+					f := &m.queues[base+int(in)].buf[m.queues[base+int(in)].head]
+					if m.deliver(f.Dst, *f) {
+						moves = append(moves, move{tile: tile, in: in, out: out, toTile: -1})
+						m.rrPtr[base+outOff] = uint8((int(in) + 1) % int(numPorts))
+					}
+					break
+				}
+				nt, np := m.neighbor(tile, out)
+				key := nt*int(numPorts) + int(np)
+				if m.queues[key].n+int(incoming[key]) >= m.cap {
+					continue // downstream full; try another input
+				}
+				incoming[key]++
+				moves = append(moves, move{tile: tile, in: in, out: out, toTile: nt})
+				m.rrPtr[base+outOff] = uint8((int(in) + 1) % int(numPorts))
+				break
+			}
+		}
+	}
+	// Apply: pop winners, push link moves downstream.
+	for i := range moves {
+		mv := &moves[i]
+		f := m.q(mv.tile, mv.in).pop()
+		m.occ[mv.tile]--
+		if mv.toTile >= 0 {
+			np := opposite(mv.out)
+			key := mv.toTile*int(numPorts) + int(np)
+			m.queues[key].push(f, m.route(mv.toTile, f.Dst))
+			m.occ[mv.toTile]++
+			m.Hops++
+			incoming[key] = 0
+		}
+	}
+	m.moves = moves[:0]
+}
+
+// neighbor returns the router and input port reached by leaving tile via out.
+func (m *Mesh) neighbor(tile int, out port) (int, port) {
+	switch out {
+	case portN:
+		return tile - m.w, portS
+	case portS:
+		return tile + m.w, portN
+	case portE:
+		return tile + 1, portW
+	case portW:
+		return tile - 1, portE
+	}
+	panic(fmt.Sprintf("noc: neighbor via non-link port %d", out))
+}
+
+func opposite(p port) port {
+	switch p {
+	case portN:
+		return portS
+	case portS:
+		return portN
+	case portE:
+		return portW
+	case portW:
+		return portE
+	}
+	panic(fmt.Sprintf("noc: opposite of non-link port %d", p))
+}
+
+// Busy reports whether any flit is queued anywhere (quiescence check).
+func (m *Mesh) Busy() bool {
+	for _, n := range m.occ {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedFlits counts flits currently buffered in the mesh.
+func (m *Mesh) QueuedFlits() int {
+	n := 0
+	for _, o := range m.occ {
+		n += int(o)
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rockcress/internal/config"
+	"rockcress/internal/isa"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := New("t")
+	r1 := b.Int()
+	f1 := b.Fp()
+	b.Li(r1, 42)
+	b.FliF(f1, 1.5)
+	b.Label("top")
+	b.Addi(r1, r1, -1)
+	b.Bne(r1, isa.X0, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["top"] != 3 {
+		t.Fatalf("label at %d, want 3", p.Labels["top"])
+	}
+	if p.Code[4].Imm != 3 {
+		t.Fatalf("branch target %d", p.Code[4].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label not reported")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label not reported")
+	}
+}
+
+func TestMicrothreadPlacement(t *testing.T) {
+	b := New("t")
+	acc := b.Fp()
+	mt, n := b.Microthread(func() {
+		b.Fadd(acc, acc, acc)
+	})
+	b.VIssueAt(mt)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // body + vend
+		t.Fatalf("microthread length %d, want 2", n)
+	}
+	// Microthreads live after the main stream; the vissue points there.
+	target := int(p.Code[0].Imm)
+	if target < 2 || p.Code[target].Op != isa.OpFadd {
+		t.Fatalf("vissue target %d -> %s", target, p.Code[target].Op)
+	}
+	if p.Code[target+1].Op != isa.OpVend {
+		t.Fatal("microthread not vend-terminated")
+	}
+}
+
+func TestMicrothreadFreeIsIgnored(t *testing.T) {
+	b := New("t")
+	var inside isa.Reg
+	b.Microthread(func() {
+		inside = b.Int()
+		b.Li(inside, 1)
+		b.FreeInt(inside) // must be a no-op: lanes share the file
+	})
+	outside := b.Int()
+	if outside == inside {
+		t.Fatalf("register %d recycled out of a microthread body", inside)
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := New("t")
+	for i := 0; i < isa.NumIntRegs; i++ {
+		b.Int()
+	}
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("register exhaustion not reported")
+	}
+}
+
+func TestForIEmpty(t *testing.T) {
+	b := New("t")
+	i := b.Int()
+	b.ForI(i, 5, 5, 1, func() { b.Nop() })
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 1 {
+		t.Fatalf("statically empty loop emitted %d instructions", len(p.Code))
+	}
+}
+
+// TestAheadOffsetProperties checks the §4.2 bound behaves sanely: it never
+// exceeds the counters minus the inet allowance, never goes negative, and
+// is monotonically non-increasing in the group side (longer forwarding
+// paths leave less runahead).
+func TestAheadOffsetProperties(t *testing.T) {
+	cfg := config.ManycoreDefault()
+	fn := func(sideRaw, mtLenRaw uint8) bool {
+		side := 1 + int(sideRaw%4) // 1..4
+		mtLen := 1 + int(mtLenRaw)%300
+		a := AheadOffset(cfg, side, mtLen)
+		if a < 0 || a > cfg.FrameCounters-cfg.InetQueueEntries {
+			return false
+		}
+		if side < 4 {
+			if AheadOffset(cfg, side+1, mtLen) > a {
+				return false
+			}
+		}
+		// Longer microthreads tolerate more runahead.
+		if AheadOffset(cfg, side, mtLen+50) < a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVloadEmission(t *testing.T) {
+	b := New("t")
+	addr, off := b.Int(), b.Int()
+	b.VLoad(isa.VloadGroup, addr, off, 0, 4, true)
+	b.VLoadUnaligned(isa.VloadSelf, addr, off, 0, 16, false)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Vl.Dist != isa.VloadGroup || p.Code[0].Vl.Part != isa.VloadWhole {
+		t.Fatalf("bad aligned vload: %+v", p.Code[0].Vl)
+	}
+	if p.Code[1].Vl.Part != isa.VloadSuffix || p.Code[2].Vl.Part != isa.VloadPrefix {
+		t.Fatal("unaligned pair not emitted as suffix+prefix")
+	}
+	if p.Code[1].Vl.Dist != isa.VloadSelf || p.Code[2].Vl.Dist != isa.VloadSelf {
+		t.Fatal("pair distribution wrong")
+	}
+}

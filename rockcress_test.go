@@ -1,0 +1,54 @@
+package rockcress_test
+
+import (
+	"testing"
+
+	"rockcress"
+)
+
+// TestPublicAPI exercises the façade end to end: enumerate the suite, run a
+// benchmark through a vector configuration, and assemble a program.
+func TestPublicAPI(t *testing.T) {
+	if len(rockcress.Benchmarks()) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(rockcress.Benchmarks()))
+	}
+	if len(rockcress.Configs()) != 10 {
+		t.Fatalf("%d Table 3 presets, want 10", len(rockcress.Configs()))
+	}
+	res, err := rockcress.RunBenchmark("gemm", "V4", rockcress.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles() <= 0 {
+		t.Fatal("no cycles")
+	}
+	if res.Energy.OnChip() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	p, err := rockcress.Assemble("t", "li x1, 3\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Fatal("assembler broken through the façade")
+	}
+	hw := rockcress.DefaultManycore()
+	groups, err := rockcress.MakeGroups(hw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("V16 layout: %d groups, want 3", len(groups))
+	}
+}
+
+// TestGPUPath runs a benchmark on the GPU model through the façade.
+func TestGPUPath(t *testing.T) {
+	res, err := rockcress.RunBenchmark("gemm", "GPU", rockcress.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GPU == nil || res.GPU.Cycles <= 0 {
+		t.Fatal("GPU stats missing")
+	}
+}
