@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rockbench -table 1a|1b|2|3
-//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs [-scale small|full] [-bench name,...]
+//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault [-scale small|full] [-bench name,...]
 //	rockbench -all [-scale small|full]
 //
 // Absolute cycle counts are the simulator's, not the paper's gem5 testbed;
@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		tableName = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
-		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs")
+		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault")
 		allFlag   = flag.Bool("all", false, "regenerate every table and figure")
 		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
@@ -63,6 +63,9 @@ func main() {
 		"17b": func() error { return r.Fig17b(out) },
 		"17c": func() error { return r.Fig17c(out) },
 		"bfs": func() error { return r.BFS(out) },
+		// Not part of the paper: the fault-injection degradation curve
+		// (ROADMAP robustness extension). Excluded from -all.
+		"fault": func() error { return r.FigFault(out) },
 	}
 	if *figName != "" {
 		fn, ok := figs[*figName]

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	rocksim -bench gemm -config V4 [-scale small] [-v]
+//	rocksim -bench mvt -config V4 -faults "seed=42;kill@3000:t12"
 //
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
-// V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU.
+// V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
+// schedule syntax is documented in internal/fault (kill, drop, corrupt,
+// stick, flip events); the run degrades gracefully and reports what died.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"rockcress/internal/asm"
 	"rockcress/internal/config"
+	"rockcress/internal/fault"
 	"rockcress/internal/kernels"
 )
 
@@ -27,6 +31,7 @@ func main() {
 		maxCycles = flag.Int64("max-cycles", kernels.DefaultMaxCycles, "simulation budget")
 		verbose   = flag.Bool("v", false, "print per-core CPI stack and energy split")
 		dumpAsm   = flag.Bool("dump-asm", false, "print the built program's disassembly and exit")
+		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req"`)
 	)
 	flag.Parse()
 
@@ -50,6 +55,14 @@ func main() {
 		}
 		return
 	}
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		runFaulted(bench, scale, sw, *maxCycles, plan, *verbose)
+		return
+	}
 	res, err := kernels.Execute(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), *maxCycles)
 	if err != nil {
 		fatal(err)
@@ -69,6 +82,30 @@ func main() {
 		fmt.Printf("energy: %s\n", res.Energy)
 		fmt.Printf("vloads: %d microthreads: %d remote stores: %d\n",
 			sumVloads(res), sumMts(res), res.Stats.RemoteStores)
+	}
+}
+
+// runFaulted runs the benchmark under a fault schedule via the graceful
+// degradation harness and prints the final statistics plus what it cost.
+func runFaulted(bench kernels.Benchmark, scale kernels.Scale, sw config.Software,
+	maxCycles int64, plan *fault.Plan, verbose bool) {
+	fr, err := kernels.ExecuteWithFaults(bench, bench.Defaults(scale), sw,
+		config.ManycoreDefault(), maxCycles, plan)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s / %s (%s scale, faults: %s)\n", fr.Result.Bench, fr.Result.Config, scale, plan)
+	fmt.Print(fr.Result.Stats.Summary())
+	fmt.Printf("result check: passed (vs serial reference)\n")
+	if fr.Report != nil {
+		fmt.Printf("faults: %s\n", fr.Report)
+	}
+	fmt.Printf("attempts: %d  total cycles incl. aborted attempts: %d\n", fr.Attempts, fr.TotalCycles)
+	if fr.MIMDFallback {
+		fmt.Println("vector groups could not re-form: finished in MIMD fallback")
+	}
+	if verbose {
+		fmt.Printf("energy: %s\n", fr.Result.Energy)
 	}
 }
 

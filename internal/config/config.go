@@ -92,6 +92,42 @@ func (m Manycore) Validate() error {
 	if m.SpadBytes%m.CacheLineBytes != 0 {
 		return fmt.Errorf("scratchpad %dB must be a line multiple", m.SpadBytes)
 	}
+	if m.SpadBytes <= 0 {
+		return fmt.Errorf("scratchpad size must be positive")
+	}
+	if m.InetQueueEntries < 1 {
+		return fmt.Errorf("inet queue entries %d must be at least 1", m.InetQueueEntries)
+	}
+	if m.LoadQueueEntries < 1 {
+		return fmt.Errorf("load queue entries %d must be at least 1", m.LoadQueueEntries)
+	}
+	if m.LinkQueue < 1 {
+		return fmt.Errorf("noc link queue %d must be at least 1", m.LinkQueue)
+	}
+	if m.DRAMLatency < 0 || m.DRAMBandwidth < 1 {
+		return fmt.Errorf("dram latency %d / bandwidth %d out of range", m.DRAMLatency, m.DRAMBandwidth)
+	}
+	// The LLC and I-cache index with bit masks, so their set counts must be
+	// powers of two; checking here keeps the constructors' invariant panics
+	// unreachable from any validated configuration.
+	if m.LLCBanks > 0 {
+		sets := m.LLCBytes / m.LLCBanks / (m.CacheLineBytes * m.LLCWays)
+		if sets < 1 {
+			sets = 1
+		}
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("llc sets per bank %d must be a power of two", sets)
+		}
+	}
+	if m.ICacheBytes > 0 {
+		sets := m.ICacheBytes / (m.ICacheWays * m.CacheLineBytes)
+		if sets < 1 {
+			sets = 1
+		}
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("icache sets %d must be a power of two", sets)
+		}
+	}
 	return nil
 }
 

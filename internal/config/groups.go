@@ -97,8 +97,35 @@ func MakeGroups(mc Manycore, vlen int) ([]*Group, error) {
 			}, nil
 		}
 	}
+	return greedyGroups(mc, m, make([]bool, mc.MeshWidth*mc.MeshHeight)), nil
+}
+
+// Reform re-packs vector groups on a degraded fabric, excluding the tiles
+// in avoid (dead lanes/scalars/expanders). It always uses the greedy placer
+// — the canonical 8x8 packings assume a fully healthy mesh — so reformation
+// trades peak utilization for fault tolerance. An empty group list (not an
+// error) means no complete group fits; the caller falls back to MIMD on the
+// survivors.
+func Reform(mc Manycore, vlen int, avoid []int) ([]*Group, error) {
+	m, err := sideOf(vlen)
+	if err != nil {
+		return nil, err
+	}
+	used := make([]bool, mc.MeshWidth*mc.MeshHeight)
+	for _, t := range avoid {
+		if t < 0 || t >= len(used) {
+			return nil, fmt.Errorf("config: avoid tile %d out of range [0,%d)", t, len(used))
+		}
+		used[t] = true
+	}
+	return greedyGroups(mc, m, used), nil
+}
+
+// greedyGroups is the placer shared by MakeGroups (non-8x8 meshes) and
+// Reform: scan row-major for a free m x m square with a free scalar tile
+// adjacent to one of its corners. Tiles pre-marked in used are never touched.
+func greedyGroups(mc Manycore, m int, used []bool) []*Group {
 	w, h := mc.MeshWidth, mc.MeshHeight
-	used := make([]bool, w*h)
 	var groups []*Group
 	tile := func(r, c int) int { return r*w + c }
 	inBounds := func(r, c int) bool { return r >= 0 && r < h && c >= 0 && c < w }
@@ -154,7 +181,7 @@ func MakeGroups(mc Manycore, vlen int) ([]*Group, error) {
 			groups = append(groups, g)
 		}
 	}
-	return groups, nil
+	return groups
 }
 
 // buildGroup assembles a group's lane list, BFS forwarding tree, and hops.

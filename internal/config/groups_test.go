@@ -67,6 +67,57 @@ func TestGreedyFallback(t *testing.T) {
 	}
 }
 
+// TestReform checks degraded re-packing: dead tiles are never placed, the
+// result still validates, and utilization degrades gracefully rather than
+// collapsing.
+func TestReform(t *testing.T) {
+	mc := ManycoreDefault()
+	avoid := []int{0, 9, 27} // a V4 scalar-square region plus two strays
+	gs, err := Reform(mc, 4, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) < 10 {
+		t.Fatalf("only %d V4 groups reformed around 3 dead tiles", len(gs))
+	}
+	if err := ValidateGroups(mc, gs); err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{}
+	for _, d := range avoid {
+		dead[d] = true
+	}
+	for _, g := range gs {
+		for _, tile := range g.Tiles() {
+			if dead[tile] {
+				t.Fatalf("group %d placed on dead tile %d", g.ID, tile)
+			}
+		}
+	}
+	// V16 squeezed by dead tiles still forms at least one group...
+	gs16, err := Reform(mc, 16, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs16) == 0 {
+		t.Fatal("no V16 groups reformed around 3 dead tiles")
+	}
+	// ...but killing the center 2x2 (every possible 4x4 window contains one
+	// of these tiles) leaves no V16 placement: Reform reports zero groups
+	// (MIMD fallback), not an error.
+	center := []int{27, 28, 35, 36}
+	gs16, err = Reform(mc, 16, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs16) != 0 {
+		t.Fatalf("expected no V16 groups on a diagonal-killed mesh, got %d", len(gs16))
+	}
+	if _, err := Reform(mc, 4, []int{99}); err == nil {
+		t.Fatal("out-of-range avoid tile accepted")
+	}
+}
+
 func TestNonSquareVlen(t *testing.T) {
 	if _, err := MakeGroups(ManycoreDefault(), 6); err == nil {
 		t.Fatal("vlen 6 should be rejected")

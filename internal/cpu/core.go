@@ -96,6 +96,7 @@ type Core struct {
 	state   coreState
 	ticket  int64
 	halted  bool
+	dead    bool // killed by fault injection (halted is also set)
 	predOn  bool
 	mtCount int64
 
@@ -158,6 +159,58 @@ func New(id int, cfg config.Manycore, prog *isa.Program, env Env, st *stats.Core
 
 // Halted reports whether the core has executed halt.
 func (c *Core) Halted() bool { return c.halted }
+
+// Dead reports whether the core was killed by fault injection.
+func (c *Core) Dead() bool { return c.dead }
+
+// InBarrier reports whether the core is parked at the global barrier (the
+// machine adjusts the barrier's arrival count when such a core dies or is
+// forcibly disbanded).
+func (c *Core) InBarrier() bool { return !c.halted && c.state == stBarrier }
+
+// Kill powers the core off (fault injection). In-flight loads are discarded
+// — responses to a dead tile are dropped, not errors.
+func (c *Core) Kill() {
+	c.dead = true
+	c.halted = true
+	for i := range c.lq {
+		c.lq[i].busy = false
+	}
+}
+
+// ForceHalt stops the core without marking it dead (a survivor of a broken
+// group with no recovery point).
+func (c *Core) ForceHalt() { c.halted = true }
+
+// ForceDisband yanks the core out of its vector group after a member died:
+// whatever it was doing (lane execution, barrier wait, group formation) is
+// abandoned and it resumes in independent MIMD mode at pc (the program's
+// recovery point). The inet queue is cleared — the group's instruction
+// stream is dead.
+func (c *Core) ForceDisband(now int64, pc int) {
+	if c.halted {
+		return
+	}
+	if c.inQ != nil {
+		c.inQ.Reset()
+	}
+	c.state = stRun
+	c.mode = ModeIndependent
+	c.mtActive = false
+	c.predOn = true
+	c.setPC(pc)
+	c.fetchReadyAt = now + 1
+}
+
+// StickInet freezes the core's inet input queue until the given cycle
+// (fault injection). Reports whether the tile has an inet queue to stick.
+func (c *Core) StickInet(until int64) bool {
+	if c.inQ == nil {
+		return false
+	}
+	c.inQ.StickUntil(until)
+	return true
+}
 
 // Mode returns the core's current execution mode.
 func (c *Core) Mode() Mode { return c.mode }
@@ -438,6 +491,9 @@ func (c *Core) mustForwardAll(now int64, it inet.Item) {
 
 // OnLoadResp delivers a memory word to the load queue (machine callback).
 func (c *Core) OnLoadResp(now int64, m msg.Message) {
+	if c.dead {
+		return // response raced the tile's death; drop it
+	}
 	if m.LQSlot < 0 || m.LQSlot >= len(c.lq) || !c.lq[m.LQSlot].busy {
 		c.fail("load response for idle LQ slot %d", m.LQSlot)
 		return

@@ -1,0 +1,353 @@
+// Package fault is the deterministic fault-injection layer: a seeded,
+// schedule-driven injector the machine consults each cycle. A Plan is an
+// immutable schedule of events (kill a tile, drop/corrupt NoC flits on a
+// link, stick an inet queue, flip a scratchpad word); an Injector binds one
+// Plan to one machine run, so restarting a run on a degraded fabric starts
+// from fresh RNG state and the simulation stays bit-reproducible.
+//
+// The machine treats a nil Plan as zero-cost: no injector is created, no
+// link judge is installed, and the fault-free cycle loop is untouched.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates fault events.
+type Kind uint8
+
+const (
+	// KillTile powers tile T off at cycle C: the core stops, its
+	// scratchpad is decommissioned, and any vector group containing the
+	// tile is broken (survivors fall back to the program's recovery path).
+	KillTile Kind = iota
+	// DropFlit loses NoC flits crossing link From->To with probability
+	// Prob during [Cycle, Until). The per-link retry protocol repairs the
+	// loss (bounded retransmit with backoff).
+	DropFlit
+	// CorruptFlit damages flits in transit with probability Prob; the
+	// receiver's CRC detects the damage and the link retransmits, so a
+	// corrupt flit costs latency but never propagates bad data.
+	CorruptFlit
+	// StickInetQueue freezes tile T's inet input queue for Duration
+	// cycles starting at Cycle (a transient forwarding-fabric hang).
+	StickInetQueue
+	// FlipSpadWord flips bit Bit of the scratchpad word at byte offset
+	// Offset on tile T at cycle C: silent data corruption, detected only
+	// by the harness's reference check.
+	FlipSpadWord
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KillTile:
+		return "kill"
+	case DropFlit:
+		return "drop"
+	case CorruptFlit:
+		return "corrupt"
+	case StickInetQueue:
+		return "stick"
+	case FlipSpadWord:
+		return "flip"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Plane selects which physical mesh plane a link fault applies to.
+type Plane uint8
+
+const (
+	PlaneBoth Plane = iota
+	PlaneReq
+	PlaneResp
+)
+
+func (p Plane) String() string {
+	switch p {
+	case PlaneReq:
+		return "req"
+	case PlaneResp:
+		return "resp"
+	}
+	return "both"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind  Kind
+	Cycle int64 // activation cycle (window start for link faults)
+	Until int64 // window end, exclusive; 0 = open-ended (link faults only)
+
+	Tile     int     // KillTile, StickInetQueue, FlipSpadWord
+	From, To int     // link endpoints (mesh-adjacent tiles) for link faults
+	Plane    Plane   // which mesh plane a link fault hits
+	Prob     float64 // per-traversal drop/corrupt probability
+	Duration int64   // StickInetQueue: cycles the queue stays frozen
+	Offset   uint32  // FlipSpadWord: byte offset
+	Bit      uint8   // FlipSpadWord: bit index (0..31)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KillTile:
+		return fmt.Sprintf("kill@%d:t%d", e.Cycle, e.Tile)
+	case DropFlit, CorruptFlit:
+		window := strconv.FormatInt(e.Cycle, 10)
+		if e.Until > 0 {
+			window += "-" + strconv.FormatInt(e.Until, 10)
+		}
+		return fmt.Sprintf("%s@%s:%d>%d:p%g:%s", e.Kind, window, e.From, e.To, e.Prob, e.Plane)
+	case StickInetQueue:
+		return fmt.Sprintf("stick@%d:t%d:d%d", e.Cycle, e.Tile, e.Duration)
+	case FlipSpadWord:
+		return fmt.Sprintf("flip@%d:t%d:o%d:b%d", e.Cycle, e.Tile, e.Offset, e.Bit)
+	}
+	return e.Kind.String()
+}
+
+// Plan is an immutable fault schedule plus the seed for its probabilistic
+// events. The zero seed is valid (and deterministic).
+type Plan struct {
+	Seed   uint64
+	Events []Event
+}
+
+// Validate checks every event against a fabric of the given size.
+func (p *Plan) Validate(cores int) error {
+	for i, e := range p.Events {
+		switch e.Kind {
+		case KillTile, StickInetQueue, FlipSpadWord:
+			if e.Tile < 0 || e.Tile >= cores {
+				return fmt.Errorf("fault: event %d (%s): tile %d out of range [0,%d)", i, e, e.Tile, cores)
+			}
+		case DropFlit, CorruptFlit:
+			if e.From < 0 || e.From >= cores || e.To < 0 || e.To >= cores {
+				return fmt.Errorf("fault: event %d (%s): link endpoint out of range [0,%d)", i, e, cores)
+			}
+			if e.Prob < 0 || e.Prob > 1 {
+				return fmt.Errorf("fault: event %d (%s): probability %g outside [0,1]", i, e, e.Prob)
+			}
+			if e.Until != 0 && e.Until <= e.Cycle {
+				return fmt.Errorf("fault: event %d (%s): window ends before it starts", i, e)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
+		}
+		if e.Cycle < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative cycle", i, e)
+		}
+		if e.Kind == StickInetQueue && e.Duration <= 0 {
+			return fmt.Errorf("fault: event %d (%s): stick duration must be positive", i, e)
+		}
+	}
+	return nil
+}
+
+// HasLinkFaults reports whether any event targets a NoC link (the machine
+// installs link judges on the mesh planes only when this is true, keeping
+// kill-only plans off the NoC hot path).
+func (p *Plan) HasLinkFaults() bool {
+	for _, e := range p.Events {
+		if e.Kind == DropFlit || e.Kind == CorruptFlit {
+			return true
+		}
+	}
+	return false
+}
+
+// Without returns a copy of the plan with the events at the given indices
+// removed (the harness strips events that already fired before restarting a
+// run on the degraded fabric).
+func (p *Plan) Without(fired []int) *Plan {
+	drop := make(map[int]bool, len(fired))
+	for _, i := range fired {
+		drop[i] = true
+	}
+	out := &Plan{Seed: p.Seed}
+	for i, e := range p.Events {
+		if !drop[i] {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+func (p *Plan) String() string {
+	parts := make([]string, 0, len(p.Events)+1)
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, e := range p.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// KillPlan builds a plan that kills n distinct pseudo-randomly chosen tiles
+// at staggered cycles (start, start+stride, ...). The seed fixes the victim
+// set, so the same plan hits the same tiles under every configuration — the
+// degradation-curve experiments compare like against like.
+func KillPlan(seed uint64, n, cores int, start, stride int64) *Plan {
+	if n > cores {
+		n = cores
+	}
+	r := rng{state: seed}
+	p := &Plan{Seed: seed}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		t := int(r.next() % uint64(cores))
+		for seen[t] {
+			t = (t + 1) % cores
+		}
+		seen[t] = true
+		p.Events = append(p.Events, Event{Kind: KillTile, Cycle: start + int64(i)*stride, Tile: t})
+	}
+	return p
+}
+
+// rng is splitmix64: tiny, seedable, and self-contained so fault schedules
+// never depend on the Go runtime's RNG (determinism guard).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0,1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Verdict is a link judge's decision for one flit traversal.
+type Verdict uint8
+
+const (
+	VerdictOK Verdict = iota
+	VerdictDrop
+	VerdictCorrupt
+)
+
+// Injector binds a Plan to one machine run: it owns the RNG stream, the
+// discrete-event cursor, and the fired set. Create a fresh Injector per
+// machine so restarts replay deterministically.
+type Injector struct {
+	plan  *Plan
+	rng   rng
+	disc  []int // indices of discrete events, sorted by (cycle, index)
+	cur   int   // cursor into disc
+	links []int // indices of link events
+	fired []bool
+}
+
+// NewInjector prepares a plan for one run.
+func NewInjector(p *Plan) *Injector {
+	inj := &Injector{plan: p, rng: rng{state: p.Seed}, fired: make([]bool, len(p.Events))}
+	for i, e := range p.Events {
+		if e.Kind == DropFlit || e.Kind == CorruptFlit {
+			inj.links = append(inj.links, i)
+		} else {
+			inj.disc = append(inj.disc, i)
+		}
+	}
+	sort.SliceStable(inj.disc, func(a, b int) bool {
+		return p.Events[inj.disc[a]].Cycle < p.Events[inj.disc[b]].Cycle
+	})
+	return inj
+}
+
+// NextDiscrete returns the cycle of the next pending discrete event, or
+// math.MaxInt64 when none remain. The machine compares this against the
+// clock before doing any per-cycle fault work.
+func (inj *Injector) NextDiscrete() int64 {
+	if inj.cur >= len(inj.disc) {
+		return math.MaxInt64
+	}
+	return inj.plan.Events[inj.disc[inj.cur]].Cycle
+}
+
+// TakeDiscrete pops every discrete event scheduled at or before now,
+// marking each fired.
+func (inj *Injector) TakeDiscrete(now int64) []Event {
+	var out []Event
+	for inj.cur < len(inj.disc) && inj.plan.Events[inj.disc[inj.cur]].Cycle <= now {
+		idx := inj.disc[inj.cur]
+		inj.fired[idx] = true
+		out = append(out, inj.plan.Events[idx])
+		inj.cur++
+	}
+	return out
+}
+
+// HasLinkFaults reports whether the bound plan has link events.
+func (inj *Injector) HasLinkFaults() bool { return len(inj.links) > 0 }
+
+// Judge returns the verdict for one flit crossing link from->to on the
+// given plane at cycle now. The RNG draw order follows the mesh's
+// deterministic traversal order, so verdicts are reproducible.
+func (inj *Injector) Judge(plane Plane, now int64, from, to int) Verdict {
+	for _, idx := range inj.links {
+		e := &inj.plan.Events[idx]
+		if e.From != from || e.To != to {
+			continue
+		}
+		if e.Plane != PlaneBoth && e.Plane != plane {
+			continue
+		}
+		if now < e.Cycle || (e.Until != 0 && now >= e.Until) {
+			continue
+		}
+		if inj.rng.float64() >= e.Prob {
+			continue
+		}
+		inj.fired[idx] = true
+		if e.Kind == CorruptFlit {
+			return VerdictCorrupt
+		}
+		return VerdictDrop
+	}
+	return VerdictOK
+}
+
+// Fired returns the indices (into the plan's event list) of events that
+// triggered at least once during the run.
+func (inj *Injector) Fired() []int {
+	var out []int
+	for i, f := range inj.fired {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Report summarizes what the fault layer did to one machine run. The
+// machine fills it in as faults land and degradation actions trigger.
+type Report struct {
+	DeadTiles    []int // tiles killed, in kill order
+	BrokenGroups []int // vector groups broken by a dead member
+	Fired        []int // plan event indices that fired
+	StuckQueues  int   // inet queues frozen
+	FlippedWords int   // scratchpad bits flipped
+	Retransmits  int64 // NoC link retransmissions (both planes)
+	DroppedFlits int64
+	CorruptFlits int64
+}
+
+// Degraded reports whether the fabric lost capacity during the run.
+func (r *Report) Degraded() bool { return r != nil && len(r.DeadTiles) > 0 }
+
+func (r *Report) String() string {
+	if r == nil {
+		return "no faults"
+	}
+	return fmt.Sprintf("dead=%v brokenGroups=%v stuck=%d flips=%d retrans=%d dropped=%d corrupt=%d",
+		r.DeadTiles, r.BrokenGroups, r.StuckQueues, r.FlippedWords,
+		r.Retransmits, r.DroppedFlits, r.CorruptFlits)
+}

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req;stick@2000:t9:d500;flip@2500:t3:o64:b7"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Events) != 4 {
+		t.Fatalf("seed %d, %d events", p.Seed, len(p.Events))
+	}
+	want := []Event{
+		{Kind: KillTile, Cycle: 3000, Tile: 12},
+		{Kind: DropFlit, Cycle: 1000, Until: 9000, From: 12, To: 13, Prob: 0.05, Plane: PlaneReq},
+		{Kind: StickInetQueue, Cycle: 2000, Tile: 9, Duration: 500},
+		{Kind: FlipSpadWord, Cycle: 2500, Tile: 3, Offset: 64, Bit: 7},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("events %+v\nwant %+v", p.Events, want)
+	}
+	// String must re-parse to the same plan — including the open-ended
+	// link-window form.
+	p.Events = append(p.Events, Event{Kind: CorruptFlit, Cycle: 7, From: 1, To: 2, Prob: 0.5, Plane: PlaneBoth})
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed the plan:\n%v\n%v", p, p2)
+	}
+	if err := p.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom@100:t1",       // unknown kind
+		"kill@x:t1",         // bad cycle
+		"kill@100",          // missing tile
+		"drop@0:1>2",        // missing probability
+		"drop@0:12:p0.5",    // malformed link
+		"flip@0:t1:o4:b40",  // bit out of range
+		"stick@0:t1",        // missing duration
+		"seed=zz",           // bad seed
+		"drop@0:1>2:p.5:up", // unknown plane
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Events: []Event{{Kind: KillTile, Tile: 64}}},
+		{Events: []Event{{Kind: KillTile, Tile: -1}}},
+		{Events: []Event{{Kind: DropFlit, From: 0, To: 99, Prob: 0.5}}},
+		{Events: []Event{{Kind: DropFlit, From: 0, To: 1, Prob: 1.5}}},
+		{Events: []Event{{Kind: DropFlit, From: 0, To: 1, Prob: 0.5, Cycle: 100, Until: 50}}},
+		{Events: []Event{{Kind: KillTile, Tile: 1, Cycle: -5}}},
+		{Events: []Event{{Kind: StickInetQueue, Tile: 1, Duration: 0}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(64); err == nil {
+			t.Errorf("plan %d (%v) validated", i, &bad[i])
+		}
+	}
+	ok := Plan{Events: []Event{
+		{Kind: KillTile, Tile: 63, Cycle: 1},
+		{Kind: DropFlit, From: 0, To: 1, Prob: 1, Cycle: 0},
+	}}
+	if err := ok.Validate(64); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestKillPlanDeterministic(t *testing.T) {
+	a := KillPlan(7, 8, 64, 1000, 500)
+	b := KillPlan(7, 8, 64, 1000, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different plans")
+	}
+	if len(a.Events) != 8 {
+		t.Fatalf("%d events, want 8", len(a.Events))
+	}
+	seen := map[int]bool{}
+	for i, e := range a.Events {
+		if e.Kind != KillTile {
+			t.Fatalf("event %d kind %v", i, e.Kind)
+		}
+		if seen[e.Tile] {
+			t.Fatalf("tile %d killed twice", e.Tile)
+		}
+		seen[e.Tile] = true
+		if e.Cycle != 1000+int64(i)*500 {
+			t.Errorf("event %d at cycle %d, want %d", i, e.Cycle, 1000+int64(i)*500)
+		}
+	}
+	if err := a.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	// n is clamped to the fabric size.
+	if got := len(KillPlan(7, 100, 64, 0, 1).Events); got != 64 {
+		t.Errorf("overfull kill plan has %d events, want 64", got)
+	}
+}
+
+func TestInjectorDiscrete(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KillTile, Cycle: 500, Tile: 2},
+		{Kind: KillTile, Cycle: 100, Tile: 1},
+		{Kind: StickInetQueue, Cycle: 100, Tile: 3, Duration: 50},
+	}}
+	inj := NewInjector(p)
+	if got := inj.NextDiscrete(); got != 100 {
+		t.Fatalf("NextDiscrete = %d, want 100", got)
+	}
+	ev := inj.TakeDiscrete(100)
+	if len(ev) != 2 {
+		t.Fatalf("took %d events at cycle 100, want 2", len(ev))
+	}
+	if got := inj.NextDiscrete(); got != 500 {
+		t.Fatalf("NextDiscrete = %d, want 500", got)
+	}
+	if ev = inj.TakeDiscrete(400); len(ev) != 0 {
+		t.Fatalf("took %v before its cycle", ev)
+	}
+	if ev = inj.TakeDiscrete(600); len(ev) != 1 || ev[0].Tile != 2 {
+		t.Fatalf("took %v, want the tile-2 kill", ev)
+	}
+	fired := inj.Fired()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all 3", fired)
+	}
+	// Stripping the fired events empties the plan.
+	if rest := p.Without(fired); len(rest.Events) != 0 {
+		t.Fatalf("Without left %v", rest.Events)
+	}
+}
+
+func TestInjectorJudge(t *testing.T) {
+	p := &Plan{Seed: 9, Events: []Event{
+		{Kind: DropFlit, Cycle: 100, Until: 200, From: 1, To: 2, Prob: 1, Plane: PlaneReq},
+	}}
+	inj := NewInjector(p)
+	if !inj.HasLinkFaults() {
+		t.Fatal("link fault not detected")
+	}
+	if v := inj.Judge(PlaneReq, 50, 1, 2); v != VerdictOK {
+		t.Error("fired before the window")
+	}
+	if v := inj.Judge(PlaneReq, 200, 1, 2); v != VerdictOK {
+		t.Error("fired at the exclusive window end")
+	}
+	if v := inj.Judge(PlaneResp, 150, 1, 2); v != VerdictOK {
+		t.Error("fired on the wrong plane")
+	}
+	if v := inj.Judge(PlaneReq, 150, 2, 1); v != VerdictOK {
+		t.Error("fired on the reverse link")
+	}
+	if v := inj.Judge(PlaneReq, 150, 1, 2); v != VerdictDrop {
+		t.Errorf("verdict %v, want drop", v)
+	}
+	if fired := inj.Fired(); len(fired) != 1 {
+		t.Errorf("fired %v", fired)
+	}
+	// Identical injectors give identical verdict sequences.
+	a, b := NewInjector(p), NewInjector(p)
+	for now := int64(100); now < 200; now++ {
+		if a.Judge(PlaneReq, now, 1, 2) != b.Judge(PlaneReq, now, 1, 2) {
+			t.Fatalf("verdicts diverged at cycle %d", now)
+		}
+	}
+}
+
+func TestWithoutKeepsUnfired(t *testing.T) {
+	p := &Plan{Seed: 3, Events: []Event{
+		{Kind: KillTile, Cycle: 10, Tile: 1},
+		{Kind: KillTile, Cycle: 20, Tile: 2},
+		{Kind: KillTile, Cycle: 30, Tile: 3},
+	}}
+	rest := p.Without([]int{0, 2})
+	if rest.Seed != 3 || len(rest.Events) != 1 || rest.Events[0].Tile != 2 {
+		t.Fatalf("Without kept %v", rest.Events)
+	}
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+	"rockcress/internal/kernels"
+)
+
+// faultSeed fixes the victim tiles of the degradation curve: every
+// configuration loses the same tiles, so the curve compares like against
+// like (the point of fault.KillPlan's seeded victim choice).
+const faultSeed = 0x5eed
+
+// faultKills is the x axis of the degradation curve: how many tiles die.
+var faultKills = []int{0, 1, 2, 4, 8}
+
+// faultConfigs are the Table 3 rows the curve compares: plain MIMD against
+// both vector lengths (group reformation has more to lose at V16).
+var faultConfigs = []string{"NV", "V4", "V16"}
+
+// FigFault prints the graceful-degradation curve: relative throughput
+// (fault-free cycles / total cycles including aborted attempts) for mvt as
+// k tiles are killed mid-run. A trailing * marks runs that could no longer
+// form vector groups and fell back to MIMD.
+func (r *Runner) FigFault(w io.Writer) error {
+	bench, err := kernels.Get("mvt")
+	if err != nil {
+		return err
+	}
+	hw := config.ManycoreDefault()
+	header := []string{"config"}
+	for _, k := range faultKills {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	tbl := &table{header: header}
+	for _, cfgName := range faultConfigs {
+		sw, err := config.Preset(cfgName)
+		if err != nil {
+			return err
+		}
+		base, err := r.Run(bench, sw, nil)
+		if err != nil {
+			return err
+		}
+		baseCycles := base.Cycles()
+		// Kills land mid-run: the first quarter of the fault-free runtime,
+		// then staggered so later victims die while earlier restarts are
+		// already underway.
+		start := baseCycles / 4
+		if start < 1 {
+			start = 1
+		}
+		row := []string{cfgName}
+		for _, k := range faultKills {
+			var plan *fault.Plan
+			if k > 0 {
+				plan = fault.KillPlan(faultSeed, k, hw.Cores, start, 101)
+			}
+			fr, err := kernels.ExecuteWithFaults(bench, bench.Defaults(r.opts.Scale), sw, hw,
+				r.opts.MaxCycles, plan)
+			if err != nil {
+				return fmt.Errorf("fault curve %s k=%d: %w", cfgName, k, err)
+			}
+			cell := f2(float64(baseCycles) / float64(fr.TotalCycles))
+			if fr.MIMDFallback {
+				cell += "*"
+			}
+			row = append(row, cell)
+			if r.opts.Verbose && fr.Report != nil {
+				fmt.Fprintf(w, "# %-4s k=%d: %s (%d attempts, %d cycles)\n",
+					cfgName, k, fr.Report, fr.Attempts, fr.TotalCycles)
+			}
+		}
+		tbl.add(row...)
+	}
+	fmt.Fprintln(w, "Figure F: mvt throughput relative to fault-free run, k tiles killed")
+	tbl.write(w)
+	fmt.Fprintln(w, "(* = vector groups could not re-form; finished in MIMD fallback)")
+	return nil
+}

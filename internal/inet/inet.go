@@ -51,8 +51,9 @@ type entry struct {
 
 // Queue is one core's inet input queue.
 type Queue struct {
-	entries []entry
-	cap     int
+	entries    []entry
+	cap        int
+	stuckUntil int64 // fault injection: head is frozen before this cycle
 }
 
 // NewQueue builds a queue with the configured capacity (Table 1a: 2).
@@ -77,8 +78,12 @@ func (q *Queue) Send(now int64, it Item) {
 
 // Ready reports whether an item is poppable at cycle now.
 func (q *Queue) Ready(now int64) bool {
-	return len(q.entries) > 0 && q.entries[0].readyAt <= now
+	return now >= q.stuckUntil && len(q.entries) > 0 && q.entries[0].readyAt <= now
 }
+
+// StickUntil freezes the queue head until the given cycle (fault injection:
+// a transient forwarding-fabric hang). Sends still land; nothing pops.
+func (q *Queue) StickUntil(until int64) { q.stuckUntil = until }
 
 // Peek returns the head item without consuming it. Check Ready first.
 func (q *Queue) Peek() Item { return q.entries[0].item }

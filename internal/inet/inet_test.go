@@ -52,6 +52,29 @@ func TestQueueFIFO(t *testing.T) {
 	}
 }
 
+func TestQueueStick(t *testing.T) {
+	q := NewQueue(2)
+	q.Send(0, Item{Kind: ItemInstr})
+	q.StickUntil(50)
+	if q.Ready(10) {
+		t.Fatal("stuck queue reported ready")
+	}
+	if !q.CanSend() {
+		t.Fatal("stuck queue refused a send")
+	}
+	q.Send(10, Item{Kind: ItemInstr})
+	if q.Ready(49) {
+		t.Fatal("queue unfroze early")
+	}
+	if !q.Ready(50) {
+		t.Fatal("queue still stuck after the freeze window")
+	}
+	q.Pop()
+	if !q.Ready(50) {
+		t.Fatal("second item not poppable after unfreeze")
+	}
+}
+
 func TestQueueReset(t *testing.T) {
 	q := NewQueue(2)
 	q.Send(0, Item{Kind: ItemDevec})

@@ -234,6 +234,12 @@ type Program struct {
 	Name   string
 	Code   []Instr
 	Labels map[string]int // label -> instruction index (for diagnostics)
+
+	// RecoverPC is where survivors of a broken vector group resume when the
+	// machine degrades around a dead tile (fault injection). Zero means no
+	// recovery point — survivors halt instead. (PC 0 is never a recovery
+	// point: it is the program entry.)
+	RecoverPC int
 }
 
 // Class buckets operations for timing and energy accounting.

@@ -110,7 +110,7 @@ func (ataxBench) buildAxpyNV(ctx *Ctx) {
 		ftmp, fa := b.Fp(), b.Fp()
 		st, i := b.Int(), b.Int()
 		pA, pT, pY := b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(st, ctx.Tid, int32(stripes), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(st, ctx.WorkerID(), int32(stripes), int32(ctx.Workers()), func() {
 			for u := range acc {
 				b.Fmv(acc[u], fz)
 			}
@@ -154,7 +154,7 @@ func (ataxBench) buildAxpyPF(ctx *Ctx) {
 		ftmp, fa := b.Fp(), b.Fp()
 		st := b.Int()
 		pA, pT, pY, t := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(st, ctx.Tid, int32(stripes), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(st, ctx.WorkerID(), int32(stripes), int32(ctx.Workers()), func() {
 			for u := range acc {
 				b.Fmv(acc[u], fz)
 			}

@@ -129,7 +129,7 @@ func (bfsBench) buildMIMD(ctx *Ctx) {
 	loop := b.NewLabel("bfs_level")
 	exit := b.NewLabel("bfs_done")
 	b.Label(loop)
-	ctx.StridedLoop(v, ctx.Tid, int32(np), int32(workers), func() {
+	ctx.StridedLoop(v, ctx.WorkerID(), int32(np), int32(workers), func() {
 		skip := b.NewLabel("v_skip")
 		ctx.AddrInto(t, v, dist.Addr, 1, 0)
 		b.Lw(dv, t, 0)

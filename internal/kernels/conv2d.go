@@ -155,7 +155,7 @@ func (conv2dBench) buildNV(ctx *Ctx) {
 		acc := b.Fp()
 		i, j := b.Int(), b.Int()
 		p0, p1, p2, pOut := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(nr-2), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(nr-2), int32(ctx.Workers()), func() {
 			// Worker handles interior row i+1; pointers at column 0.
 			ctx.AddrInto(p0, i, in.Addr, nc, 0)
 			b.Addi(p1, p0, int32(4*nc))
@@ -214,7 +214,7 @@ func (cv conv2dBench) buildPF(ctx *Ctx, chunk int) {
 		acc := b.Fp()
 		i := b.Int()
 		p0, pOut, t, toff := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(nr-2), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(nr-2), int32(ctx.Workers()), func() {
 			ctx.AddrInto(p0, i, in.Addr, nc, 0)
 			ctx.AddrInto(pOut, i, out.Addr, nc, int32(4*(nc+1)))
 			ctx.SelfDAE(chunksPerRow, frameWords, frames,

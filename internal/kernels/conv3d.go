@@ -179,7 +179,7 @@ func (conv3dBench) buildNV(ctx *Ctx) {
 		acc, fv := b.Fp(), b.Fp()
 		r, k := b.Int(), b.Int()
 		pIn, pOut := b.Int(), b.Int()
-		ctx.StridedLoop(r, ctx.Tid, int32(rowsI), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(r, ctx.WorkerID(), int32(rowsI), int32(ctx.Workers()), func() {
 			conv3dRowBase(ctx, pIn, r, n, m, in.Addr)
 			conv3dRowBase(ctx, pOut, r, n, m, out.Addr)
 			// Output element (i, j, k): offset from base = (n+1)*m + k.
@@ -228,7 +228,7 @@ func (conv3dBench) buildPF(ctx *Ctx) {
 		acc := b.Fp()
 		r := b.Int()
 		pIn, pOut, t, toff := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(r, ctx.Tid, int32(rowsI), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(r, ctx.WorkerID(), int32(rowsI), int32(ctx.Workers()), func() {
 			conv3dRowBase(ctx, pIn, r, n, m, in.Addr)
 			conv3dRowBase(ctx, pOut, r, n, m, out.Addr)
 			b.Addi(pOut, pOut, int32(4*((n+1)*m+1)))

@@ -197,7 +197,7 @@ func buildStatsNV(ctx *Ctx, normalize bool) {
 		fz := ctx.Fzero()
 		sum, sq, mean, inv, fv := b.Fp(), b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		i, k, pD, pW := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(m), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(m), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pD, i, data.Addr, n, 0)
 			b.Mv(pW, pD)
 			b.Fmv(sum, fz)
@@ -235,7 +235,7 @@ func buildStatsPF(ctx *Ctx, normalize bool) {
 		fz := ctx.Fzero()
 		sum, sq, mean, inv, fv := b.Fp(), b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		i, pD, pW, pS := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(m), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(m), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pD, i, data.Addr, n, 0)
 			b.Mv(pW, pD)
 			b.Mv(pS, pD)

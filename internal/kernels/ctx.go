@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"sort"
+
 	"rockcress/internal/config"
 	"rockcress/internal/isa"
 	"rockcress/internal/prog"
@@ -17,8 +19,15 @@ type Ctx struct {
 	HW     config.Manycore
 	Groups []*config.Group
 
+	// Avoid lists dead tiles on a degraded fabric (fault recovery): MIMD
+	// builds branch them to an idle halt and renumber the surviving workers
+	// densely. Vector builds need no exclusion list — reformed groups simply
+	// never include dead tiles, and ungrouped tiles already idle.
+	Avoid []int
+
 	// Filled by Begin.
 	Tid  isa.Reg // core id (all styles)
+	Wid  isa.Reg // dense worker rank among surviving cores (MIMD styles)
 	Gid  isa.Reg // group id (vector style; 0xffffffff outside any group)
 	Lane isa.Reg // lane id (vector style)
 
@@ -51,13 +60,13 @@ func (c *Ctx) VLen() int {
 	return c.SW.VLen
 }
 
-// Workers returns how many parallel workers partition the outer loops: all
-// cores for the MIMD styles, one per vector group otherwise.
+// Workers returns how many parallel workers partition the outer loops: the
+// surviving cores for the MIMD styles, one per vector group otherwise.
 func (c *Ctx) Workers() int {
 	if c.Vector() {
 		return len(c.Groups)
 	}
-	return c.HW.Cores
+	return c.HW.Cores - len(c.Avoid)
 }
 
 // WorkerID returns the register holding this worker's index.
@@ -65,7 +74,7 @@ func (c *Ctx) WorkerID() isa.Reg {
 	if c.Vector() {
 		return c.Gid
 	}
-	return c.Tid
+	return c.Wid
 }
 
 // LineWords returns the cache line size in words for this build.
@@ -86,6 +95,27 @@ func (c *Ctx) Begin() {
 	c.Tid = b.Int()
 	b.Csrr(c.Tid, isa.CsrCoreID)
 	if !c.Vector() {
+		c.Wid = c.Tid
+		if len(c.Avoid) > 0 {
+			// Degraded fabric: dead tiles idle out; survivors compute a
+			// dense rank (tid minus the dead tiles below it) so the work
+			// partition stays gapless.
+			c.idle = b.NewLabel("idle")
+			c.Wid = b.Int()
+			b.Addi(c.Wid, c.Tid, 0)
+			dead := append([]int(nil), c.Avoid...)
+			sort.Ints(dead)
+			d := b.Int()
+			for _, t := range dead {
+				b.Li(d, int32(t))
+				b.Beq(c.Tid, d, c.idle)
+				skip := b.NewLabel("rank")
+				b.Blt(c.Tid, d, skip)
+				b.Addi(c.Wid, c.Wid, -1)
+				b.Label(skip)
+			}
+			b.FreeInt(d)
+		}
 		return
 	}
 	c.Gid = b.Int()
@@ -99,13 +129,19 @@ func (c *Ctx) Begin() {
 	b.FreeInt(none)
 }
 
-// Finish emits the program epilogue (and the idle path for vector builds).
+// Finish emits the program epilogue and, when Begin created one, the idle
+// path. For vector builds the idle label doubles as the fault-recovery
+// point: survivors of a broken group jump there and halt cleanly, letting
+// the healthy groups finish before the harness re-forms the fabric.
 func (c *Ctx) Finish() {
 	b := c.B
 	b.Halt()
-	if c.Vector() {
+	if c.idle != "" {
 		b.Label(c.idle)
 		b.Halt()
+		if c.Vector() {
+			b.Recover(c.idle)
+		}
 	}
 }
 

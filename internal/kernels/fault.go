@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/config"
+	"rockcress/internal/energy"
+	"rockcress/internal/fault"
+	"rockcress/internal/machine"
+)
+
+// FaultResult is the outcome of a degraded run: the final (correct) result
+// plus how the harness got there. TotalCycles includes the cycles burned by
+// aborted attempts — the price of degradation the fault figure plots.
+type FaultResult struct {
+	*Result
+	Report       *fault.Report
+	Attempts     int   // machine runs, including the final successful one
+	TotalCycles  int64 // cycles summed over every attempt
+	DeadTiles    []int // all tiles lost across attempts
+	MIMDFallback bool  // vector groups could not re-form; finished in MIMD
+}
+
+// ExecuteWithFaults runs benchmark b under a fault schedule and degrades
+// gracefully: when an attempt loses tiles (broken groups, killed workers) or
+// produces wrong output, the harness re-forms the fabric around the dead
+// tiles — vector groups via config.Reform, or a dense-ranked MIMD partition
+// when no complete group fits — and restarts from the initial image with the
+// already-fired fault events stripped from the plan. It returns once an
+// attempt completes with output matching the serial reference.
+func ExecuteWithFaults(b Benchmark, p Params, sw config.Software, hw config.Manycore,
+	maxCycles int64, plan *fault.Plan) (*FaultResult, error) {
+	name := b.Info().Name
+	if plan == nil || len(plan.Events) == 0 {
+		res, err := Execute(b, p, sw, hw, maxCycles)
+		if err != nil {
+			return nil, err
+		}
+		return &FaultResult{Result: res, Attempts: 1, TotalCycles: res.Cycles()}, nil
+	}
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	if sw.Style == config.StyleGPU {
+		return nil, fmt.Errorf("%s/GPU: fault injection targets the manycore fabric", name)
+	}
+	hw = sw.Apply(hw)
+
+	fr := &FaultResult{}
+	cur := plan
+	var avoid []int
+	mimd := false
+	// One attempt per core is a generous upper bound: every restart either
+	// succeeds or buries at least one more tile.
+	for attempt := 1; attempt <= hw.Cores; attempt++ {
+		fr.Attempts = attempt
+		groups, ctxAvoid, err := degradedLayout(sw, hw, avoid, mimd)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, sw.Name, err)
+		}
+		if sw.Style == config.StyleVector && len(groups) == 0 {
+			mimd = true
+			groups, ctxAvoid = nil, avoid
+		}
+		img, err := b.Prepare(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: prepare: %w", name, err)
+		}
+		if err := img.Err(); err != nil {
+			return nil, fmt.Errorf("%s: prepare: %w", name, err)
+		}
+		buildSW := sw
+		if mimd && sw.Style == config.StyleVector {
+			// Survivors fall back to plain MIMD: same kernel, NV-style build.
+			buildSW = config.Software{Name: sw.Name + "-mimd", Style: config.StyleNV, VLen: 1}
+		}
+		ctx := NewCtx(p, img, buildSW, hw, groups)
+		ctx.Avoid = ctxAvoid
+		if err := b.Build(ctx); err != nil {
+			return nil, fmt.Errorf("%s/%s: build: %w", name, sw.Name, err)
+		}
+		prog, err := ctx.B.Build()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: assemble: %w", name, sw.Name, err)
+		}
+		memBytes := img.SizeBytes()
+		if memBytes < machine.DefaultMemBytes {
+			memBytes = machine.DefaultMemBytes
+		}
+		m, err := machine.New(machine.Params{
+			Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Faults: cur,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
+		}
+		img.Apply(m.Global)
+		prevDead := len(fr.DeadTiles)
+		st, runErr := m.Run(maxCycles)
+		fr.TotalCycles += m.Now()
+		rep := m.FaultReport()
+		mergeReport(fr, rep)
+		if runErr == nil {
+			if err := img.Check(m.Global); err == nil {
+				fr.Result = &Result{
+					Bench: name, Config: sw.Name, Params: p, HW: hw,
+					Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,
+				}
+				fr.MIMDFallback = mimd
+				return fr, nil
+			}
+			// Completed but wrong: a fault corrupted data or killed a worker
+			// whose partition never ran. Restart on the degraded fabric.
+		}
+		// Restart only makes progress when the fabric shrank or the plan did
+		// (fired events — kills, flips, exhausted link windows — are stripped
+		// so the replay cannot hit them again).
+		nBefore := len(cur.Events)
+		if rep != nil {
+			cur = cur.Without(rep.Fired)
+		}
+		if len(fr.DeadTiles) == prevDead && len(cur.Events) == nBefore {
+			if runErr != nil {
+				// Failed without consuming any fault: restarting cannot help.
+				return nil, fmt.Errorf("%s/%s: run: %w", name, sw.Name, runErr)
+			}
+			return nil, fmt.Errorf("%s/%s: wrong result with no fault consumed (not repairable by restart)",
+				name, sw.Name)
+		}
+		avoid = append([]int(nil), fr.DeadTiles...)
+	}
+	return nil, fmt.Errorf("%s/%s: no fault-free attempt within %d restarts", name, sw.Name, fr.Attempts)
+}
+
+// degradedLayout picks the group layout for an attempt: full-health layouts
+// on the first try, Reform around dead tiles after, nil groups for MIMD.
+func degradedLayout(sw config.Software, hw config.Manycore, avoid []int, mimd bool) ([]*config.Group, []int, error) {
+	if sw.Style != config.StyleVector || mimd {
+		return nil, avoid, nil
+	}
+	if len(avoid) == 0 {
+		g, err := GroupsFor(sw, hw)
+		return g, nil, err
+	}
+	g, err := config.Reform(hw, sw.VLen, avoid)
+	return g, nil, err
+}
+
+// mergeReport folds one attempt's fault report into the running totals.
+func mergeReport(fr *FaultResult, rep *fault.Report) {
+	if rep == nil {
+		return
+	}
+	for _, t := range rep.DeadTiles {
+		dup := false
+		for _, d := range fr.DeadTiles {
+			if d == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fr.DeadTiles = append(fr.DeadTiles, t)
+		}
+	}
+	if fr.Report == nil {
+		fr.Report = &fault.Report{}
+	}
+	fr.Report.DeadTiles = fr.DeadTiles
+	fr.Report.BrokenGroups = append(fr.Report.BrokenGroups, rep.BrokenGroups...)
+	fr.Report.StuckQueues += rep.StuckQueues
+	fr.Report.FlippedWords += rep.FlippedWords
+	fr.Report.Retransmits += rep.Retransmits
+	fr.Report.DroppedFlits += rep.DroppedFlits
+	fr.Report.CorruptFlits += rep.CorruptFlits
+}
+
+// Degraded reports whether the run lost any tiles.
+func (fr *FaultResult) Degraded() bool { return len(fr.DeadTiles) > 0 }

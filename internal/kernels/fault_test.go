@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+)
+
+// TestExecuteWithFaultsKillLane is the acceptance scenario: a V4 mvt run
+// loses one lane of group 0 mid-kernel, the harness re-forms the fabric
+// around the dead tile, and the final output still matches the serial
+// reference.
+func TestExecuteWithFaultsKillLane(t *testing.T) {
+	bench, err := Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	groups, err := GroupsFor(sw, sw.Apply(hw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KillTile, Cycle: 1500, Tile: victim},
+	}}
+	fr, err := ExecuteWithFaults(bench, bench.Defaults(Tiny), sw, hw, 30_000_000, plan)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if !fr.Degraded() {
+		t.Fatal("run not marked degraded")
+	}
+	if fr.Attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2 (restart after the kill)", fr.Attempts)
+	}
+	if fr.MIMDFallback {
+		t.Error("one dead tile must not force MIMD fallback on an 8x8 fabric")
+	}
+	if len(fr.DeadTiles) != 1 || fr.DeadTiles[0] != victim {
+		t.Errorf("dead tiles %v, want [%d]", fr.DeadTiles, victim)
+	}
+	if fr.Result == nil || fr.Result.Stats.Cycles <= 0 {
+		t.Fatal("no final result")
+	}
+	if fr.TotalCycles <= fr.Result.Cycles() {
+		t.Errorf("TotalCycles %d must include the aborted attempt (final %d)",
+			fr.TotalCycles, fr.Result.Cycles())
+	}
+	// The reformed layout must exclude the dead tile.
+	for _, g := range fr.Result.Groups {
+		for _, l := range g.Lanes {
+			if l == victim {
+				t.Errorf("reformed group %d still uses dead tile %d", g.ID, victim)
+			}
+		}
+	}
+}
+
+// TestExecuteWithFaultsNVKill kills one worker of an NV run: the restart
+// must renumber the survivors densely and recompute the dead worker's
+// partition.
+func TestExecuteWithFaultsNVKill(t *testing.T) {
+	bench, err := Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("NV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KillTile, Cycle: 1000, Tile: 3},
+	}}
+	fr, err := ExecuteWithFaults(bench, bench.Defaults(Tiny), sw, config.ManycoreDefault(), 30_000_000, plan)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if !fr.Degraded() || len(fr.DeadTiles) != 1 || fr.DeadTiles[0] != 3 {
+		t.Fatalf("dead tiles %v, want [3]", fr.DeadTiles)
+	}
+	if fr.Attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2", fr.Attempts)
+	}
+}
+
+// TestExecuteWithFaultsNilPlan checks the nil-plan path is exactly the
+// plain Execute path: same cycle count, one attempt, no report.
+func TestExecuteWithFaultsNilPlan(t *testing.T) {
+	bench, err := Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	base, err := Execute(bench, bench.Defaults(Tiny), sw, hw, 30_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ExecuteWithFaults(bench, bench.Defaults(Tiny), sw, hw, 30_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Attempts != 1 || fr.Degraded() {
+		t.Errorf("nil plan: attempts %d, degraded %v", fr.Attempts, fr.Degraded())
+	}
+	if fr.Result.Cycles() != base.Cycles() {
+		t.Errorf("nil plan cycles %d != plain Execute cycles %d", fr.Result.Cycles(), base.Cycles())
+	}
+}

@@ -149,13 +149,13 @@ func (fdtdBench) buildEyMIMD(ctx *Ctx, pFict isa.Reg) {
 		ctx.SetupFrames(3*lw, frames)
 	}
 	ctx.MIMDKernel(func() {
-		fdtdFictRow(ctx, pFict, ctx.Tid, ctx.Workers())
+		fdtdFictRow(ctx, pFict, ctx.WorkerID(), ctx.Workers())
 		half := b.Fp()
 		b.FliF(half, 0.5)
 		fe, fa, fb2, res := b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		i, j := b.Int(), b.Int()
 		pE, pH, pHm, pS, t := b.Int(), b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(n-1), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(n-1), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pE, i, ey.Addr, m, int32(4*m)) // row i+1
 			b.Mv(pS, pE)
 			ctx.AddrInto(pH, i, hz.Addr, m, int32(4*m))
@@ -214,7 +214,7 @@ func (fdtdBench) buildExMIMD(ctx *Ctx) {
 		fe, fa, fb2, res := b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		i, j := b.Int(), b.Int()
 		pE, pH := b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(n), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(n), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pE, i, ex.Addr, m, 4)
 			ctx.AddrInto(pH, i, hz.Addr, m, 4)
 			b.ForI(j, 1, int32(m), 1, func() {
@@ -244,7 +244,7 @@ func (fdtdBench) buildHzMIMD(ctx *Ctx) {
 		fh, fx1, fx0, fy1, fy0, res := b.Fp(), b.Fp(), b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		i, j := b.Int(), b.Int()
 		pH, pX, pY, pY1 := b.Int(), b.Int(), b.Int(), b.Int()
-		ctx.StridedLoop(i, ctx.Tid, int32(n-1), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(n-1), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pH, i, hz.Addr, m, 0)
 			ctx.AddrInto(pX, i, ex.Addr, m, 0)
 			ctx.AddrInto(pY, i, ey.Addr, m, 0)

@@ -182,12 +182,12 @@ func (gramBench) buildMIMD(ctx *Ctx) {
 	workers := ctx.Workers()
 	k := b.Int()
 	b.ForI(k, 0, int32(m), 1, func() {
-		gramPhase12(ctx, k, ctx.Tid, workers)
+		gramPhase12(ctx, k, ctx.WorkerID(), workers)
 		// Phase 3: columns j = k+1+tid, step workers.
 		fdot, fa, fq := b.Fp(), b.Fp(), b.Fp()
 		j, jb, pA, pQ, pR, t, bnd, i := b.Int(), b.Int(), b.Int(), b.Int(), b.Int(), b.Int(), b.Int(), b.Int()
 		b.Addi(jb, k, 1)
-		b.Add(jb, jb, ctx.Tid)
+		b.Add(jb, jb, ctx.WorkerID())
 		b.Li(bnd, int32(m))
 		b.Mv(j, jb)
 		done := b.NewLabel("p3_done")

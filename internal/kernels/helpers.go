@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"fmt"
-
 	"rockcress/internal/isa"
 )
 
@@ -66,7 +64,8 @@ func (c *Ctx) AddrInto(dst, idx isa.Reg, base uint32, wordsPerElem int, byteOff 
 // baseline's GCC -O3 unrolling extracts).
 func (c *Ctx) GlobalDot(acc isa.FReg, pA, pB isa.Reg, n int) {
 	if n%4 != 0 {
-		panic(fmt.Sprintf("kernels: GlobalDot n=%d not a multiple of 4", n))
+		c.B.Fail("kernels: GlobalDot n=%d not a multiple of 4", n)
+		return
 	}
 	b := c.B
 	var fa, fb [4]isa.FReg
@@ -119,7 +118,8 @@ func (c *Ctx) FrameDotSIMD(accV uint8, fbase isa.Reg, va, vb uint8, aOff, bOff i
 	b := c.B
 	w := c.HW.SIMDWidth
 	if n%w != 0 {
-		panic(fmt.Sprintf("kernels: FrameDotSIMD n=%d not a multiple of %d", n, w))
+		b.Fail("kernels: FrameDotSIMD n=%d not a multiple of %d", n, w)
+		return
 	}
 	for k := 0; k < n; k += w {
 		b.VlwSp(va, fbase, aOff+int32(4*k))

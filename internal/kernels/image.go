@@ -42,11 +42,14 @@ func (a *Array) At(i int) uint32 {
 	return a.Addr + uint32(4*i)
 }
 
-// Image is a benchmark's memory layout plus expected results.
+// Image is a benchmark's memory layout plus expected results. Construction
+// mistakes (duplicate or empty arrays, mismatched expectations) latch an
+// error surfaced by Err rather than panicking out of a benchmark generator.
 type Image struct {
 	arrays []*Array
 	byName map[string]*Array
 	next   uint32
+	err    error
 }
 
 // NewImage starts an empty image.
@@ -54,13 +57,24 @@ func NewImage() *Image {
 	return &Image{byName: map[string]*Array{}, next: imageBase}
 }
 
+// Err returns the first image-construction error, if any.
+func (im *Image) Err() error { return im.err }
+
+func (im *Image) fail(format string, args ...any) {
+	if im.err == nil {
+		im.err = fmt.Errorf("kernels: %s", fmt.Sprintf(format, args...))
+	}
+}
+
 // alloc reserves words at the next aligned address.
 func (im *Image) alloc(name string, words int) *Array {
-	if _, dup := im.byName[name]; dup {
-		panic(fmt.Sprintf("kernels: duplicate array %q", name))
+	if prev, dup := im.byName[name]; dup {
+		im.fail("duplicate array %q", name)
+		return prev
 	}
 	if words <= 0 {
-		panic(fmt.Sprintf("kernels: array %q with %d words", name, words))
+		im.fail("array %q with %d words", name, words)
+		words = 1
 	}
 	a := &Array{Name: name, Addr: im.next, Len: words}
 	im.next += uint32(4 * words)
@@ -112,7 +126,8 @@ func (im *Image) SizeBytes() int { return int(im.next) }
 func (im *Image) ExpectF(name string, want []float32, tol float64) {
 	a := im.Arr(name)
 	if len(want) != a.Len {
-		panic(fmt.Sprintf("kernels: expect %s: %d words, array has %d", name, len(want), a.Len))
+		im.fail("expect %s: %d words, array has %d", name, len(want), a.Len)
+		return
 	}
 	a.Want = make([]uint32, len(want))
 	for i, v := range want {
@@ -125,7 +140,8 @@ func (im *Image) ExpectF(name string, want []float32, tol float64) {
 func (im *Image) ExpectW(name string, want []uint32) {
 	a := im.Arr(name)
 	if len(want) != a.Len {
-		panic(fmt.Sprintf("kernels: expect %s: %d words, array has %d", name, len(want), a.Len))
+		im.fail("expect %s: %d words, array has %d", name, len(want), a.Len)
+		return
 	}
 	a.Want = append([]uint32(nil), want...)
 }

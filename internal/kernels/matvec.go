@@ -34,7 +34,7 @@ func buildMVRowNV(ctx *Ctx, s mvSpec) {
 		i := b.Int()
 		pA, pX, pOut := b.Int(), b.Int(), b.Int()
 		acc, old := b.Fp(), b.Fp()
-		ctx.StridedLoop(i, ctx.Tid, int32(s.Rows), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(s.Rows), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pA, i, s.A.Addr, s.Cols, 0)
 			ctx.AddrInto(pOut, i, s.Out.Addr, 1, 0)
 			b.LiU(pX, s.X.Addr)
@@ -59,7 +59,7 @@ func buildMVRowNV(ctx *Ctx, s mvSpec) {
 // improve with wide self-loads).
 func buildMVColNV(ctx *Ctx, s mvSpec) {
 	b := ctx.B
-	blockW := s.Cols / ctx.HW.Cores
+	blockW := s.Cols / ctx.Workers()
 	if blockW == 0 {
 		blockW = 1
 	}
@@ -69,8 +69,19 @@ func buildMVColNV(ctx *Ctx, s mvSpec) {
 		pA, pX, pOut, i := b.Int(), b.Int(), b.Int(), b.Int()
 		acc, old, fa, fx := b.Fp(), b.Fp(), b.Fp(), b.Fp()
 		bound := b.Int()
-		ctx.MulConst(jb, ctx.Tid, blockW)
+		ctx.MulConst(jb, ctx.WorkerID(), blockW)
 		b.Addi(jEnd, jb, int32(blockW))
+		if s.Cols%ctx.Workers() != 0 && s.Cols > ctx.Workers() {
+			// Degraded worker counts rarely divide the column count: the
+			// last worker sweeps through the tail block.
+			last := b.Int()
+			skip := b.NewLabel("mvcol_tail")
+			b.Li(last, int32(ctx.Workers()-1))
+			b.Bne(ctx.WorkerID(), last, skip)
+			b.Li(jEnd, int32(s.Cols))
+			b.Label(skip)
+			b.FreeInt(last)
+		}
 		b.Li(bound, int32(s.Cols))
 		b.Mv(jc, jb)
 		done := b.NewLabel("mvcol_done")
@@ -125,7 +136,7 @@ func buildMVRowPF(ctx *Ctx, s mvSpec) {
 		i := b.Int()
 		pA, pX, pOut, t := b.Int(), b.Int(), b.Int(), b.Int()
 		acc, old := b.Fp(), b.Fp()
-		ctx.StridedLoop(i, ctx.Tid, int32(s.Rows), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(s.Rows), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pA, i, s.A.Addr, s.Cols, 0)
 			ctx.AddrInto(pOut, i, s.Out.Addr, 1, 0)
 			b.LiU(pX, s.X.Addr)

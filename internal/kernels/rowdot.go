@@ -64,7 +64,7 @@ func buildRowDotNV(ctx *Ctx, s rowDotSpec) {
 		pA, pArow, pB, pC := b.Int(), b.Int(), b.Int(), b.Int()
 		pA2, pArow2, pB2 := b.Int(), b.Int(), b.Int()
 		acc, acc2, oldc := b.Fp(), b.Fp(), b.Fp()
-		ctx.StridedLoop(i, ctx.Tid, int32(s.NI), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(s.NI), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pArow, i, s.A1.Addr, s.NK, 0)
 			if s.twoDots() {
 				ctx.AddrInto(pArow2, i, s.A2.Addr, s.NK, 0)
@@ -137,7 +137,7 @@ func buildRowDotPF(ctx *Ctx, s rowDotSpec) {
 		pArow, pA, pB, pC, t := b.Int(), b.Int(), b.Int(), b.Int(), b.Int()
 		pArow2, pA2, pB2 := b.Int(), b.Int(), b.Int()
 		acc, acc2, oldc := b.Fp(), b.Fp(), b.Fp()
-		ctx.StridedLoop(i, ctx.Tid, int32(s.NI), int32(ctx.Workers()), func() {
+		ctx.StridedLoop(i, ctx.WorkerID(), int32(s.NI), int32(ctx.Workers()), func() {
 			ctx.AddrInto(pArow, i, s.A1.Addr, s.NK, 0)
 			if s.twoDots() {
 				ctx.AddrInto(pArow2, i, s.A2.Addr, s.NK, 0)

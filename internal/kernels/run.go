@@ -53,6 +53,9 @@ func Execute(b Benchmark, p Params, sw config.Software, hw config.Manycore, maxC
 	if err != nil {
 		return nil, fmt.Errorf("%s: prepare: %w", name, err)
 	}
+	if err := img.Err(); err != nil {
+		return nil, fmt.Errorf("%s: prepare: %w", name, err)
+	}
 	ctx := NewCtx(p, img, sw, hw, groups)
 	if err := b.Build(ctx); err != nil {
 		return nil, fmt.Errorf("%s/%s: build: %w", name, sw.Name, err)
@@ -91,6 +94,9 @@ func executeGPU(b Benchmark, p Params, maxCycles int64) (*Result, error) {
 	}
 	launches, err := b.GPU(p, img)
 	if err != nil {
+		return nil, fmt.Errorf("%s/GPU: %w", name, err)
+	}
+	if err := img.Err(); err != nil {
 		return nil, fmt.Errorf("%s/GPU: %w", name, err)
 	}
 	// Kernels launch back to back on one device: caches stay warm, cycles

@@ -5,11 +5,13 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
 	"rockcress/internal/config"
 	"rockcress/internal/cpu"
+	"rockcress/internal/fault"
 	"rockcress/internal/inet"
 	"rockcress/internal/isa"
 	"rockcress/internal/mem"
@@ -24,13 +26,53 @@ const DefaultMemBytes = 32 * 1024 * 1024
 // traceBarriers logs barrier releases when ROCKTRACE is set (debug aid).
 var traceBarriers = os.Getenv("ROCKTRACE") != ""
 
+// Watchdog defaults: check progress every CheckEvery cycles; abort after
+// StallLimit consecutive checks with no instruction issued anywhere.
+const (
+	DefaultCheckEvery = 1024
+	DefaultStallLimit = 64
+)
+
 // Params configures a machine instance.
 type Params struct {
 	Cfg      config.Manycore
 	Prog     *isa.Program
 	Groups   []*config.Group // nil for pure-MIMD configurations
 	MemBytes int             // backing store size; DefaultMemBytes if 0
+
+	// Faults is the fault-injection schedule; nil costs nothing.
+	Faults *fault.Plan
+
+	// Watchdog tuning; zero means the default. Long-latency fault/retry
+	// experiments raise these to avoid false deadlock aborts.
+	CheckEvery int64
+	StallLimit int64
 }
+
+// FaultError is a structured simulation failure: the cycle it surfaced, the
+// offending tile (-1 when not tile-specific), the underlying cause, and a
+// per-core state dump for diagnostics. All Machine.Run failure paths return
+// one (wrapped component errors, watchdog aborts, recovered panics).
+type FaultError struct {
+	Cycle int64
+	Tile  int
+	Err   error
+	State string
+}
+
+func (e *FaultError) Error() string {
+	at := fmt.Sprintf("cycle %d", e.Cycle)
+	if e.Tile >= 0 {
+		at += fmt.Sprintf(", tile %d", e.Tile)
+	}
+	s := fmt.Sprintf("%v (%s)", e.Err, at)
+	if e.State != "" {
+		s += "\n" + e.State
+	}
+	return s
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
 
 type genBarrier struct {
 	gen     int64
@@ -65,6 +107,13 @@ type Machine struct {
 	barPending bool         // all cores arrived; release waits for memory drain
 	formation  []genBarrier // per group
 	err        error
+
+	// Fault injection (all nil/zero on a fault-free machine).
+	inj          *fault.Injector
+	report       *fault.Report
+	brokenGroups []bool
+	checkEvery   int64
+	stallLimit   int64
 }
 
 // New builds and wires a machine.
@@ -85,6 +134,14 @@ func New(p Params) (*Machine, error) {
 	if memBytes == 0 {
 		memBytes = DefaultMemBytes
 	}
+	if memBytes < 0 || memBytes%4 != 0 {
+		return nil, fmt.Errorf("machine: memory size %d must be a positive word multiple", memBytes)
+	}
+	if p.Faults != nil {
+		if err := p.Faults.Validate(p.Cfg.Cores); err != nil {
+			return nil, err
+		}
+	}
 	cfg := p.Cfg
 	m := &Machine{
 		Cfg: cfg, Prog: p.Prog, Groups: p.Groups,
@@ -104,8 +161,31 @@ func New(p Params) (*Machine, error) {
 			m.tileGroup[t] = g.ID
 		}
 	}
-	m.meshReq = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
-	m.meshResp = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
+	m.checkEvery, m.stallLimit = p.CheckEvery, p.StallLimit
+	if m.checkEvery <= 0 {
+		m.checkEvery = DefaultCheckEvery
+	}
+	if m.stallLimit <= 0 {
+		m.stallLimit = DefaultStallLimit
+	}
+	var err error
+	m.meshReq, err = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
+	if err != nil {
+		return nil, err
+	}
+	m.meshResp, err = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
+	if err != nil {
+		return nil, err
+	}
+	if p.Faults != nil {
+		m.inj = fault.NewInjector(p.Faults)
+		m.report = &fault.Report{}
+		m.brokenGroups = make([]bool, len(p.Groups))
+		if m.inj.HasLinkFaults() {
+			m.meshReq.SetLinkJudge(m.linkJudge(fault.PlaneReq))
+			m.meshResp.SetLinkJudge(m.linkJudge(fault.PlaneResp))
+		}
+	}
 	m.llcs = make([]*mem.LLCBank, cfg.LLCBanks)
 	for b := range m.llcs {
 		m.llcs[b] = mem.NewLLCBank(b, cfg, m.space.LLCNode(b), m.meshResp, m.dram,
@@ -277,9 +357,111 @@ func (m *Machine) deliver(node int, f msg.Message) bool {
 	return true
 }
 
+// --- fault injection ---
+
+// linkJudge adapts the injector's verdicts to one mesh plane.
+func (m *Machine) linkJudge(plane fault.Plane) noc.LinkJudge {
+	return func(now int64, from, to int) noc.LinkVerdict {
+		switch m.inj.Judge(plane, now, from, to) {
+		case fault.VerdictDrop:
+			return noc.LinkDrop
+		case fault.VerdictCorrupt:
+			return noc.LinkCorrupt
+		}
+		return noc.LinkOK
+	}
+}
+
+// applyFaults fires every discrete event scheduled at or before now.
+func (m *Machine) applyFaults(now int64) {
+	for _, e := range m.inj.TakeDiscrete(now) {
+		switch e.Kind {
+		case fault.KillTile:
+			m.killTile(now, e.Tile)
+		case fault.StickInetQueue:
+			if m.cores[e.Tile].StickInet(now + e.Duration) {
+				m.report.StuckQueues++
+			}
+		case fault.FlipSpadWord:
+			if m.spads[e.Tile].FlipBit(e.Offset, e.Bit) {
+				m.report.FlippedWords++
+			}
+		}
+	}
+}
+
+// killTile powers tile t off: the core stops, its scratchpad ignores all
+// further traffic (including in-flight vload data), and any vector group it
+// belonged to is broken. Barrier and active-count bookkeeping are adjusted
+// so the rest of the fabric keeps running.
+func (m *Machine) killTile(now int64, t int) {
+	c := m.cores[t]
+	if c.Dead() {
+		return
+	}
+	if !c.Halted() {
+		if c.InBarrier() {
+			m.barrier.arrived--
+		}
+		m.active--
+	}
+	c.Kill()
+	m.spads[t].Decommission()
+	m.report.DeadTiles = append(m.report.DeadTiles, t)
+	if gid := m.tileGroup[t]; gid >= 0 {
+		m.breakGroup(now, gid)
+	}
+	m.checkBarrier()
+}
+
+// breakGroup devectorizes a group that lost a member: every surviving tile
+// is forced back to independent MIMD mode at the program's recovery point
+// (or halted when the program declares none). The group's formation
+// rendezvous is reset so the group id is dead for the rest of the run.
+func (m *Machine) breakGroup(now int64, gid int) {
+	if m.brokenGroups[gid] {
+		return
+	}
+	m.brokenGroups[gid] = true
+	m.report.BrokenGroups = append(m.report.BrokenGroups, gid)
+	rpc := m.Prog.RecoverPC
+	for _, t := range m.Groups[gid].Tiles() {
+		c := m.cores[t]
+		if c.Halted() {
+			continue
+		}
+		if c.InBarrier() {
+			m.barrier.arrived--
+		}
+		if rpc > 0 {
+			c.ForceDisband(now, rpc)
+		} else {
+			c.ForceHalt()
+			m.active--
+		}
+	}
+	m.formation[gid] = genBarrier{}
+}
+
+// FaultReport summarizes the run's fault activity (nil without a plan).
+// Valid on both success and failure paths.
+func (m *Machine) FaultReport() *fault.Report {
+	if m.inj == nil {
+		return nil
+	}
+	m.report.Fired = m.inj.Fired()
+	m.report.Retransmits = m.meshReq.Retransmits + m.meshResp.Retransmits
+	m.report.DroppedFlits = m.meshReq.Dropped + m.meshResp.Dropped
+	m.report.CorruptFlits = m.meshReq.Corrupt + m.meshResp.Corrupt
+	return m.report
+}
+
 // step advances the whole machine one cycle.
 func (m *Machine) step() {
 	now := m.now
+	if m.inj != nil && now >= m.inj.NextDiscrete() {
+		m.applyFaults(now)
+	}
 	for _, f := range m.dram.Completed(now, m.Global) {
 		m.llcs[f.Bank].Install(now, f.LineAddr)
 	}
@@ -302,19 +484,38 @@ func (m *Machine) step() {
 	m.now++
 }
 
+// faultErr wraps a component error into a FaultError with the current cycle
+// and state dump (idempotent: an already-structured error passes through).
+func (m *Machine) faultErr(tile int, err error) error {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return err
+	}
+	return &FaultError{Cycle: m.now, Tile: tile, Err: err, State: m.debugState()}
+}
+
 func (m *Machine) checkComponents() error {
 	if m.err != nil {
-		return m.err
+		return m.faultErr(-1, m.err)
 	}
 	for _, b := range m.llcs {
 		if err := b.Err(); err != nil {
-			return err
+			return m.faultErr(-1, err)
 		}
 	}
-	for _, s := range m.spads {
+	for t, s := range m.spads {
 		if err := s.Err(); err != nil {
-			return err
+			return m.faultErr(t, err)
 		}
+	}
+	if err := m.meshReq.Err(); err != nil {
+		return m.faultErr(-1, err)
+	}
+	if err := m.meshResp.Err(); err != nil {
+		return m.faultErr(-1, err)
+	}
+	if err := m.Global.Err(); err != nil {
+		return m.faultErr(-1, err)
 	}
 	return nil
 }
@@ -323,14 +524,23 @@ func (m *Machine) checkComponents() error {
 // elapse, or a simulation error surfaces. It returns the collected stats.
 // A progress watchdog aborts early (with a per-core state dump) when no
 // core issues an instruction for a long stretch: a deadlocked program.
-func (m *Machine) Run(maxCycles int64) (*stats.Machine, error) {
-	const checkEvery = 1024
-	const stallLimit = 64 // checkEvery intervals without any issue
+// Every failure path returns a *FaultError; a panic anywhere in the cycle
+// loop (a simulator bug) is recovered into one rather than taking down the
+// caller.
+func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st = m.Stats
+			err = &FaultError{Cycle: m.now, Tile: -1,
+				Err:   fmt.Errorf("machine: internal panic: %v", r),
+				State: m.debugState()}
+		}
+	}()
 	var lastIssued int64 = -1
-	stalled := 0
+	var stalled int64
 	for m.active > 0 {
 		m.step()
-		if m.now%checkEvery == 0 {
+		if m.now%m.checkEvery == 0 {
 			if err := m.checkComponents(); err != nil {
 				return m.Stats, err
 			}
@@ -340,9 +550,9 @@ func (m *Machine) Run(maxCycles int64) (*stats.Machine, error) {
 			}
 			if issued == lastIssued {
 				stalled++
-				if stalled >= stallLimit {
-					return m.Stats, fmt.Errorf("machine: deadlock: no instruction issued for %d cycles\n%s",
-						int64(stalled)*checkEvery, m.debugState())
+				if stalled >= m.stallLimit {
+					return m.Stats, m.faultErr(-1, fmt.Errorf("machine: deadlock: no instruction issued for %d cycles",
+						stalled*m.checkEvery))
 				}
 			} else {
 				stalled = 0
@@ -350,8 +560,8 @@ func (m *Machine) Run(maxCycles int64) (*stats.Machine, error) {
 			}
 		}
 		if m.now >= maxCycles {
-			return m.Stats, fmt.Errorf("machine: no completion after %d cycles (%d cores active): likely deadlock or undersized budget\n%s",
-				maxCycles, m.active, m.debugState())
+			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: no completion after %d cycles (%d cores active): likely deadlock or undersized budget",
+				maxCycles, m.active))
 		}
 	}
 	if err := m.checkComponents(); err != nil {
@@ -362,7 +572,10 @@ func (m *Machine) Run(maxCycles int64) (*stats.Machine, error) {
 	for m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
 		m.step()
 		if m.now >= drainDeadline {
-			return m.Stats, fmt.Errorf("machine: memory system failed to drain")
+			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: memory system failed to drain"))
+		}
+		if err := m.checkComponents(); err != nil {
+			return m.Stats, err
 		}
 	}
 	if err := m.checkComponents(); err != nil {
@@ -392,6 +605,9 @@ func (m *Machine) collect() {
 	st.DramReads = m.dram.Reads
 	st.DramWrites = m.dram.Writes
 	st.DramBusy = m.dram.BusyCycles
+	st.NocRetrans = m.meshReq.Retransmits + m.meshResp.Retransmits
+	st.NocDropped = m.meshReq.Dropped + m.meshResp.Dropped
+	st.NocCorrupt = m.meshReq.Corrupt + m.meshResp.Corrupt
 }
 
 // debugState summarizes non-halted cores for deadlock diagnostics.

@@ -9,8 +9,13 @@ import "fmt"
 // Global is the word-addressed backing store behind the LLCs. The harness
 // initializes benchmark inputs here and reads results back after the LLCs
 // are flushed.
+//
+// Out-of-range and unaligned accesses latch an error (surfaced through the
+// machine's component check) instead of panicking: a wild address computed
+// by a simulated program is a simulation failure, not a simulator bug.
 type Global struct {
 	words []uint32
+	err   error
 }
 
 // NewGlobal allocates a backing store of the given byte size.
@@ -24,43 +29,66 @@ func NewGlobal(bytes int) *Global {
 // Size returns the store's capacity in bytes.
 func (g *Global) Size() int { return len(g.words) * 4 }
 
-func (g *Global) check(addr uint32) {
-	if addr%4 != 0 {
-		panic(fmt.Sprintf("mem: unaligned global access at %#x", addr))
-	}
-	if int(addr/4) >= len(g.words) {
-		panic(fmt.Sprintf("mem: global access at %#x beyond %d bytes", addr, g.Size()))
+// Err returns the first invalid access observed, if any.
+func (g *Global) Err() error { return g.err }
+
+func (g *Global) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("mem: %s", fmt.Sprintf(format, args...))
 	}
 }
 
-// ReadWord returns the word at byte address addr.
+func (g *Global) check(addr uint32) bool {
+	if addr%4 != 0 {
+		g.fail("unaligned global access at %#x", addr)
+		return false
+	}
+	if int(addr/4) >= len(g.words) {
+		g.fail("global access at %#x beyond %d bytes", addr, g.Size())
+		return false
+	}
+	return true
+}
+
+// ReadWord returns the word at byte address addr (zero on a bad address,
+// with the error latched).
 func (g *Global) ReadWord(addr uint32) uint32 {
-	g.check(addr)
+	if !g.check(addr) {
+		return 0
+	}
 	return g.words[addr/4]
 }
 
 // WriteWord stores v at byte address addr.
 func (g *Global) WriteWord(addr uint32, v uint32) {
-	g.check(addr)
+	if !g.check(addr) {
+		return
+	}
 	g.words[addr/4] = v
 }
 
 // ReadLine copies the line at lineAddr into dst (len(dst) words).
 func (g *Global) ReadLine(lineAddr uint32, dst []uint32) {
-	g.check(lineAddr)
+	if !g.check(lineAddr) {
+		return
+	}
 	end := int(lineAddr/4) + len(dst)
 	if end > len(g.words) {
-		panic(fmt.Sprintf("mem: line read at %#x runs past %d bytes", lineAddr, g.Size()))
+		g.fail("line read at %#x runs past %d bytes", lineAddr, g.Size())
+		return
 	}
 	copy(dst, g.words[lineAddr/4:end])
 }
 
 // WriteLine copies src into the line at lineAddr.
 func (g *Global) WriteLine(lineAddr uint32, src []uint32) {
-	g.check(lineAddr)
+	if !g.check(lineAddr) {
+		return
+	}
 	end := int(lineAddr/4) + len(src)
 	if end > len(g.words) {
-		panic(fmt.Sprintf("mem: line write at %#x runs past %d bytes", lineAddr, g.Size()))
+		g.fail("line write at %#x runs past %d bytes", lineAddr, g.Size())
+		return
 	}
 	copy(g.words[lineAddr/4:end], src)
 }

@@ -32,13 +32,19 @@ func TestGlobalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestGlobalBoundsPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on out-of-range access")
-		}
-	}()
-	NewGlobal(4096).ReadWord(4096)
+func TestGlobalBoundsError(t *testing.T) {
+	g := NewGlobal(4096)
+	if v := g.ReadWord(4096); v != 0 {
+		t.Fatalf("out-of-range read returned %d, want 0", v)
+	}
+	if g.Err() == nil {
+		t.Fatal("out-of-range access did not latch an error")
+	}
+	g2 := NewGlobal(4096)
+	g2.WriteWord(2, 1) // unaligned
+	if g2.Err() == nil {
+		t.Fatal("unaligned access did not latch an error")
+	}
 }
 
 func TestDRAMOrdering(t *testing.T) {

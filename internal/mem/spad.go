@@ -23,8 +23,9 @@ type Scratchpad struct {
 	counters   []int
 	headSeq    int64
 
-	st  *stats.Core
-	err error
+	st   *stats.Core
+	err  error
+	dead bool // decommissioned (tile killed): all accesses become no-ops
 }
 
 // NewScratchpad builds a scratchpad of the given byte size with the given
@@ -90,9 +91,24 @@ func (s *Scratchpad) checkOff(off uint32) bool {
 	return true
 }
 
+// Decommission powers the scratchpad off alongside its killed tile: all
+// subsequent accesses (including in-flight vload arrivals) are silently
+// dropped rather than tripping frame-counter invariants on a dead tile.
+func (s *Scratchpad) Decommission() { s.dead = true }
+
+// FlipBit flips one bit of the word at byte offset off (fault injection:
+// silent data corruption). Reports whether the flip landed in-range.
+func (s *Scratchpad) FlipBit(off uint32, bit uint8) bool {
+	if s.dead || off%4 != 0 || int(off/4) >= len(s.words) || bit > 31 {
+		return false
+	}
+	s.words[off/4] ^= 1 << bit
+	return true
+}
+
 // ReadWord performs a program load from the scratchpad.
 func (s *Scratchpad) ReadWord(off uint32) uint32 {
-	if !s.checkOff(off) {
+	if s.dead || !s.checkOff(off) {
 		return 0
 	}
 	s.st.SpadReads++
@@ -101,7 +117,7 @@ func (s *Scratchpad) ReadWord(off uint32) uint32 {
 
 // WriteWord performs a program store (local or remote) to the scratchpad.
 func (s *Scratchpad) WriteWord(off uint32, v uint32) {
-	if !s.checkOff(off) {
+	if s.dead || !s.checkOff(off) {
 		return
 	}
 	s.st.SpadWrites++
@@ -112,7 +128,7 @@ func (s *Scratchpad) WriteWord(off uint32, v uint32) {
 // landing inside the frame region increment the owning frame's counter;
 // arrival order within a frame does not matter (§3.3).
 func (s *Scratchpad) ArriveWord(off uint32, v uint32) {
-	if !s.checkOff(off) {
+	if s.dead || !s.checkOff(off) {
 		return
 	}
 	s.st.SpadWrites++

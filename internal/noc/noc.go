@@ -32,6 +32,39 @@ const (
 // queue is full), in which case the flit stays queued and retries.
 type Deliver func(node int, m msg.Message) bool
 
+// LinkVerdict is a fault-injection decision for one flit crossing a link.
+type LinkVerdict uint8
+
+const (
+	// LinkOK delivers the flit normally.
+	LinkOK LinkVerdict = iota
+	// LinkDrop loses the flit in transit (no signal reaches the receiver).
+	LinkDrop
+	// LinkCorrupt damages the flit; the receiver's CRC check rejects it.
+	LinkCorrupt
+)
+
+// LinkJudge decides the fate of a flit crossing the from->to router link at
+// cycle now. nil (the default) means a fault-free network with no per-flit
+// overhead.
+type LinkJudge func(now int64, from, to int) LinkVerdict
+
+// MaxLinkRetries bounds consecutive retransmissions on one link before the
+// link is declared dead (a latched simulation error).
+const MaxLinkRetries = 8
+
+// linkState is one directional link's retry-protocol state. The model is
+// stop-and-wait: each flit carries a sequence number; a dropped or corrupt
+// transfer is NACKed (or times out), the sender holds the flit at its queue
+// head, and retransmits after an exponential backoff. Flits are never
+// removed from a queue without a successful transfer, so no data is lost —
+// only latency.
+type linkState struct {
+	tries     int   // consecutive failed transfers of the head flit
+	holdUntil int64 // backoff: no transfer before this cycle
+	seq       uint32
+}
+
 // ring is a fixed-capacity FIFO of flits (per-link input queue). Each
 // entry caches the flit's output port at this router, computed once at
 // enqueue time (XY routing is static, so the decision never changes).
@@ -80,9 +113,18 @@ type Mesh struct {
 	incoming []int8 // per (router,port) reservation scratch
 	moves    []move
 
+	// Fault-injection hooks (nil/empty in a fault-free mesh).
+	now   int64 // cycles ticked (only consulted by the retry protocol)
+	judge LinkJudge
+	links []linkState // router*4 + out (link ports only)
+	err   error
+
 	// Stats.
-	Flits int64 // flits injected
-	Hops  int64 // link traversals
+	Flits       int64 // flits injected
+	Hops        int64 // link traversals
+	Retransmits int64 // transfers repeated by the link retry protocol
+	Dropped     int64 // flits lost in transit (then retransmitted)
+	Corrupt     int64 // flits CRC-rejected at the receiver (then retransmitted)
 }
 
 type move struct {
@@ -95,9 +137,15 @@ type move struct {
 // New builds a w x h mesh with the given per-link queue capacity. banks is
 // the number of LLC nodes (first half above row 0, second half below row
 // h-1, one per column).
-func New(w, h, banks, queueCap int, deliver Deliver) *Mesh {
+func New(w, h, banks, queueCap int, deliver Deliver) (*Mesh, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", w, h)
+	}
+	if queueCap < 1 {
+		return nil, fmt.Errorf("noc: link queue capacity %d must be at least 1", queueCap)
+	}
 	if banks > 2*w {
-		panic(fmt.Sprintf("noc: %d banks exceed 2x mesh width %d", banks, w))
+		return nil, fmt.Errorf("noc: %d banks exceed 2x mesh width %d", banks, w)
 	}
 	m := &Mesh{
 		w: w, h: h,
@@ -112,7 +160,26 @@ func New(w, h, banks, queueCap int, deliver Deliver) *Mesh {
 	for i := range m.queues {
 		m.queues[i].init(queueCap)
 	}
-	return m
+	return m, nil
+}
+
+// SetLinkJudge installs a fault-injection judge consulted for every link
+// traversal. Call before the first Tick; nil leaves the mesh fault-free.
+func (m *Mesh) SetLinkJudge(j LinkJudge) {
+	m.judge = j
+	if j != nil && m.links == nil {
+		m.links = make([]linkState, m.w*m.h*4)
+	}
+}
+
+// Err returns the first latched network error (a link exceeding the
+// retransmit bound), if any.
+func (m *Mesh) Err() error { return m.err }
+
+func (m *Mesh) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("noc: %s", fmt.Sprintf(format, args...))
+	}
 }
 
 // Space returns the node-id layout.
@@ -216,6 +283,13 @@ func (m *Mesh) Tick() {
 				if m.queues[key].n+int(incoming[key]) >= m.cap {
 					continue // downstream full; try another input
 				}
+				if m.judge != nil && !m.linkClear(tile, outOff, nt) {
+					// Transfer failed (injected drop/corrupt) or the link is
+					// in retransmit backoff: the flit stays at its queue head
+					// and the round-robin pointer holds, so the same flit
+					// retries first. Nothing crosses this output this cycle.
+					break
+				}
 				incoming[key]++
 				moves = append(moves, move{tile: tile, in: in, out: out, toTile: nt})
 				m.rrPtr[base+outOff] = uint8((int(in) + 1) % int(numPorts))
@@ -238,6 +312,40 @@ func (m *Mesh) Tick() {
 		}
 	}
 	m.moves = moves[:0]
+	m.now++
+}
+
+// linkClear runs the retry protocol for the directional link tile->nt
+// (output port outOff). It reports whether the head flit may cross now; a
+// false return means the transfer was lost/rejected (stats counted, backoff
+// armed) or the link is still backing off.
+func (m *Mesh) linkClear(tile, outOff, nt int) bool {
+	ls := &m.links[tile*4+outOff]
+	if m.now < ls.holdUntil {
+		return false
+	}
+	switch m.judge(m.now, tile, nt) {
+	case LinkDrop:
+		m.Dropped++
+	case LinkCorrupt:
+		m.Corrupt++
+	default:
+		ls.tries = 0
+		ls.seq++
+		return true
+	}
+	ls.tries++
+	m.Retransmits++
+	if ls.tries > MaxLinkRetries {
+		m.fail("link %d->%d dead: flit seq %d lost after %d retransmits",
+			tile, nt, ls.seq, ls.tries-1)
+	}
+	backoff := ls.tries
+	if backoff > 6 {
+		backoff = 6
+	}
+	ls.holdUntil = m.now + (int64(1) << uint(backoff))
+	return false
 }
 
 // neighbor returns the router and input port reached by leaving tile via out.

@@ -28,9 +28,18 @@ func drain(m *Mesh, maxTicks int) {
 	}
 }
 
+func newMesh(t *testing.T, w, h, banks, queueCap int, deliver Deliver) *Mesh {
+	t.Helper()
+	m, err := New(w, h, banks, queueCap, deliver)
+	if err != nil {
+		t.Fatalf("noc.New: %v", err)
+	}
+	return m
+}
+
 func TestDelivery(t *testing.T) {
 	c := newCollector()
-	m := New(8, 8, 16, 4, c.deliver)
+	m := newMesh(t, 8, 8, 16, 4, c.deliver)
 	f := msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: []uint32{42}, Words: 1}
 	if !m.TrySend(f) {
 		t.Fatal("inject failed")
@@ -47,7 +56,7 @@ func TestDelivery(t *testing.T) {
 
 func TestLLCAttachment(t *testing.T) {
 	c := newCollector()
-	m := New(8, 8, 16, 4, c.deliver)
+	m := newMesh(t, 8, 8, 16, 4, c.deliver)
 	// Bank 3 hangs above router (0,3); bank 11 below router (7,3).
 	for _, bank := range []int{3, 11} {
 		node := m.Space().LLCNode(bank)
@@ -66,7 +75,7 @@ func TestLLCAttachment(t *testing.T) {
 
 func TestBackpressure(t *testing.T) {
 	c := newCollector()
-	m := New(4, 4, 0, 2, c.deliver)
+	m := newMesh(t, 4, 4, 0, 2, c.deliver)
 	blocked := true
 	c.refuse = func(node int) bool { return node == 5 && blocked }
 	// Flood toward one refusing node: queues fill, injection eventually fails.
@@ -91,7 +100,7 @@ func TestBackpressure(t *testing.T) {
 // property stores rely on for same-address ordering.
 func TestPairwiseFIFO(t *testing.T) {
 	c := newCollector()
-	m := New(8, 8, 16, 4, c.deliver)
+	m := newMesh(t, 8, 8, 16, 4, c.deliver)
 	r := rand.New(rand.NewSource(5))
 	type pair struct{ src, dst int }
 	pairs := []pair{{0, 63}, {7, 56}, {12, 34}, {40, 3}}
@@ -132,7 +141,7 @@ func TestPairwiseFIFO(t *testing.T) {
 // once under random all-to-all traffic.
 func TestAllToAllDelivery(t *testing.T) {
 	c := newCollector()
-	m := New(8, 8, 16, 4, c.deliver)
+	m := newMesh(t, 8, 8, 16, 4, c.deliver)
 	r := rand.New(rand.NewSource(11))
 	injected := 0
 	for tick := 0; tick < 2000; tick++ {
@@ -162,5 +171,102 @@ func TestAllToAllDelivery(t *testing.T) {
 	}
 	if m.QueuedFlits() != 0 {
 		t.Fatal("queued flits after drain")
+	}
+}
+
+// TestLinkRetry: a judge that drops the first few traversals of one link
+// delays the flit but never loses it — the retry protocol retransmits and
+// the flit arrives intact.
+func TestLinkRetry(t *testing.T) {
+	c := newCollector()
+	m := newMesh(t, 4, 4, 0, 4, c.deliver)
+	fails := 3
+	m.SetLinkJudge(func(now int64, from, to int) LinkVerdict {
+		if from == 0 && to == 1 && fails > 0 {
+			fails--
+			return LinkDrop
+		}
+		return LinkOK
+	})
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 3, Vals: []uint32{7}, Words: 1}) {
+		t.Fatal("inject failed")
+	}
+	drain(m, 500)
+	if err := m.Err(); err != nil {
+		t.Fatalf("unexpected link error: %v", err)
+	}
+	if len(c.got[3]) != 1 || c.got[3][0].Vals[0] != 7 {
+		t.Fatalf("flit lost despite retry protocol: %+v", c.got)
+	}
+	if m.Retransmits != 3 || m.Dropped != 3 {
+		t.Fatalf("retransmits=%d dropped=%d, want 3/3", m.Retransmits, m.Dropped)
+	}
+}
+
+// TestLinkCorruptRetry: corrupt verdicts are counted separately but repaired
+// the same way.
+func TestLinkCorruptRetry(t *testing.T) {
+	c := newCollector()
+	m := newMesh(t, 4, 4, 0, 4, c.deliver)
+	fails := 2
+	m.SetLinkJudge(func(now int64, from, to int) LinkVerdict {
+		if from == 0 && to == 1 && fails > 0 {
+			fails--
+			return LinkCorrupt
+		}
+		return LinkOK
+	})
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: []uint32{9}, Words: 1}) {
+		t.Fatal("inject failed")
+	}
+	drain(m, 200)
+	if len(c.got[1]) != 1 || c.got[1][0].Vals[0] != 9 {
+		t.Fatalf("flit lost: %+v", c.got)
+	}
+	if m.Corrupt != 2 || m.Dropped != 0 {
+		t.Fatalf("corrupt=%d dropped=%d, want 2/0", m.Corrupt, m.Dropped)
+	}
+}
+
+// TestLinkDead: a link that never recovers exceeds MaxLinkRetries and
+// latches a structured error instead of spinning forever.
+func TestLinkDead(t *testing.T) {
+	c := newCollector()
+	m := newMesh(t, 4, 4, 0, 4, c.deliver)
+	m.SetLinkJudge(func(now int64, from, to int) LinkVerdict {
+		if from == 0 && to == 1 {
+			return LinkDrop
+		}
+		return LinkOK
+	})
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: []uint32{1}, Words: 1}) {
+		t.Fatal("inject failed")
+	}
+	for i := 0; i < 2000 && m.Err() == nil; i++ {
+		m.Tick()
+	}
+	if m.Err() == nil {
+		t.Fatalf("dead link not detected after %d retransmits", m.Retransmits)
+	}
+	if len(c.got[1]) != 0 {
+		t.Fatal("flit delivered across a dead link")
+	}
+}
+
+// TestNilJudgeZeroCost: installing then clearing a judge leaves the mesh
+// fault-free, and a nil judge changes no delivery behavior.
+func TestNilJudgeZeroCost(t *testing.T) {
+	c := newCollector()
+	m := newMesh(t, 8, 8, 16, 4, c.deliver)
+	m.SetLinkJudge(nil)
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: []uint32{5}, Words: 1}) {
+		t.Fatal("inject failed")
+	}
+	drain(m, 100)
+	if len(c.got[63]) != 1 {
+		t.Fatal("flit not delivered")
+	}
+	if m.Retransmits != 0 || m.Dropped != 0 || m.Corrupt != 0 {
+		t.Fatal("fault stats counted with nil judge")
 	}
 }

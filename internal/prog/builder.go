@@ -28,6 +28,8 @@ type Builder struct {
 	uniq   int
 	err    error
 
+	recoverLabel string // label marking the fault-recovery entry point
+
 	intFree []isa.Reg
 	fpFree  []isa.FReg
 	vecFree []uint8
@@ -67,6 +69,22 @@ func (b *Builder) fail(format string, args ...any) {
 	if b.err == nil {
 		b.err = fmt.Errorf("prog %s: %s", b.name, fmt.Sprintf(format, args...))
 	}
+}
+
+// Fail records a construction error surfaced by Build. Kernel generators
+// use it for unsupported shapes (e.g. a SIMD width the kernel cannot tile)
+// instead of panicking out of the simulator.
+func (b *Builder) Fail(format string, args ...any) { b.fail(format, args...) }
+
+// Recover marks label as the program's fault-recovery entry point: when the
+// machine breaks a vector group around a dead tile, surviving cores resume
+// there in independent MIMD mode. The label must resolve to a nonzero pc.
+func (b *Builder) Recover(label string) {
+	if b.recoverLabel != "" {
+		b.fail("duplicate recovery point %q (already %q)", label, b.recoverLabel)
+		return
+	}
+	b.recoverLabel = label
 }
 
 // Int allocates an integer register; pair with FreeInt when done.
@@ -201,6 +219,16 @@ func (b *Builder) Build() (*isa.Program, error) {
 		code[resolve(f.pos)].Imm = int32(target)
 	}
 	p := &isa.Program{Name: b.name, Code: code, Labels: labels}
+	if b.recoverLabel != "" {
+		pc, ok := labels[b.recoverLabel]
+		if !ok {
+			return nil, fmt.Errorf("prog %s: undefined recovery label %q", b.name, b.recoverLabel)
+		}
+		if pc == 0 {
+			return nil, fmt.Errorf("prog %s: recovery label %q at pc 0 (reserved for entry)", b.name, b.recoverLabel)
+		}
+		p.RecoverPC = pc
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

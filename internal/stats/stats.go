@@ -115,6 +115,12 @@ type Machine struct {
 	DramWrites   int64
 	DramBusy     int64 // cycles the DRAM channel was occupied
 	RemoteStores int64
+
+	// Fault-injection counters (zero on a fault-free run), summed over both
+	// mesh planes.
+	NocRetrans int64 // link retry-protocol retransmissions
+	NocDropped int64 // flits lost in transit and retransmitted
+	NocCorrupt int64 // flits CRC-rejected and retransmitted
 }
 
 // New creates a stats sink for nCores cores and nLLCs cache banks.
@@ -254,6 +260,10 @@ func (m *Machine) Summary() string {
 	fmt.Fprintf(&b, "dram line reads: %d writes: %d busy cycles: %d\n",
 		m.DramReads, m.DramWrites, m.DramBusy)
 	fmt.Fprintf(&b, "noc flits: %d hops: %d\n", m.NocFlits, m.NocHops)
+	if m.NocRetrans > 0 {
+		fmt.Fprintf(&b, "noc retransmits: %d (dropped %d, corrupt %d)\n",
+			m.NocRetrans, m.NocDropped, m.NocCorrupt)
+	}
 	all := make([]int, len(m.Cores))
 	for i := range all {
 		all[i] = i
