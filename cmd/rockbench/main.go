@@ -7,6 +7,10 @@
 //	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault [-scale small|full] [-bench name,...]
 //	rockbench -all [-scale small|full]
 //
+// Each figure's independent simulations run on a worker pool of -j
+// goroutines (default GOMAXPROCS). The output — every cycle count, table
+// row, and progress line, in order — is identical for any -j.
+//
 // Absolute cycle counts are the simulator's, not the paper's gem5 testbed;
 // EXPERIMENTS.md records the shape comparison per figure.
 package main
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"rockcress/internal/harness"
@@ -29,6 +34,7 @@ func main() {
 		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per figure sweep (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -41,7 +47,7 @@ func main() {
 		benches = strings.Split(*benchCSV, ",")
 	}
 	r := harness.New(harness.Options{
-		Scale: scale, Out: os.Stdout, Verbose: !*quiet, Benches: benches,
+		Scale: scale, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
 	})
 
 	out := os.Stdout

@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	rocksim -bench gemm -config V4 [-scale small] [-v]
+//	rocksim -bench gemm -config V4 [-scale small] [-v] [-j workers]
 //	rocksim -bench mvt -config V4 -faults "seed=42;kill@3000:t12"
+//
+// -j spreads one simulation's per-cycle component ticks over a worker pool;
+// cycle counts are bit-identical for any value. Setting ROCKTRACE (any
+// non-empty value) traces barrier arrivals and releases to stderr.
 //
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
 // V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
@@ -32,8 +36,15 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-core CPI stack and energy split")
 		dumpAsm   = flag.Bool("dump-asm", false, "print the built program's disassembly and exit")
 		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req"`)
+		workers   = flag.Int("j", 1, "engine worker goroutines for one simulation (0 or 1 = serial; cycle counts are identical for any value)")
 	)
 	flag.Parse()
+
+	opts := kernels.ExecOpts{
+		MaxCycles:     *maxCycles,
+		Workers:       *workers,
+		TraceBarriers: os.Getenv("ROCKTRACE") != "",
+	}
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
@@ -60,10 +71,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runFaulted(bench, scale, sw, *maxCycles, plan, *verbose)
+		runFaulted(bench, scale, sw, opts, plan, *verbose)
 		return
 	}
-	res, err := kernels.Execute(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), *maxCycles)
+	res, err := kernels.ExecuteOpts(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,9 +99,9 @@ func main() {
 // runFaulted runs the benchmark under a fault schedule via the graceful
 // degradation harness and prints the final statistics plus what it cost.
 func runFaulted(bench kernels.Benchmark, scale kernels.Scale, sw config.Software,
-	maxCycles int64, plan *fault.Plan, verbose bool) {
-	fr, err := kernels.ExecuteWithFaults(bench, bench.Defaults(scale), sw,
-		config.ManycoreDefault(), maxCycles, plan)
+	opts kernels.ExecOpts, plan *fault.Plan, verbose bool) {
+	fr, err := kernels.ExecuteWithFaultsOpts(bench, bench.Defaults(scale), sw,
+		config.ManycoreDefault(), plan, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -126,6 +126,10 @@ type Core struct {
 	// Expander microthread state.
 	mtActive bool
 	vpc      int
+
+	// issueSlot, when set, receives the number of instructions issued each
+	// Tick (the machine's watchdog meter). The slot is owned by this core.
+	issueSlot *int64
 }
 
 type lqEntry struct {
@@ -247,8 +251,23 @@ func (c *Core) setVPC(pc int) {
 	c.fetchCharged = false
 }
 
+// SetIssueSlot points the core at a counter that accumulates its issued
+// instructions incrementally, so the machine's progress watchdog reads a
+// running total instead of rescanning every stall histogram.
+func (c *Core) SetIssueSlot(p *int64) { c.issueSlot = p }
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(now int64) {
+	if c.issueSlot == nil {
+		c.tick(now)
+		return
+	}
+	pre := c.st.StallCycles[stats.StallNone]
+	c.tick(now)
+	*c.issueSlot += c.st.StallCycles[stats.StallNone] - pre
+}
+
+func (c *Core) tick(now int64) {
 	if c.halted {
 		return
 	}
@@ -536,4 +555,85 @@ func (c *Core) Quiesced() bool {
 		}
 	}
 	return true
+}
+
+// IdleUntil reports whether ticking the core is a pure stall until some
+// future cycle: quiet means every tick before `until` would only record
+// one stall cycle of the returned kind. until is math.MaxInt64 when the
+// wake depends on another component (a group peer arriving, a barrier
+// release, an inet send); the machine's fast-forward horizon is then set
+// by whoever acts. Cores attempting to issue are conservatively reported
+// active: scoreboard and frame waits are resolved by mesh traffic, which
+// keeps the machine out of fast-forward on its own.
+func (c *Core) IdleUntil(now int64) (quiet bool, until int64, kind stats.StallKind) {
+	if c.halted {
+		return true, math.MaxInt64, stats.StallNone
+	}
+	switch c.state {
+	case stFormGroup:
+		if c.env.GroupFormed(c.ID, c.ticket) {
+			return false, 0, 0
+		}
+		return true, math.MaxInt64, stats.StallOther
+	case stBarrier:
+		if c.env.BarrierDone(c.ticket) {
+			return false, 0, 0
+		}
+		return true, math.MaxInt64, stats.StallOther
+	}
+	waitInet := func() (bool, int64, stats.StallKind) {
+		if c.inQ.Ready(now) {
+			return false, 0, 0
+		}
+		at, ok := c.inQ.ReadyAt()
+		if !ok {
+			return true, math.MaxInt64, stats.StallInet
+		}
+		return true, at, stats.StallInet
+	}
+	switch c.mode {
+	case ModeIndependent, ModeScalar:
+		if now < c.fetchReadyAt {
+			return true, c.fetchReadyAt, stats.StallOther
+		}
+	case ModeVector:
+		if c.isExpander() {
+			if !c.mtActive {
+				return waitInet()
+			}
+			if now < c.fetchReadyAt {
+				return true, c.fetchReadyAt, stats.StallOther
+			}
+		} else {
+			return waitInet()
+		}
+	}
+	return false, 0, 0
+}
+
+// SkipIdle accounts for n skipped cycles of a pure stall of the given kind
+// (idle fast-forward backfill). It must only be called with the kind a
+// preceding IdleUntil returned, and leaves every counter exactly as n
+// individual Ticks would have.
+func (c *Core) SkipIdle(n int64, kind stats.StallKind) {
+	if c.halted || n <= 0 {
+		return
+	}
+	c.st.Cycles += n
+	c.st.AddStallN(kind, n)
+}
+
+// Propose advances the core one cycle (sim.Component). Cores in different
+// shards share no same-cycle state: vector groups are co-sharded with
+// their inet wiring, and everything cross-shard a core touches (mesh
+// injection, barrier arrival counts) is router-disjoint or atomic.
+func (c *Core) Propose(now int64) { c.Tick(now) }
+
+// Commit is a no-op: a core's cycle has no deferred writes.
+func (c *Core) Commit(now int64) {}
+
+// Quiescent implements the sim.Component hint via IdleUntil.
+func (c *Core) Quiescent(now int64) (bool, int64) {
+	quiet, until, _ := c.IdleUntil(now)
+	return quiet, until
 }

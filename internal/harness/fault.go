@@ -31,6 +31,12 @@ func (r *Runner) FigFault(w io.Writer) error {
 		return err
 	}
 	hw := config.ManycoreDefault()
+	// The fault-free base runs are independent; warm them in parallel. The
+	// degradation sweep itself stays serial — each point is a restart chain
+	// whose plan depends on the base cycle count.
+	if err := r.prewarm(sweepReqs([]kernels.Benchmark{bench}, faultConfigs, nil)); err != nil {
+		return err
+	}
 	header := []string{"config"}
 	for _, k := range faultKills {
 		header = append(header, fmt.Sprintf("k=%d", k))

@@ -13,6 +13,9 @@ import (
 // accesses, and total on-chip energy for NV, NV_PF, and BEST_V, all
 // relative to the NV baseline.
 func (r *Runner) Fig10(w io.Writer) error {
+	if err := r.prewarm(sweepReqs(r.benches(), append([]string{"NV", "NV_PF"}, BestVConfigs...), nil)); err != nil {
+		return err
+	}
 	sp := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
 	ic := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
 	en := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V"}}
@@ -79,6 +82,15 @@ func coreCountMods() []HWMod {
 // capacity and bandwidth.
 func (r *Runner) Fig11(w io.Writer) error {
 	mods := coreCountMods()
+	var reqs []runReq
+	for _, b := range r.benches() {
+		for i := range mods {
+			reqs = append(reqs, runReq{bench: b, cfg: "NV_PF", mod: &mods[i]})
+		}
+	}
+	if err := r.prewarm(reqs); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "NV_PF_1", "NV_PF_4", "NV_PF_16", "NV_PF_64"}}
 	sums := make([][]float64, len(mods))
 	for _, b := range r.benches() {
@@ -120,6 +132,15 @@ func cpiCells(s stats.CPIStack, withInet bool) []string {
 func (r *Runner) Fig12(w io.Writer) error {
 	mods := coreCountMods()
 	use := []int{0, 2, 3} // 1, 16, 64 cores
+	var reqs []runReq
+	for _, b := range r.benches() {
+		for _, mi := range use {
+			reqs = append(reqs, runReq{bench: b, cfg: "NV_PF", mod: &mods[mi]})
+		}
+	}
+	if err := r.prewarm(reqs); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "cores", "issued", "frame", "other", "CPI"}}
 	var totals [3][]float64
 	for _, b := range r.benches() {
@@ -150,6 +171,16 @@ func (r *Runner) Fig12(w io.Writer) error {
 // methodology note).
 func (r *Runner) Fig13(w io.Writer) error {
 	bw2 := HWMod{Name: "2xBW", Fn: func(c *config.Manycore) { c.DRAMBandwidth *= 2 }}
+	var reqs []runReq
+	for _, b := range r.benches() {
+		reqs = append(reqs,
+			runReq{bench: b, cfg: "NV_PF"},
+			runReq{bench: b, cfg: "NV_PF", mod: &bw2},
+			runReq{bench: b, cfg: "V4"})
+	}
+	if err := r.prewarm(reqs); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "config", "issued", "frame", "inet", "backpr", "other", "CPI"}}
 	var cpiB, cpi2, cpiV []float64
 	for _, b := range r.benches() {
@@ -195,6 +226,12 @@ func (r *Runner) Fig13(w io.Writer) error {
 // Fig14 regenerates the SIMD and GPU comparison: speedup, I-cache accesses,
 // and energy relative to NV_PF for PCV_PF, BEST_V, BEST_V_PCV, and the GPU.
 func (r *Runner) Fig14(w io.Writer) error {
+	cfgs := append([]string{"NV_PF", "PCV_PF"}, BestVConfigs...)
+	cfgs = append(cfgs, BestVPCVConfigs...)
+	cfgs = append(cfgs, "GPU")
+	if err := r.prewarm(sweepReqs(r.benches(), cfgs, nil)); err != nil {
+		return err
+	}
 	sp := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV", "GPU"}}
 	ic := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV"}}
 	en := &table{header: []string{"bench", "NV_PF", "PCV_PF", "BEST_V", "BEST_V_PCV"}}
@@ -262,6 +299,20 @@ var fig15Benches = []string{"2dconv", "3dconv", "bicg", "gemm", "syr2k"}
 // and backpressure stalls by hop distance from the scalar core (V4 and
 // V16), and the fraction of cycles waiting for frames (NV_PF vs V4).
 func (r *Runner) Fig15(w io.Writer) error {
+	var reqs []runReq
+	for _, cfg := range []string{"V4", "V16"} {
+		for _, name := range fig15Benches {
+			b, err := kernels.Get(name)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, runReq{bench: b, cfg: cfg})
+		}
+	}
+	reqs = append(reqs, sweepReqs(r.benches(), []string{"NV_PF", "V4"}, nil)...)
+	if err := r.prewarm(reqs); err != nil {
+		return err
+	}
 	for _, cfg := range []string{"V4", "V16"} {
 		t := &table{header: []string{"bench", "kind", "hop0", "hop1", "hop2", "hop3", "hop4", "hop5", "hop6", "hop7"}}
 		for _, name := range fig15Benches {
@@ -325,6 +376,9 @@ func (r *Runner) Fig15(w io.Writer) error {
 // V16, V16_LL_PCV speedups relative to V4.
 func (r *Runner) Fig16(w io.Writer) error {
 	cfgs := []string{"V4", "V4_LL_PCV", "V16", "V16_LL_PCV"}
+	if err := r.prewarm(sweepReqs(r.benches(), cfgs, nil)); err != nil {
+		return err
+	}
 	t := &table{header: append([]string{"bench"}, cfgs...)}
 	sums := make([][]float64, len(cfgs))
 	for _, b := range r.benches() {
@@ -356,6 +410,11 @@ func (r *Runner) Fig16(w io.Writer) error {
 
 // Fig17a regenerates the LLC miss-rate comparison.
 func (r *Runner) Fig17a(w io.Writer) error {
+	cfgs := append([]string{"NV", "NV_PF"}, BestVConfigs...)
+	cfgs = append(cfgs, "V16_LL")
+	if err := r.prewarm(sweepReqs(r.benches(), cfgs, nil)); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "NV", "NV_PF", "BEST_V", "V16_LL"}}
 	sums := make([][]float64, 4)
 	for _, b := range r.benches() {
@@ -400,6 +459,9 @@ func (r *Runner) Fig17b(w io.Writer) error {
 	big := HWMod{Name: "32kB", Fn: func(c *config.Manycore) { c.LLCBytes = 32 * 1024 * c.LLCBanks }}
 	cfgs := []string{"NV_PF", "V4", "V16_LL"}
 	mods := []*HWMod{&small, &big}
+	if err := r.prewarm(modSweepReqs(r.benches(), cfgs, mods)); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "NV_PF_16kB", "NV_PF_32kB", "V4_16kB", "V4_32kB", "V16_LL_16kB", "V16_LL_32kB"}}
 	for _, b := range r.benches() {
 		var base float64
@@ -433,6 +495,9 @@ func (r *Runner) Fig17c(w io.Writer) error {
 	nw4 := HWMod{Name: "NW4", Fn: func(c *config.Manycore) { c.NetWidthWords = 4 }}
 	cfgs := []string{"NV_PF", "V4", "V16_LL"}
 	mods := []*HWMod{&nw1, &nw4}
+	if err := r.prewarm(modSweepReqs(r.benches(), cfgs, mods)); err != nil {
+		return err
+	}
 	t := &table{header: []string{"bench", "NV_PF_NW1", "NV_PF_NW4", "V4_NW1", "V4_NW4", "V16_LL_NW1", "V16_LL_NW4"}}
 	for _, b := range r.benches() {
 		var base float64
@@ -465,6 +530,9 @@ func (r *Runner) Fig17c(w io.Writer) error {
 func (r *Runner) BFS(w io.Writer) error {
 	b, err := kernels.Get("bfs")
 	if err != nil {
+		return err
+	}
+	if err := r.prewarm(sweepReqs([]kernels.Benchmark{b}, []string{"NV", "V4", "V16"}, nil)); err != nil {
 		return err
 	}
 	nv, err := r.RunNamed(b, "NV", nil)

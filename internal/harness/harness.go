@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rockcress/internal/config"
@@ -24,11 +27,19 @@ type Options struct {
 	Out       io.Writer
 	Verbose   bool     // print per-run progress
 	Benches   []string // subset filter (nil = all PolyBench)
+
+	// Jobs bounds how many independent simulations a figure sweep runs
+	// concurrently (rockbench -j). 0 means GOMAXPROCS. Output ordering,
+	// cache contents, and every simulated cycle count are independent of
+	// the value: each machine instance runs its own serial engine, and
+	// results are committed in sweep order.
+	Jobs int
 }
 
 // Runner executes and caches simulations.
 type Runner struct {
 	opts  Options
+	mu    sync.Mutex // guards cache during parallel sweeps
 	cache map[string]*kernels.Result
 }
 
@@ -78,19 +89,52 @@ func effectiveSW(bench string, sw config.Software) config.Software {
 	return sw
 }
 
-// Run executes one benchmark under one configuration (with an optional
-// hardware modification), caching by (bench, config, mod, scale).
-func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*kernels.Result, error) {
+// resolve computes the effective software, hardware, and cache key for one
+// (bench, config, mod) run. Run and prewarm must agree on this mapping or
+// the warm pool would miss the cache the sweep later reads.
+func (r *Runner) resolve(bench kernels.Benchmark, sw config.Software, mod *HWMod) (key string, esw config.Software, hw config.Manycore, modName string) {
 	name := bench.Info().Name
-	sw = effectiveSW(name, sw)
-	modName := ""
-	hw := config.ManycoreDefault()
+	esw = effectiveSW(name, sw)
+	hw = config.ManycoreDefault()
 	if mod != nil {
 		modName = mod.Name
 		mod.Fn(&hw)
 	}
-	key := fmt.Sprintf("%s|%s|%s|%d", name, sw.Name, modName, r.opts.Scale)
-	if res, ok := r.cache[key]; ok {
+	key = fmt.Sprintf("%s|%s|%s|%d", name, esw.Name, modName, r.opts.Scale)
+	return key, esw, hw, modName
+}
+
+func (r *Runner) lookup(key string) (*kernels.Result, bool) {
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	return res, ok
+}
+
+// store commits a result first-wins, returning whichever pointer the cache
+// ends up holding (so repeated Runs keep returning the identical result).
+func (r *Runner) store(key string, res *kernels.Result) *kernels.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.cache[key]; ok {
+		return prev
+	}
+	r.cache[key] = res
+	return res
+}
+
+func (r *Runner) progress(name string, sw config.Software, modName string, res *kernels.Result, secs float64) {
+	if r.opts.Verbose {
+		fmt.Fprintf(r.opts.Out, "# %-10s %-12s %-14s %10d cycles  (%.1fs)\n",
+			name, sw.Name, modName, res.Cycles(), secs)
+	}
+}
+
+// Run executes one benchmark under one configuration (with an optional
+// hardware modification), caching by (bench, config, mod, scale).
+func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*kernels.Result, error) {
+	key, sw, hw, modName := r.resolve(bench, sw, mod)
+	if res, ok := r.lookup(key); ok {
 		return res, nil
 	}
 	start := time.Now()
@@ -98,12 +142,8 @@ func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*
 	if err != nil {
 		return nil, err
 	}
-	if r.opts.Verbose {
-		fmt.Fprintf(r.opts.Out, "# %-10s %-12s %-14s %10d cycles  (%.1fs)\n",
-			name, sw.Name, modName, res.Cycles(), time.Since(start).Seconds())
-	}
-	r.cache[key] = res
-	return res, nil
+	r.progress(bench.Info().Name, sw, modName, res, time.Since(start).Seconds())
+	return r.store(key, res), nil
 }
 
 // RunNamed looks the Table 3 preset up and runs it.
@@ -116,6 +156,135 @@ func (r *Runner) RunNamed(bench kernels.Benchmark, cfgName string, mod *HWMod) (
 		return nil, err
 	}
 	return r.Run(bench, sw, mod)
+}
+
+// runReq names one simulation of a figure sweep: a benchmark under a
+// Table 3 preset name ("GPU" selects the GPU baseline), with an optional
+// hardware modification.
+type runReq struct {
+	bench kernels.Benchmark
+	cfg   string
+	mod   *HWMod
+}
+
+func (r *Runner) jobs() int {
+	if r.opts.Jobs > 0 {
+		return r.opts.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prewarm executes a sweep's cache misses on a bounded worker pool so the
+// figure generator that follows hits the cache for every row. Determinism:
+// requests are deduplicated and committed in input order, progress lines
+// print in input order (each gated on its own completion), and on failure
+// the earliest-indexed error is returned after the pool drains. Simulated
+// cycle counts cannot depend on Jobs at all — every machine instance is
+// private to one simulation.
+func (r *Runner) prewarm(reqs []runReq) error {
+	type job struct {
+		bench   kernels.Benchmark
+		sw      config.Software
+		hw      config.Manycore
+		key     string
+		modName string
+	}
+	var jobs []job
+	seen := map[string]bool{}
+	for _, q := range reqs {
+		var sw config.Software
+		if q.cfg == "GPU" {
+			sw = kernels.GPUSoftware()
+		} else {
+			var err error
+			sw, err = config.Preset(q.cfg)
+			if err != nil {
+				return err
+			}
+		}
+		key, esw, hw, modName := r.resolve(q.bench, sw, q.mod)
+		if seen[key] {
+			continue
+		}
+		if _, ok := r.lookup(key); ok {
+			continue
+		}
+		seen[key] = true
+		jobs = append(jobs, job{bench: q.bench, sw: esw, hw: hw, key: key, modName: modName})
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	type outcome struct {
+		res  *kernels.Result
+		err  error
+		secs float64
+	}
+	outs := make([]outcome, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	n := r.jobs()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	for w := 0; w < n; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				start := time.Now()
+				res, err := kernels.Execute(j.bench, j.bench.Defaults(r.opts.Scale), j.sw, j.hw, r.opts.MaxCycles)
+				outs[i] = outcome{res: res, err: err, secs: time.Since(start).Seconds()}
+				close(done[i])
+			}
+		}()
+	}
+	var firstErr error
+	for i := range jobs {
+		<-done[i]
+		if firstErr != nil {
+			continue
+		}
+		if outs[i].err != nil {
+			firstErr = outs[i].err
+			continue
+		}
+		r.progress(jobs[i].bench.Info().Name, jobs[i].sw, jobs[i].modName, outs[i].res, outs[i].secs)
+		r.store(jobs[i].key, outs[i].res)
+	}
+	return firstErr
+}
+
+// sweepReqs builds the benches x cfgs cross product (configs inner, matching
+// the figure loops' run order) under one hardware mod.
+func sweepReqs(benches []kernels.Benchmark, cfgs []string, mod *HWMod) []runReq {
+	reqs := make([]runReq, 0, len(benches)*len(cfgs))
+	for _, b := range benches {
+		for _, c := range cfgs {
+			reqs = append(reqs, runReq{bench: b, cfg: c, mod: mod})
+		}
+	}
+	return reqs
+}
+
+// modSweepReqs builds the benches x cfgs x mods cross product (mods
+// innermost, matching the sensitivity figures' run order).
+func modSweepReqs(benches []kernels.Benchmark, cfgs []string, mods []*HWMod) []runReq {
+	reqs := make([]runReq, 0, len(benches)*len(cfgs)*len(mods))
+	for _, b := range benches {
+		for _, c := range cfgs {
+			for _, m := range mods {
+				reqs = append(reqs, runReq{bench: b, cfg: c, mod: m})
+			}
+		}
+	}
+	return reqs
 }
 
 // Best returns the faster of several configurations (the BEST_V rows of

@@ -112,6 +112,46 @@ func TestFig10TinySubset(t *testing.T) {
 	}
 }
 
+// stripTimings drops the wall-clock suffix from progress lines — the only
+// part of the output allowed to vary between runs.
+func stripTimings(out string) string {
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "#") {
+			if j := strings.LastIndex(l, "("); j >= 0 {
+				lines[i] = strings.TrimRight(l[:j], " ")
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestParallelSweepDeterministic checks the figure-sweep worker pool: for
+// any Jobs value the full output — progress lines, order, and every table
+// cell — must match the serial sweep. Under `go test -race` this is also
+// the detector's concurrent-simulation workload for the harness.
+func TestParallelSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	run := func(jobs int) string {
+		var b bytes.Buffer
+		r := New(Options{Scale: kernels.Tiny, Out: &b, Verbose: true,
+			Benches: []string{"gemm", "mvt", "gesummv"}, Jobs: jobs})
+		if err := r.Fig16(&b); err != nil {
+			t.Fatal(err)
+		}
+		return stripTimings(b.String())
+	}
+	serial := run(1)
+	for _, jobs := range []int{2, 8} {
+		if got := run(jobs); got != serial {
+			t.Errorf("jobs=%d output differs from serial:\n--- serial ---\n%s\n--- jobs=%d ---\n%s",
+				jobs, serial, jobs, got)
+		}
+	}
+}
+
 func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{2, 8}); g != 4 {
 		t.Fatalf("geomean %g, want 4", g)

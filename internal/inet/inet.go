@@ -81,6 +81,21 @@ func (q *Queue) Ready(now int64) bool {
 	return now >= q.stuckUntil && len(q.entries) > 0 && q.entries[0].readyAt <= now
 }
 
+// ReadyAt returns the cycle the head item becomes poppable. ok is false
+// when the queue is empty (nothing self-scheduled: readiness then depends
+// on a future Send). It feeds the machine's idle fast-forward horizon: a
+// core waiting on its inet queue is quiescent exactly until this cycle.
+func (q *Queue) ReadyAt() (at int64, ok bool) {
+	if len(q.entries) == 0 {
+		return 0, false
+	}
+	at = q.entries[0].readyAt
+	if q.stuckUntil > at {
+		at = q.stuckUntil
+	}
+	return at, true
+}
+
 // StickUntil freezes the queue head until the given cycle (fault injection:
 // a transient forwarding-fabric hang). Sends still land; nothing pops.
 func (q *Queue) StickUntil(until int64) { q.stuckUntil = until }

@@ -30,14 +30,21 @@ type FaultResult struct {
 // attempt completes with output matching the serial reference.
 func ExecuteWithFaults(b Benchmark, p Params, sw config.Software, hw config.Manycore,
 	maxCycles int64, plan *fault.Plan) (*FaultResult, error) {
+	return ExecuteWithFaultsOpts(b, p, sw, hw, plan, ExecOpts{MaxCycles: maxCycles})
+}
+
+// ExecuteWithFaultsOpts is ExecuteWithFaults with engine options.
+func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore,
+	plan *fault.Plan, opts ExecOpts) (*FaultResult, error) {
 	name := b.Info().Name
 	if plan == nil || len(plan.Events) == 0 {
-		res, err := Execute(b, p, sw, hw, maxCycles)
+		res, err := ExecuteOpts(b, p, sw, hw, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &FaultResult{Result: res, Attempts: 1, TotalCycles: res.Cycles()}, nil
 	}
+	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
 	}
@@ -89,6 +96,7 @@ func ExecuteWithFaults(b Benchmark, p Params, sw config.Software, hw config.Many
 		}
 		m, err := machine.New(machine.Params{
 			Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Faults: cur,
+			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)

@@ -33,11 +33,28 @@ func (r *Result) Cycles() int64 {
 	return r.Stats.Cycles
 }
 
+// ExecOpts tunes one execution beyond the benchmark/config selection.
+type ExecOpts struct {
+	// MaxCycles bounds the simulation; DefaultMaxCycles when 0.
+	MaxCycles int64
+	// Workers sizes the machine's two-phase engine tick pool. Results are
+	// bit-identical for every value; 0 or 1 runs the serial engine.
+	Workers int
+	// TraceBarriers logs global barrier releases (per-instance debug aid).
+	TraceBarriers bool
+}
+
 // Execute runs benchmark b with parameters p under the given software row
 // and hardware base configuration, checks the results against the serial
 // reference, and returns the statistics.
 func Execute(b Benchmark, p Params, sw config.Software, hw config.Manycore, maxCycles int64) (*Result, error) {
+	return ExecuteOpts(b, p, sw, hw, ExecOpts{MaxCycles: maxCycles})
+}
+
+// ExecuteOpts is Execute with engine options.
+func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, opts ExecOpts) (*Result, error) {
 	name := b.Info().Name
+	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
 	}
@@ -68,7 +85,8 @@ func Execute(b Benchmark, p Params, sw config.Software, hw config.Manycore, maxC
 	if memBytes < machine.DefaultMemBytes {
 		memBytes = machine.DefaultMemBytes
 	}
-	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes})
+	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes,
+		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 	}

@@ -7,7 +7,9 @@ package machine
 import (
 	"errors"
 	"fmt"
-	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rockcress/internal/config"
 	"rockcress/internal/cpu"
@@ -17,14 +19,12 @@ import (
 	"rockcress/internal/mem"
 	"rockcress/internal/msg"
 	"rockcress/internal/noc"
+	"rockcress/internal/sim"
 	"rockcress/internal/stats"
 )
 
 // DefaultMemBytes sizes the global backing store.
 const DefaultMemBytes = 32 * 1024 * 1024
-
-// traceBarriers logs barrier releases when ROCKTRACE is set (debug aid).
-var traceBarriers = os.Getenv("ROCKTRACE") != ""
 
 // Watchdog defaults: check progress every CheckEvery cycles; abort after
 // StallLimit consecutive checks with no instruction issued anywhere.
@@ -47,6 +47,15 @@ type Params struct {
 	// experiments raise these to avoid false deadlock aborts.
 	CheckEvery int64
 	StallLimit int64
+
+	// Workers sizes the two-phase engine's tick pool. 0 or 1 runs the
+	// serial engine; any value produces bit-identical results.
+	Workers int
+
+	// TraceBarriers logs global barrier releases (debug aid). Per-instance
+	// so tracing is safe under parallel sweeps; cmd/rocksim wires it to the
+	// ROCKTRACE environment variable.
+	TraceBarriers bool
 }
 
 // FaultError is a structured simulation failure: the cycle it surfaced, the
@@ -101,12 +110,28 @@ type Machine struct {
 
 	tileGroup []int // tile -> group id, -1 if none
 
-	now        int64
-	active     int
-	barrier    genBarrier
+	// engine drives the cycle as staged two-phase ticks; meter is the
+	// watchdog's incrementally-maintained issued-instruction counter.
+	engine *sim.Engine
+	meter  *sim.Meter
+
+	now int64
+	// active and barrier.arrived are atomics: cores in different engine
+	// shards halt and arrive concurrently during the parallel core phase.
+	// barrier.gen is only written in serial phases (release, fault stage).
+	active  atomic.Int64
+	barrier struct {
+		gen     int64
+		arrived atomic.Int64
+	}
 	barPending bool         // all cores arrived; release waits for memory drain
 	formation  []genBarrier // per group
-	err        error
+
+	errMu sync.Mutex
+	err   error
+
+	traceBarriers bool
+	ffKinds       []stats.StallKind // fast-forward backfill scratch
 
 	// Fault injection (all nil/zero on a fault-free machine).
 	inj          *fault.Injector
@@ -145,14 +170,16 @@ func New(p Params) (*Machine, error) {
 	cfg := p.Cfg
 	m := &Machine{
 		Cfg: cfg, Prog: p.Prog, Groups: p.Groups,
-		Global:    mem.NewGlobal(memBytes),
-		Stats:     stats.New(cfg.Cores, cfg.LLCBanks),
-		dram:      mem.NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth),
-		space:     msg.NodeSpace{Cores: cfg.Cores, Banks: cfg.LLCBanks},
-		active:    cfg.Cores,
-		formation: make([]genBarrier, len(p.Groups)),
-		tileGroup: make([]int, cfg.Cores),
+		Global:        mem.NewGlobal(memBytes),
+		Stats:         stats.New(cfg.Cores, cfg.LLCBanks),
+		dram:          mem.NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth),
+		space:         msg.NodeSpace{Cores: cfg.Cores, Banks: cfg.LLCBanks},
+		formation:     make([]genBarrier, len(p.Groups)),
+		tileGroup:     make([]int, cfg.Cores),
+		meter:         sim.NewMeter(cfg.Cores),
+		traceBarriers: p.TraceBarriers,
 	}
+	m.active.Store(int64(cfg.Cores))
 	for i := range m.tileGroup {
 		m.tileGroup[i] = -1
 	}
@@ -220,8 +247,109 @@ func New(p Params) (*Machine, error) {
 		}
 		m.cores[t] = cpu.New(t, cfg, p.Prog, m, &m.Stats.Cores[t],
 			m.spads[t], group, lane, inQ, outQs)
+		m.cores[t].SetIssueSlot(m.meter.Slot(t))
 	}
+	m.engine = sim.NewEngine(m.buildStages(), p.Workers)
 	return m, nil
+}
+
+// buildStages lays the machine out on the two-phase engine. One cycle is:
+//
+//  1. "mem": serial prologue fires due fault events and drains DRAM
+//     completions into bank installs; then the LLC banks tick. Banks on
+//     distinct mesh routers form independent shards — their propose phase
+//     touches only bank-owned state and router-disjoint response
+//     injection, and the order-sensitive DRAM reads are committed in bank
+//     order afterwards.
+//  2. "mesh": both mesh planes in one shard, request plane first, exactly
+//     the serial order — the fault injector's link judge draws from one
+//     shared RNG stream, so plane ticking must never reorder.
+//  3. "cores": serial prologue releases the global barrier once memory
+//     drains; then the cores tick. A vector group and its inet wiring form
+//     one shard (lanes read what the scalar/expander sent this cycle);
+//     ungrouped tiles are singleton shards. The epilogue re-arms the
+//     barrier release check, which in the serial engine a mid-phase
+//     arrival would have run inline — deferred it is identical, because
+//     barPending is only read at the next cycle's release check.
+//
+// Shards are declared in ascending tile/bank order, so the serial commit
+// sweep — and the serial engine itself — visits components exactly like
+// the pre-engine loop did.
+func (m *Machine) buildStages() []sim.Stage {
+	// LLC shards keyed by attach router. On meshes where two banks share a
+	// router (1-row meshes), all banks collapse into one serial shard so
+	// the commit order stays the global bank order.
+	routerSeen := map[int]bool{}
+	shared := false
+	for b := range m.llcs {
+		r := m.meshResp.AttachRouter(m.space.LLCNode(b))
+		if routerSeen[r] {
+			shared = true
+		}
+		routerSeen[r] = true
+	}
+	var llcShards []sim.Shard
+	if shared {
+		sh := make(sim.Shard, len(m.llcs))
+		for b := range m.llcs {
+			sh[b] = m.llcs[b]
+		}
+		llcShards = []sim.Shard{sh}
+	} else {
+		for b := range m.llcs {
+			llcShards = append(llcShards, sim.Shard{m.llcs[b]})
+		}
+	}
+	// Core shards: group closures (tiles ascending) and singletons, in
+	// ascending order of their lowest tile.
+	var coreShards []sim.Shard
+	done := make([]bool, len(m.cores))
+	for t := range m.cores {
+		if done[t] {
+			continue
+		}
+		if gid := m.tileGroup[t]; gid >= 0 {
+			tiles := append([]int(nil), m.Groups[gid].Tiles()...)
+			sort.Ints(tiles)
+			sh := make(sim.Shard, len(tiles))
+			for i, gt := range tiles {
+				sh[i] = m.cores[gt]
+				done[gt] = true
+			}
+			coreShards = append(coreShards, sh)
+			continue
+		}
+		coreShards = append(coreShards, sim.Shard{m.cores[t]})
+		done[t] = true
+	}
+	return []sim.Stage{
+		{Name: "mem", Pre: m.preMem, Shards: llcShards},
+		{Name: "mesh", Shards: []sim.Shard{{m.meshReq, m.meshResp}}},
+		{Name: "cores", Pre: m.preCores, Shards: coreShards, Post: func(int64) { m.checkBarrier() }},
+	}
+}
+
+// preMem fires due discrete fault events and drains DRAM completions.
+func (m *Machine) preMem(now int64) {
+	if m.inj != nil && now >= m.inj.NextDiscrete() {
+		m.applyFaults(now)
+	}
+	for _, f := range m.dram.Completed(now, m.Global) {
+		m.llcs[f.Bank].Install(now, f.LineAddr)
+	}
+}
+
+// preCores releases the global barrier once every active core has arrived
+// and the memory system has drained (the barrier doubles as a store fence).
+func (m *Machine) preCores(now int64) {
+	if m.barPending && m.memQuiescent() {
+		m.barPending = false
+		m.barrier.gen++
+		m.barrier.arrived.Store(0)
+		if m.traceBarriers {
+			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
+		}
+	}
 }
 
 // Core returns tile t's processor (test and harness hook).
@@ -278,11 +406,14 @@ func (m *Machine) GroupFormed(tile int, ticket int64) bool {
 	return m.formation[gid].gen > ticket
 }
 
-// BarrierArrive registers a tile at the global barrier.
+// BarrierArrive registers a tile at the global barrier. Callable from the
+// parallel core phase: the arrival count is atomic, and the all-arrived
+// check is deferred to the phase epilogue (checkBarrier), which the serial
+// engine's inline check cannot be distinguished from — barPending is only
+// read at the next cycle's release.
 func (m *Machine) BarrierArrive(tile int) int64 {
 	ticket := m.barrier.gen
-	m.barrier.arrived++
-	m.checkBarrier()
+	m.barrier.arrived.Add(1)
 	return ticket
 }
 
@@ -290,11 +421,12 @@ func (m *Machine) BarrierArrive(tile int) int64 {
 func (m *Machine) BarrierDone(ticket int64) bool { return m.barrier.gen > ticket }
 
 // checkBarrier arms the release once every active core has arrived. The
-// actual release happens in step() once the memory system drains: without
-// cache coherence the global barrier doubles as a store fence, so writes
-// from before the barrier are visible to every core after it.
+// actual release happens in preCores once the memory system drains:
+// without cache coherence the global barrier doubles as a store fence, so
+// writes from before the barrier are visible to every core after it.
 func (m *Machine) checkBarrier() {
-	if m.active > 0 && m.barrier.arrived == m.active {
+	a := m.active.Load()
+	if a > 0 && m.barrier.arrived.Load() == a {
 		m.barPending = true
 	}
 }
@@ -304,20 +436,29 @@ func (m *Machine) memQuiescent() bool {
 }
 
 // NotifyHalt records that a core has finished; cores that halted no longer
-// participate in the global barrier.
+// participate in the global barrier. The all-arrived check this can
+// trigger runs in the core phase epilogue.
 func (m *Machine) NotifyHalt(tile int) {
-	m.active--
-	m.checkBarrier()
+	m.active.Add(-1)
 }
 
 // NumGroups returns the configured group count.
 func (m *Machine) NumGroups() int { return len(m.Groups) }
 
-// Error records the first fatal simulation error.
+// Error records the first fatal simulation error. Callable from any shard.
 func (m *Machine) Error(err error) {
+	m.errMu.Lock()
 	if m.err == nil {
 		m.err = err
 	}
+	m.errMu.Unlock()
+}
+
+// firstErr returns the latched error, if any.
+func (m *Machine) firstErr() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
 }
 
 // LaneTile implements mem.GroupLanes for the LLC response fan-out.
@@ -401,9 +542,9 @@ func (m *Machine) killTile(now int64, t int) {
 	}
 	if !c.Halted() {
 		if c.InBarrier() {
-			m.barrier.arrived--
+			m.barrier.arrived.Add(-1)
 		}
-		m.active--
+		m.active.Add(-1)
 	}
 	c.Kill()
 	m.spads[t].Decommission()
@@ -431,13 +572,13 @@ func (m *Machine) breakGroup(now int64, gid int) {
 			continue
 		}
 		if c.InBarrier() {
-			m.barrier.arrived--
+			m.barrier.arrived.Add(-1)
 		}
 		if rpc > 0 {
 			c.ForceDisband(now, rpc)
 		} else {
 			c.ForceHalt()
-			m.active--
+			m.active.Add(-1)
 		}
 	}
 	m.formation[gid] = genBarrier{}
@@ -456,32 +597,73 @@ func (m *Machine) FaultReport() *fault.Report {
 	return m.report
 }
 
-// step advances the whole machine one cycle.
+// step advances the whole machine one cycle through the engine.
 func (m *Machine) step() {
-	now := m.now
-	if m.inj != nil && now >= m.inj.NextDiscrete() {
-		m.applyFaults(now)
-	}
-	for _, f := range m.dram.Completed(now, m.Global) {
-		m.llcs[f.Bank].Install(now, f.LineAddr)
+	m.engine.Tick(m.now)
+	m.now++
+}
+
+// fastForward skips the machine straight to the next scheduled event when
+// nothing can make progress before it: the mesh is empty, every LLC bank is
+// a no-op, no barrier release is due, and every core reports a pure stall.
+// The skip is architecturally invisible — every stall histogram is
+// backfilled with exactly the cycles stepping would have recorded — and is
+// capped at the next watchdog checkpoint and at limit, so the watchdog and
+// budget aborts fire at the same cycle the stepping engine aborts at.
+// Returns false when the machine must step normally.
+func (m *Machine) fastForward(limit int64) bool {
+	if m.meshReq.QueuedFlits() > 0 || m.meshResp.QueuedFlits() > 0 {
+		return false
 	}
 	for _, b := range m.llcs {
-		b.Tick(now)
-	}
-	m.meshReq.Tick()
-	m.meshResp.Tick()
-	if m.barPending && m.memQuiescent() {
-		m.barPending = false
-		m.barrier.gen++
-		m.barrier.arrived = 0
-		if traceBarriers {
-			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
+		if !b.Idle() {
+			return false
 		}
 	}
-	for _, c := range m.cores {
-		c.Tick(now)
+	if m.barPending && m.dram.Pending() == 0 {
+		return false // release due at the next core phase
 	}
-	m.now++
+	// Event horizon: DRAM completions and scheduled fault events ...
+	horizon := m.dram.NextDoneAt()
+	if m.inj != nil {
+		if nd := m.inj.NextDiscrete(); nd < horizon {
+			horizon = nd
+		}
+	}
+	// ... plus every core's self-scheduled wake. Any active core vetoes.
+	if len(m.ffKinds) < len(m.cores) {
+		m.ffKinds = make([]stats.StallKind, len(m.cores))
+	}
+	for t, c := range m.cores {
+		quiet, until, kind := c.IdleUntil(m.now)
+		if !quiet {
+			return false
+		}
+		m.ffKinds[t] = kind
+		if until < horizon {
+			horizon = until
+		}
+	}
+	// Never skip a watchdog checkpoint or the cycle budget.
+	if next := (m.now/m.checkEvery + 1) * m.checkEvery; next < horizon {
+		horizon = next
+	}
+	if limit < horizon {
+		horizon = limit
+	}
+	if horizon <= m.now {
+		return false
+	}
+	n := horizon - m.now
+	for t, c := range m.cores {
+		c.SkipIdle(n, m.ffKinds[t])
+	}
+	m.meshReq.FastForward(n)
+	m.meshResp.FastForward(n)
+	m.Stats.FastForwards++
+	m.Stats.SkippedCycles += n
+	m.now = horizon
+	return true
 }
 
 // faultErr wraps a component error into a FaultError with the current cycle
@@ -495,8 +677,8 @@ func (m *Machine) faultErr(tile int, err error) error {
 }
 
 func (m *Machine) checkComponents() error {
-	if m.err != nil {
-		return m.faultErr(-1, m.err)
+	if err := m.firstErr(); err != nil {
+		return m.faultErr(-1, err)
 	}
 	for _, b := range m.llcs {
 		if err := b.Err(); err != nil {
@@ -536,18 +718,22 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 				State: m.debugState()}
 		}
 	}()
+	m.engine.Start()
+	defer m.engine.Stop()
 	var lastIssued int64 = -1
 	var stalled int64
-	for m.active > 0 {
-		m.step()
+	for m.active.Load() > 0 {
+		// Idle fast-forward: when stepping can only record stalls, jump to
+		// the next event; the skip never crosses a checkpoint or the
+		// budget, so the checks below fire at the serial engine's cycles.
+		if !m.fastForward(maxCycles) {
+			m.step()
+		}
 		if m.now%m.checkEvery == 0 {
 			if err := m.checkComponents(); err != nil {
 				return m.Stats, err
 			}
-			var issued int64
-			for i := range m.Stats.Cores {
-				issued += m.Stats.Cores[i].StallCycles[stats.StallNone]
-			}
+			issued := m.meter.Total()
 			if issued == lastIssued {
 				stalled++
 				if stalled >= m.stallLimit {
@@ -561,7 +747,7 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 		}
 		if m.now >= maxCycles {
 			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: no completion after %d cycles (%d cores active): likely deadlock or undersized budget",
-				maxCycles, m.active))
+				maxCycles, m.active.Load()))
 		}
 	}
 	if err := m.checkComponents(); err != nil {
@@ -570,7 +756,9 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 	// Drain in-flight stores and responses so the flush below is complete.
 	drainDeadline := m.now + maxCycles
 	for m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
-		m.step()
+		if !m.fastForward(drainDeadline) {
+			m.step()
+		}
 		if m.now >= drainDeadline {
 			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: memory system failed to drain"))
 		}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package machine_test
+
+// goldenWorkers are the engine sizes every golden entry must agree
+// across: 0 = serial engine, then the parallel pool at several widths.
+var goldenWorkers = []int{0, 1, 2, 8}

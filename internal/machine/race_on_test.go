@@ -1,0 +1,10 @@
+//go:build race
+
+package machine_test
+
+// Under the race detector every simulated cycle costs ~10x, so the golden
+// sweep trims to the widest pool: the golden values ARE the serial seed
+// counts, so a workers=8 match still proves bit-identity with the serial
+// engine while giving the detector a full parallel-tick workload. The
+// plain (non-race) tier-1 run covers the whole worker matrix.
+var goldenWorkers = []int{8}

@@ -1,6 +1,9 @@
 package mem
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // DRAM models the paper's fixed-latency, fixed-bandwidth main memory: one
 // shared channel whose bandwidth is a hard cap (16 GB/s = 16 B/cycle at
@@ -104,3 +107,16 @@ func (d *DRAM) Completed(now int64, g *Global) []Fill {
 // Pending reports the number of in-flight operations (used by the machine's
 // quiescence check).
 func (d *DRAM) Pending() int { return len(d.inFlight) }
+
+// NextDoneAt returns the earliest completion time of any in-flight
+// operation, or math.MaxInt64 when the channel is empty. It feeds the
+// machine's idle fast-forward event horizon.
+func (d *DRAM) NextDoneAt() int64 {
+	next := int64(math.MaxInt64)
+	for i := range d.inFlight {
+		if d.inFlight[i].doneAt < next {
+			next = d.inFlight[i].doneAt
+		}
+	}
+	return next
+}

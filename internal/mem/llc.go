@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 
@@ -80,6 +81,12 @@ type LLCBank struct {
 	reqQ []msg.Message
 	mshr []llcMSHR
 	jobs []respJob
+
+	// pendingReads buffers DRAM line-fill requests issued during Propose.
+	// The DRAM channel serializes on occupancy, so the issue order is
+	// architecturally visible; Commit flushes these in bank order, which is
+	// exactly the order the serial engine issued them in.
+	pendingReads []uint32
 
 	out    Sender
 	dram   *DRAM
@@ -273,10 +280,48 @@ func (b *LLCBank) destOf(m msg.Message, k int) (tile int, spadOff uint32, ok boo
 
 // Tick advances the bank one cycle: drain DRAM fills assigned to this bank
 // (delivered by the machine through Install), process one request, and
-// stream response words.
+// stream response words. Tick is the serial convenience form of
+// Propose+Commit.
 func (b *LLCBank) Tick(now int64) {
+	b.Propose(now)
+	b.Commit(now)
+}
+
+// Propose advances the bank's own state one cycle (sim.Component). Banks
+// attached to distinct mesh routers may Propose concurrently: everything
+// touched is bank-owned except response injection (router-disjoint by
+// sharding) and the DRAM channel, whose order-sensitive reads are buffered
+// for Commit.
+func (b *LLCBank) Propose(now int64) {
 	b.processRequest(now)
 	b.streamResponses(now)
+}
+
+// Commit flushes DRAM reads buffered by Propose. The engine runs Commit
+// serially in bank order, matching the serial engine's issue order on the
+// shared channel.
+func (b *LLCBank) Commit(now int64) {
+	for _, la := range b.pendingReads {
+		b.dram.Read(now, la, b.lineBytes, b.ID)
+	}
+	b.pendingReads = b.pendingReads[:0]
+}
+
+// Idle reports whether ticking the bank is a no-op: nothing queued and
+// nothing streaming. A busy MSHR alone does not make the bank active — it
+// is waiting on a DRAM completion, which the machine tracks through the
+// DRAM's own event horizon.
+func (b *LLCBank) Idle() bool {
+	return len(b.reqQ) == 0 && len(b.jobs) == 0
+}
+
+// Quiescent implements the sim.Component hint. The bank self-schedules
+// nothing: fills arrive via the DRAM horizon, requests via the mesh.
+func (b *LLCBank) Quiescent(now int64) (bool, int64) {
+	if !b.Idle() {
+		return false, 0
+	}
+	return true, math.MaxInt64
 }
 
 func (b *LLCBank) processRequest(now int64) {
@@ -324,7 +369,7 @@ func (b *LLCBank) handleStore(now int64, m msg.Message) bool {
 	b.st.StoreMisses++
 	if isNew {
 		b.st.Misses++
-		b.dram.Read(now, lineAddr, b.lineBytes, b.ID)
+		b.pendingReads = append(b.pendingReads, lineAddr)
 	}
 	b.mshr[mi].events = append(b.mshr[mi].events, mshrEvent{
 		isStore: true,
@@ -373,7 +418,7 @@ func (b *LLCBank) handleLoad(now int64, m msg.Message) bool {
 		b.st.WideReqs++
 	}
 	if isNew {
-		b.dram.Read(now, lineAddr, b.lineBytes, b.ID)
+		b.pendingReads = append(b.pendingReads, lineAddr)
 	}
 	b.mshr[mi].events = append(b.mshr[mi].events, mshrEvent{req: m})
 	return true

@@ -10,6 +10,8 @@ package noc
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"rockcress/internal/msg"
 )
@@ -112,6 +114,8 @@ type Mesh struct {
 
 	incoming []int8 // per (router,port) reservation scratch
 	moves    []move
+	queued   int64 // flits buffered anywhere (O(1) Busy); atomic: senders
+	// in different engine shards inject concurrently
 
 	// Fault-injection hooks (nil/empty in a fault-free mesh).
 	now   int64 // cycles ticked (only consulted by the retry protocol)
@@ -199,7 +203,9 @@ func (m *Mesh) attachTile(node int) (tile int, p port) {
 }
 
 // TrySend injects a flit at src's router. Returns false when the local
-// injection queue is full.
+// injection queue is full. Senders whose sources attach to different
+// routers may call TrySend concurrently (the queue and occupancy touched
+// are per-router); the shared counters are atomic.
 func (m *Mesh) TrySend(f msg.Message) bool {
 	tile, p := m.attachTile(f.Src)
 	q := m.q(tile, p)
@@ -208,8 +214,18 @@ func (m *Mesh) TrySend(f msg.Message) bool {
 	}
 	q.push(f, m.route(tile, f.Dst))
 	m.occ[tile]++
-	m.Flits++
+	atomic.AddInt64(&m.Flits, 1)
+	atomic.AddInt64(&m.queued, 1)
 	return true
+}
+
+// AttachRouter returns the router a node's flits enter and leave the mesh
+// at. The machine uses it to partition senders into independent shards:
+// two sources with different attach routers never contend on an injection
+// queue.
+func (m *Mesh) AttachRouter(node int) int {
+	tile, _ := m.attachTile(node)
+	return tile
 }
 
 // route returns the output port a flit at router tile should take toward
@@ -302,6 +318,9 @@ func (m *Mesh) Tick() {
 		mv := &moves[i]
 		f := m.q(mv.tile, mv.in).pop()
 		m.occ[mv.tile]--
+		if mv.toTile < 0 {
+			atomic.AddInt64(&m.queued, -1) // delivered out of the mesh
+		}
 		if mv.toTile >= 0 {
 			np := opposite(mv.out)
 			key := mv.toTile*int(numPorts) + int(np)
@@ -378,20 +397,35 @@ func opposite(p port) port {
 }
 
 // Busy reports whether any flit is queued anywhere (quiescence check).
+// O(1): maintained as a counter rather than a router scan.
 func (m *Mesh) Busy() bool {
-	for _, n := range m.occ {
-		if n > 0 {
-			return true
-		}
-	}
-	return false
+	return atomic.LoadInt64(&m.queued) > 0
 }
 
 // QueuedFlits counts flits currently buffered in the mesh.
 func (m *Mesh) QueuedFlits() int {
-	n := 0
-	for _, o := range m.occ {
-		n += int(o)
+	return int(atomic.LoadInt64(&m.queued))
+}
+
+// FastForward advances the mesh's internal clock by delta idle cycles. The
+// machine calls it when the whole system is quiescent so the link retry
+// protocol's backoff timestamps stay aligned with machine time.
+func (m *Mesh) FastForward(delta int64) { m.now += delta }
+
+// Propose advances the mesh one cycle (sim.Component). Both mesh planes
+// share one shard so the fault judge's RNG draws happen in the serial
+// engine's plane order; the whole move is applied here and Commit is empty.
+func (m *Mesh) Propose(now int64) { m.Tick() }
+
+// Commit is a no-op: Propose applies the full cycle.
+func (m *Mesh) Commit(now int64) {}
+
+// Quiescent reports the mesh idle when no flit is buffered. An empty mesh
+// schedules nothing on its own (retry backoff only exists while a flit is
+// held), so the wake hint is sim's Never.
+func (m *Mesh) Quiescent(now int64) (bool, int64) {
+	if atomic.LoadInt64(&m.queued) > 0 {
+		return false, 0
 	}
-	return n
+	return true, math.MaxInt64
 }

@@ -1,0 +1,245 @@
+// Package sim is the two-phase simulation engine the machine's cycle loop
+// runs on. A cycle is a fixed sequence of stages; each stage ticks a set of
+// shards. Within a shard, components tick serially in declared order; across
+// shards, ticking is free of data dependencies by construction (the machine
+// partitions components so every same-stage interaction is either
+// shard-internal or commutative), so shards may run on any number of workers
+// in any interleaving and the result is bit-identical to the serial engine.
+//
+// The tick is split in two phases:
+//
+//   - Propose: read shared state, compute and apply the component's own next
+//     state. Cross-shard writes must be commutative (atomic counters) or
+//     deferred to Commit.
+//   - Commit: apply deferred order-sensitive writes. Commit always runs
+//     serially, over every component of the stage in declared order, so a
+//     deferred write sequence is indistinguishable from the serial engine's.
+//
+// Components also expose a quiescence hint: when every component of every
+// stage is quiescent, the machine may skip ahead ("idle fast-forward") to
+// the earliest cycle any component reports it could act again.
+package sim
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Never is the "until" value of a component with no self-scheduled future
+// event: it stays quiescent until some other component acts on it.
+const Never = math.MaxInt64
+
+// Component is one simulated unit owned by the engine.
+type Component interface {
+	// Propose advances the component one cycle: read any shared state,
+	// update owned state, and buffer order-sensitive cross-shard writes
+	// for Commit. Propose calls in different shards may run concurrently.
+	Propose(now int64)
+	// Commit applies the writes buffered by Propose. Commit runs serially
+	// in declared component order after every Propose of the stage.
+	Commit(now int64)
+	// Quiescent reports whether ticking the component at now (and every
+	// cycle after) is a no-op until either `until` arrives or another
+	// component acts on it. until is only meaningful when quiescent; use
+	// Never when no self-scheduled event exists.
+	Quiescent(now int64) (bool, int64)
+}
+
+// Shard is an ordered list of components that must tick serially relative
+// to each other (they share state within a cycle).
+type Shard []Component
+
+// Stage is one step of the cycle: an optional serial prologue, a parallel
+// shard tick, and an optional serial epilogue. Stages run in declared
+// order with a full barrier between them.
+type Stage struct {
+	Name   string
+	Pre    func(now int64) // serial, before any Propose of this stage
+	Shards []Shard
+	Post   func(now int64) // serial, after every Commit of this stage
+}
+
+// Engine drives the stages, optionally on a fixed worker pool.
+type Engine struct {
+	stages  []Stage
+	workers int
+
+	tasks   chan func()
+	started bool
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// NewEngine builds an engine over the given stages. workers <= 1 selects
+// the serial engine; larger values bound the pool Start spins up. The
+// result is bit-identical for every worker count.
+func NewEngine(stages []Stage, workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{stages: stages, workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Start spins up the worker pool. A no-op for the serial engine. Callers
+// must Stop when done (typically deferred around the run loop) so the
+// goroutines do not outlive the machine.
+func (e *Engine) Start() {
+	if e.workers <= 1 || e.started {
+		return
+	}
+	tasks := make(chan func())
+	e.tasks = tasks
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+	e.started = true
+}
+
+// Stop tears the worker pool down.
+func (e *Engine) Stop() {
+	if !e.started {
+		return
+	}
+	close(e.tasks)
+	e.tasks = nil
+	e.started = false
+}
+
+// Tick advances every stage one cycle.
+func (e *Engine) Tick(now int64) {
+	for i := range e.stages {
+		st := &e.stages[i]
+		if st.Pre != nil {
+			st.Pre(now)
+		}
+		e.propose(now, st.Shards)
+		for _, sh := range st.Shards {
+			for _, c := range sh {
+				c.Commit(now)
+			}
+		}
+		if st.Post != nil {
+			st.Post(now)
+		}
+	}
+}
+
+// propose runs the Propose phase of one stage, parallel across shards when
+// the pool is up. Shard-to-worker assignment is dynamic; determinism comes
+// from shard independence, not scheduling.
+func (e *Engine) propose(now int64, shards []Shard) {
+	if !e.started || len(shards) <= 1 {
+		for _, sh := range shards {
+			for _, c := range sh {
+				c.Propose(now)
+			}
+		}
+		return
+	}
+	n := e.workers
+	if n > len(shards) {
+		n = len(shards)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		e.tasks <- func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(shards) {
+					return
+				}
+				e.proposeShard(now, shards[k])
+			}
+		}
+	}
+	wg.Wait()
+	if e.panicked {
+		e.panicked = false
+		v := e.panicVal
+		e.panicVal = nil
+		// Re-raise on the driving goroutine so the machine's recover-to-
+		// structured-error path sees worker panics too.
+		panic(v)
+	}
+}
+
+func (e *Engine) proposeShard(now int64, sh Shard) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicMu.Lock()
+			if !e.panicked {
+				e.panicked = true
+				e.panicVal = r
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	for _, c := range sh {
+		c.Propose(now)
+	}
+}
+
+// Quiescent reports whether every component of every stage is quiescent at
+// now, and if so the earliest cycle any of them self-schedules (Never when
+// none do). Callers layer machine-level events (DRAM completions, fault
+// schedules, watchdog checkpoints) on top before skipping.
+func (e *Engine) Quiescent(now int64) (bool, int64) {
+	until := int64(Never)
+	for i := range e.stages {
+		for _, sh := range e.stages[i].Shards {
+			for _, c := range sh {
+				q, u := c.Quiescent(now)
+				if !q {
+					return false, 0
+				}
+				if u < until {
+					until = u
+				}
+			}
+		}
+	}
+	return true, until
+}
+
+// Meter is a set of cache-line-padded counters for cheap incremental
+// accounting across shards: each shard owns a slot (written only by the
+// worker ticking that shard), and Total sums them between cycles. The
+// machine's progress watchdog uses one for the issued-instruction count
+// instead of rescanning every core's stall histogram.
+type Meter struct {
+	slots []meterSlot
+}
+
+type meterSlot struct {
+	v int64
+	_ [56]byte // pad to a cache line so shards do not false-share
+}
+
+// NewMeter builds a meter with n slots.
+func NewMeter(n int) *Meter { return &Meter{slots: make([]meterSlot, n)} }
+
+// Slot returns the address of slot i for its owning shard to increment.
+func (m *Meter) Slot(i int) *int64 { return &m.slots[i].v }
+
+// Total sums every slot. Callers must be ordered after the writers (the
+// engine's stage barrier provides this between cycles).
+func (m *Meter) Total() int64 {
+	var t int64
+	for i := range m.slots {
+		t += m.slots[i].v
+	}
+	return t
+}

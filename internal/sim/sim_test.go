@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// counter is a toy component: Propose computes next = v + step into a
+// buffer, Commit applies it, and it goes quiescent once v reaches limit,
+// self-scheduling a wake at wakeAt.
+type counter struct {
+	v, next int64
+	step    int64
+	limit   int64
+	wakeAt  int64
+	commits int64
+}
+
+func (c *counter) Propose(now int64) {
+	if c.v < c.limit {
+		c.next = c.v + c.step
+	} else {
+		c.next = c.v
+	}
+}
+
+func (c *counter) Commit(now int64) {
+	c.v = c.next
+	c.commits++
+}
+
+func (c *counter) Quiescent(now int64) (bool, int64) {
+	if c.v < c.limit {
+		return false, 0
+	}
+	return true, c.wakeAt
+}
+
+func runEngine(t *testing.T, workers, shardCount int) []int64 {
+	t.Helper()
+	shards := make([]Shard, shardCount)
+	for i := range shards {
+		shards[i] = Shard{&counter{step: int64(i + 1), limit: int64(100 * (i + 1)), wakeAt: Never}}
+	}
+	e := NewEngine([]Stage{{Name: "count", Shards: shards}}, workers)
+	e.Start()
+	defer e.Stop()
+	for now := int64(0); now < 200; now++ {
+		e.Tick(now)
+	}
+	out := make([]int64, shardCount)
+	for i, sh := range shards {
+		out[i] = sh[0].(*counter).v
+	}
+	return out
+}
+
+// TestDeterministicAcrossWorkers checks the parallel engine produces the
+// exact serial result for several worker counts and shard counts.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for _, shardCount := range []int{1, 3, 16, 67} {
+		want := runEngine(t, 1, shardCount)
+		for _, workers := range []int{2, 4, 8} {
+			got := runEngine(t, workers, shardCount)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d workers=%d: shard %d got %d want %d",
+						shardCount, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStageOrdering checks Pre, Propose, Commit, Post run in the declared
+// order with a full barrier between phases: every Propose of a stage sees
+// the Pre mutation, and Post sees every Commit.
+func TestStageOrdering(t *testing.T) {
+	var preSeen, postTotal int64
+	const shardCount = 12
+	shards := make([]Shard, shardCount)
+	probes := make([]*probe, shardCount)
+	for i := range shards {
+		p := &probe{preSeen: &preSeen}
+		probes[i] = p
+		shards[i] = Shard{p}
+	}
+	e := NewEngine([]Stage{{
+		Name:   "probe",
+		Pre:    func(now int64) { atomic.StoreInt64(&preSeen, now+1) },
+		Shards: shards,
+		Post: func(now int64) {
+			postTotal = 0
+			for _, p := range probes {
+				postTotal += p.committed
+			}
+		},
+	}}, 4)
+	e.Start()
+	defer e.Stop()
+	for now := int64(0); now < 50; now++ {
+		e.Tick(now)
+		if postTotal != int64(shardCount)*(now+1) {
+			t.Fatalf("cycle %d: Post saw %d commits, want %d", now, postTotal, int64(shardCount)*(now+1))
+		}
+	}
+	for i, p := range probes {
+		if p.badPre {
+			t.Fatalf("probe %d observed a Propose before its stage's Pre", i)
+		}
+	}
+}
+
+type probe struct {
+	preSeen   *int64
+	badPre    bool
+	committed int64
+}
+
+func (p *probe) Propose(now int64) {
+	if atomic.LoadInt64(p.preSeen) != now+1 {
+		p.badPre = true
+	}
+}
+func (p *probe) Commit(now int64)                  { p.committed++ }
+func (p *probe) Quiescent(now int64) (bool, int64) { return false, 0 }
+
+// TestQuiescentHorizon checks the engine-wide scan returns the minimum
+// self-scheduled wake across quiescent components, and reports non-quiescent
+// as soon as any component is active.
+func TestQuiescentHorizon(t *testing.T) {
+	a := &counter{limit: 0, wakeAt: 900}
+	b := &counter{limit: 0, wakeAt: 450}
+	c := &counter{limit: 0, wakeAt: Never}
+	e := NewEngine([]Stage{
+		{Shards: []Shard{{a}, {b}}},
+		{Shards: []Shard{{c}}},
+	}, 1)
+	q, until := e.Quiescent(0)
+	if !q || until != 450 {
+		t.Fatalf("Quiescent = %v, %d; want true, 450", q, until)
+	}
+	b.limit = 10 // b becomes active
+	if q, _ := e.Quiescent(0); q {
+		t.Fatal("engine quiescent while a component is active")
+	}
+}
+
+// TestWorkerPanicPropagates checks a panic inside a worker-executed Propose
+// resurfaces on the goroutine driving Tick, so machine.Run's recover sees it.
+func TestWorkerPanicPropagates(t *testing.T) {
+	shards := make([]Shard, 8)
+	for i := range shards {
+		if i == 5 {
+			shards[i] = Shard{&panicker{}}
+		} else {
+			shards[i] = Shard{&counter{limit: 100}}
+		}
+	}
+	e := NewEngine([]Stage{{Shards: shards}}, 4)
+	e.Start()
+	defer e.Stop()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to Tick caller")
+		}
+		if fmt.Sprint(r) != "boom" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	e.Tick(0)
+}
+
+type panicker struct{}
+
+func (p *panicker) Propose(now int64)                 { panic("boom") }
+func (p *panicker) Commit(now int64)                  {}
+func (p *panicker) Quiescent(now int64) (bool, int64) { return true, Never }
+
+// TestMeter checks slot ownership and totals.
+func TestMeter(t *testing.T) {
+	m := NewMeter(4)
+	for i := 0; i < 4; i++ {
+		*m.Slot(i) += int64(i + 1)
+	}
+	if got := m.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+}

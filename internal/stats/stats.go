@@ -75,6 +75,11 @@ func (c *Core) Stall(k StallKind) int64 { return c.StallCycles[int(k)] }
 // AddStall records one cycle spent in state k.
 func (c *Core) AddStall(k StallKind) { c.StallCycles[int(k)]++ }
 
+// AddStallN records n consecutive cycles spent in state k. The machine's
+// idle fast-forward uses it to backfill the stall histogram for skipped
+// cycles so counts stay bit-identical to stepping every cycle.
+func (c *Core) AddStallN(k StallKind, n int64) { c.StallCycles[int(k)] += n }
+
 // CountClass records execution of one instruction of class cl.
 func (c *Core) CountClass(cl uint8) {
 	if c.InstrsByClass == nil {
@@ -121,6 +126,12 @@ type Machine struct {
 	NocRetrans int64 // link retry-protocol retransmissions
 	NocDropped int64 // flits lost in transit and retransmitted
 	NocCorrupt int64 // flits CRC-rejected and retransmitted
+
+	// Engine counters: idle fast-forward skips taken and simulated cycles
+	// they covered. Architecturally invisible (every stall is backfilled);
+	// reported so speedups are attributable.
+	FastForwards  int64
+	SkippedCycles int64
 }
 
 // New creates a stats sink for nCores cores and nLLCs cache banks.
