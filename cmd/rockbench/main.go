@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rockbench -table 1a|1b|2|3
-//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault [-scale small|full] [-bench name,...]
+//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault|replay [-scale small|full] [-bench name,...]
 //	rockbench -all [-scale small|full]
 //
 // Each figure's independent simulations run on a worker pool of -j
@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		tableName = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
-		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault")
+		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault, replay")
 		allFlag   = flag.Bool("all", false, "regenerate every table and figure")
 		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
@@ -69,9 +69,11 @@ func main() {
 		"17b": func() error { return r.Fig17b(out) },
 		"17c": func() error { return r.Fig17c(out) },
 		"bfs": func() error { return r.BFS(out) },
-		// Not part of the paper: the fault-injection degradation curve
-		// (ROADMAP robustness extension). Excluded from -all.
-		"fault": func() error { return r.FigFault(out) },
+		// Not part of the paper: the fault-injection degradation curve and
+		// the recovery-ladder comparison (ROADMAP robustness extensions).
+		// Excluded from -all.
+		"fault":  func() error { return r.FigFault(out) },
+		"replay": func() error { return r.FigReplay(out) },
 	}
 	if *figName != "" {
 		fn, ok := figs[*figName]

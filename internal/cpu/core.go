@@ -73,6 +73,10 @@ type Env interface {
 	NotifyHalt(tile int)
 	// NumGroups returns the number of configured vector groups (CSR read).
 	NumGroups() int
+	// ArmCheckpoint asks the machine to snapshot global memory at the next
+	// barrier release (the csrw ckpt instruction; a no-op on machines not
+	// running with checkpoints enabled).
+	ArmCheckpoint()
 	// Error reports a fatal simulation error (program bug).
 	Error(err error)
 }

@@ -479,6 +479,9 @@ func (c *Core) execCsrw(now int64, in *isa.Instr) (bool, stats.StallKind) {
 	case isa.CsrFrameCfg:
 		c.spad.Configure(int(v&0xffff), int((v>>16)&0xff))
 		return true, stats.StallNone
+	case isa.CsrCkpt:
+		c.env.ArmCheckpoint()
+		return true, stats.StallNone
 	default:
 		c.fail("write to read-only CSR %s", in.Csr)
 		return true, stats.StallNone

@@ -210,6 +210,29 @@ func KillPlan(seed uint64, n, cores int, start, stride int64) *Plan {
 	return p
 }
 
+// FlipPlan builds a plan of n single-bit scratchpad flips on pseudo-randomly
+// chosen tiles (from the victim list) at staggered cycles (start,
+// start+stride, ...). Offsets stay word-aligned below maxOff — point maxOff
+// at the frame region to exercise the parity/replay path — and bits favor
+// the high half of the word so a flipped float is numerically conspicuous.
+func FlipPlan(seed uint64, n int, tiles []int, maxOff uint32, start, stride int64) *Plan {
+	r := rng{state: seed}
+	p := &Plan{Seed: seed}
+	words := maxOff / 4
+	if words == 0 {
+		words = 1
+	}
+	for i := 0; i < n; i++ {
+		t := tiles[int(r.next()%uint64(len(tiles)))]
+		off := uint32(r.next()%uint64(words)) * 4
+		bit := uint8(16 + r.next()%16)
+		p.Events = append(p.Events, Event{
+			Kind: FlipSpadWord, Cycle: start + int64(i)*stride, Tile: t, Offset: off, Bit: bit,
+		})
+	}
+	return p
+}
+
 // rng is splitmix64: tiny, seedable, and self-contained so fault schedules
 // never depend on the Go runtime's RNG (determinism guard).
 type rng struct{ state uint64 }
@@ -338,6 +361,22 @@ type Report struct {
 	Retransmits  int64 // NoC link retransmissions (both planes)
 	DroppedFlits int64
 	CorruptFlits int64
+
+	// Flip landing sites: frame-region hits are repairable by replay,
+	// program-data hits only surface at the output compare.
+	FlipsFrame int
+	FlipsData  int
+
+	// Frame-integrity ladder: parity failures at frame-open, successful
+	// replays, replay re-issues, and replays abandoned to the group-break
+	// escalation path.
+	FramePoisons      int64
+	FrameReplays      int64
+	ReplayRetries     int64
+	ReplayEscalations int64
+
+	// Checkpoints published during the run.
+	Checkpoints int64
 }
 
 // Degraded reports whether the fabric lost capacity during the run.
@@ -347,7 +386,18 @@ func (r *Report) String() string {
 	if r == nil {
 		return "no faults"
 	}
-	return fmt.Sprintf("dead=%v brokenGroups=%v stuck=%d flips=%d retrans=%d dropped=%d corrupt=%d",
+	s := fmt.Sprintf("dead=%v brokenGroups=%v stuck=%d flips=%d retrans=%d dropped=%d corrupt=%d",
 		r.DeadTiles, r.BrokenGroups, r.StuckQueues, r.FlippedWords,
 		r.Retransmits, r.DroppedFlits, r.CorruptFlits)
+	if r.FlippedWords > 0 {
+		s += fmt.Sprintf(" flipSites=%d/%d(frame/data)", r.FlipsFrame, r.FlipsData)
+	}
+	if r.FramePoisons > 0 || r.FrameReplays > 0 {
+		s += fmt.Sprintf(" poisons=%d replays=%d retries=%d escalations=%d",
+			r.FramePoisons, r.FrameReplays, r.ReplayRetries, r.ReplayEscalations)
+	}
+	if r.Checkpoints > 0 {
+		s += fmt.Sprintf(" checkpoints=%d", r.Checkpoints)
+	}
+	return s
 }

@@ -148,6 +148,7 @@ const (
 	CsrNumCores             // read: total number of core tiles
 	CsrGroupID              // read: id of the tile's vector group (launcher-assigned)
 	CsrNumGroups            // read: number of vector groups configured
+	CsrCkpt                 // write: arm a checkpoint at the next barrier release
 	numCSRs
 )
 

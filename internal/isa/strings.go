@@ -71,6 +71,7 @@ var csrNames = map[CSR]string{
 	CsrNumCores:  "numcores",
 	CsrGroupID:   "groupid",
 	CsrNumGroups: "numgroups",
+	CsrCkpt:      "ckpt",
 }
 
 var nameToCSR = func() map[string]CSR {

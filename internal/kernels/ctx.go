@@ -25,6 +25,13 @@ type Ctx struct {
 	// never include dead tiles, and ungrouped tiles already idle.
 	Avoid []int
 
+	// Ckpt instruments every kernel phase as a checkpointed recovery point:
+	// a progress word in global memory dispatches past completed phases, and
+	// the phase's closing barrier publishes progress and arms a machine
+	// snapshot. Only fault-injection runs set it — fault-free builds carry
+	// zero extra instructions, keeping golden cycle counts intact.
+	Ckpt bool
+
 	// Filled by Begin.
 	Tid  isa.Reg // core id (all styles)
 	Wid  isa.Reg // dense worker rank among surviving cores (MIMD styles)
@@ -40,6 +47,16 @@ type Ctx struct {
 	daeFrameB int32
 
 	idle string
+
+	// Checkpoint protocol state (Ckpt builds only). Kernels may emit phases
+	// inside runtime loops (fdtd-2d's timestep loop), so a static phase
+	// index cannot dispatch a restart; instead every core counts dynamic
+	// phase executions in ckptExec and skips the ones the restored progress
+	// word already covers. The static count still fingerprints the build's
+	// phase structure for snapshot compatibility.
+	phases   int     // static recovery points emitted
+	ckptAddr uint32  // global address of the progress word
+	ckptExec isa.Reg // per-core dynamic phase-execution counter
 }
 
 // NewCtx assembles a build context.
@@ -92,6 +109,11 @@ func (c *Ctx) Side() int {
 // group to an idle halt (the evaluation leaves leftover tiles idle, §6.2).
 func (c *Ctx) Begin() {
 	b := c.B
+	if c.Ckpt {
+		c.ckptAddr = c.Img.AllocW("__ckpt_progress", []uint32{0}).Addr
+		c.ckptExec = b.Int() // held for the whole program
+		b.Li(c.ckptExec, 0)
+	}
 	c.Tid = b.Int()
 	b.Csrr(c.Tid, isa.CsrCoreID)
 	if !c.Vector() {
@@ -170,11 +192,76 @@ func (c *Ctx) bumpDAE() {
 	b.Label(skip)
 }
 
+// CheckpointSites returns how many recovery points a Ckpt build emitted
+// (zero otherwise). A restored snapshot is only valid against a build with
+// the same site count.
+func (c *Ctx) CheckpointSites() int { return c.phases }
+
+// beginPhase emits the checkpoint dispatch: phase executions the restored
+// progress word already covers are skipped wholesale — body, barriers, and
+// all — so a checkpoint-restarted run re-executes only unfinished work.
+// Every core advances the same dynamic counter and reads the same progress
+// word, so all of them skip (or run) each execution together, including
+// repeat executions of a phase emitted inside a runtime loop.
+func (c *Ctx) beginPhase() (skip string) {
+	if !c.Ckpt {
+		return ""
+	}
+	b := c.B
+	skip = b.NewLabel("ckpt_skip")
+	b.Addi(c.ckptExec, c.ckptExec, 1)
+	// One temp: the address register is dead after the load, so the progress
+	// word overwrites it (kernels like gramschm run at the edge of the
+	// register file and cannot afford a second).
+	pr := b.Int()
+	b.LiU(pr, c.ckptAddr)
+	b.Lw(pr, pr, 0)
+	b.Bge(pr, c.ckptExec, skip) // execution completed before the snapshot
+	b.FreeInt(pr)
+	return skip
+}
+
+// endPhase publishes the recovery point after the phase's closing barrier:
+// one designated publisher core stores the advanced progress value and arms
+// the machine's snapshot, and a second barrier makes the cut consistent —
+// at its release every phase store (and the progress store) has drained,
+// and no core has started the next phase.
+func (c *Ctx) endPhase(skip string) {
+	if !c.Ckpt {
+		return
+	}
+	b := c.B
+	done := b.NewLabel("ckpt_pub")
+	if c.Vector() {
+		// Publisher: group 0's scalar core (lane id -1). Tile 0 may be
+		// ungrouped and idle, so tile identity is the wrong anchor.
+		m1 := b.Int()
+		b.Li(m1, -1)
+		b.Bne(c.Lane, m1, done)
+		b.FreeInt(m1)
+		b.Bne(c.Gid, isa.X0, done)
+	} else {
+		// Publisher: dense worker 0, which exists on any runnable layout.
+		b.Bne(c.WorkerID(), isa.X0, done)
+	}
+	addr := b.Int()
+	b.LiU(addr, c.ckptAddr)
+	b.Sw(c.ckptExec, addr, 0)
+	b.Csrw(isa.CsrCkpt, isa.X0)
+	b.FreeInt(addr)
+	b.Label(done)
+	b.Barrier()
+	b.Label(skip)
+	c.phases++
+}
+
 // MIMDKernel wraps one kernel phase for the MIMD styles: body then a
 // global barrier.
 func (c *Ctx) MIMDKernel(body func()) {
+	skip := c.beginPhase()
 	body()
 	c.B.Barrier()
+	c.endPhase(skip)
 }
 
 // VectorKernel wraps one kernel phase for the vector style: per-lane setup
@@ -184,6 +271,7 @@ func (c *Ctx) MIMDKernel(body func()) {
 // kernel start, disband at the end, with a global barrier between kernels).
 func (c *Ctx) VectorKernel(frameWords, frames int, laneSetup, scalarBody func()) {
 	b := c.B
+	skip := c.beginPhase()
 	if laneSetup != nil {
 		laneSetup()
 	}
@@ -194,6 +282,7 @@ func (c *Ctx) VectorKernel(frameWords, frames int, laneSetup, scalarBody func())
 	b.Devectorize(resume)
 	b.Label(resume)
 	b.Barrier()
+	c.endPhase(skip)
 }
 
 // SelfDAE emits the NV_PF per-core decoupled-prefetch pipeline: each

@@ -9,6 +9,16 @@ import (
 	"rockcress/internal/machine"
 )
 
+// AttemptInfo records one rung of the recovery ladder: what a single
+// machine attempt cost and how it recovered.
+type AttemptInfo struct {
+	Cycles         int64
+	FromCheckpoint bool  // resumed from a published snapshot, not the image
+	FrameReplays   int64 // poisoned frames repaired in-run
+	ReplayRetries  int64
+	Checkpoints    int64 // snapshots published during the attempt
+}
+
 // FaultResult is the outcome of a degraded run: the final (correct) result
 // plus how the harness got there. TotalCycles includes the cycles burned by
 // aborted attempts — the price of degradation the fault figure plots.
@@ -19,6 +29,14 @@ type FaultResult struct {
 	TotalCycles  int64 // cycles summed over every attempt
 	DeadTiles    []int // all tiles lost across attempts
 	MIMDFallback bool  // vector groups could not re-form; finished in MIMD
+
+	// Recovery ladder: in-run frame replays, restarts resumed from a
+	// checkpoint, restarts from the initial image, and the per-attempt
+	// detail.
+	FrameReplays       int64
+	CheckpointRestarts int
+	FullRestarts       int
+	Ladder             []AttemptInfo
 }
 
 // ExecuteWithFaults runs benchmark b under a fault schedule and degrades
@@ -57,6 +75,12 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 	cur := plan
 	var avoid []int
 	mimd := false
+	ckptOn := !opts.NoCheckpoint
+	// Latest published checkpoint, carried across attempts. A snapshot is
+	// only restorable into a build with the same recovery-point count (the
+	// MIMD fallback may change the phase structure).
+	var snap *machine.Checkpoint
+	var snapSites int
 	// One attempt per core is a generous upper bound: every restart either
 	// succeeds or buries at least one more tile.
 	for attempt := 1; attempt <= hw.Cores; attempt++ {
@@ -83,6 +107,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		}
 		ctx := NewCtx(p, img, buildSW, hw, groups)
 		ctx.Avoid = ctxAvoid
+		ctx.Ckpt = ckptOn
 		if err := b.Build(ctx); err != nil {
 			return nil, fmt.Errorf("%s/%s: build: %w", name, sw.Name, err)
 		}
@@ -90,23 +115,47 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: assemble: %w", name, sw.Name, err)
 		}
+		sites := ctx.CheckpointSites()
 		memBytes := img.SizeBytes()
 		if memBytes < machine.DefaultMemBytes {
 			memBytes = machine.DefaultMemBytes
 		}
 		m, err := machine.New(machine.Params{
 			Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Faults: cur,
+			NoReplay: opts.NoReplay, Checkpoint: ckptOn,
 			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 		}
-		img.Apply(m.Global)
+		// Restart from the last checkpoint when one is compatible with this
+		// attempt's build; otherwise from the initial image.
+		restored := snap != nil && snapSites == sites && len(snap.Words)*4 == memBytes
+		if restored {
+			m.Global.Restore(snap.Words)
+			fr.CheckpointRestarts++
+		} else {
+			img.Apply(m.Global)
+			if attempt > 1 {
+				fr.FullRestarts++
+			}
+		}
 		prevDead := len(fr.DeadTiles)
 		st, runErr := m.Run(maxCycles)
 		fr.TotalCycles += m.Now()
 		rep := m.FaultReport()
 		mergeReport(fr, rep)
+		ai := AttemptInfo{Cycles: m.Now(), FromCheckpoint: restored}
+		if rep != nil {
+			ai.FrameReplays = rep.FrameReplays
+			ai.ReplayRetries = rep.ReplayRetries
+			ai.Checkpoints = rep.Checkpoints
+			fr.FrameReplays += rep.FrameReplays
+		}
+		fr.Ladder = append(fr.Ladder, ai)
+		if ck := m.Checkpoint(); ck != nil {
+			snap, snapSites = ck, sites
+		}
 		if runErr == nil {
 			if err := img.Check(m.Global); err == nil {
 				fr.Result = &Result{
@@ -127,6 +176,14 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 			cur = cur.Without(rep.Fired)
 		}
 		if len(fr.DeadTiles) == prevDead && len(cur.Events) == nBefore {
+			if restored {
+				// The snapshot itself may be the problem (kernel state the
+				// memory image cannot capture, or corruption published
+				// before the integrity layer saw it): discard it and take
+				// one restart from the initial image before giving up.
+				snap = nil
+				continue
+			}
 			if runErr != nil {
 				// Failed without consuming any fault: restarting cannot help.
 				return nil, fmt.Errorf("%s/%s: run: %w", name, sw.Name, runErr)
@@ -180,6 +237,13 @@ func mergeReport(fr *FaultResult, rep *fault.Report) {
 	fr.Report.Retransmits += rep.Retransmits
 	fr.Report.DroppedFlits += rep.DroppedFlits
 	fr.Report.CorruptFlits += rep.CorruptFlits
+	fr.Report.FlipsFrame += rep.FlipsFrame
+	fr.Report.FlipsData += rep.FlipsData
+	fr.Report.FramePoisons += rep.FramePoisons
+	fr.Report.FrameReplays += rep.FrameReplays
+	fr.Report.ReplayRetries += rep.ReplayRetries
+	fr.Report.ReplayEscalations += rep.ReplayEscalations
+	fr.Report.Checkpoints += rep.Checkpoints
 }
 
 // Degraded reports whether the run lost any tiles.

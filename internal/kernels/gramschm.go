@@ -152,6 +152,14 @@ func gramPhase12(ctx *Ctx, k, wid isa.Reg, workers int) {
 		ctx.AddrInto(pA, t, A.Addr, 1, 0)
 		ctx.AddrInto(pQ, t, Q.Addr, 1, 0)
 		b.Li(stride, int32(4*m*workers))
+		if ctx.Ckpt {
+			// The checkpoint build holds one extra persistent register (the
+			// phase-execution counter), which leaves the row-guard
+			// temporaries below one short. pR and t are dead here; release
+			// them early. Fault-free builds keep the original assignment so
+			// their instruction stream (and golden cycles) is unchanged.
+			b.FreeInt(pR, t)
+		}
 		b.ForI(i, 0, int32((n+workers-1)/workers), 1, func() {
 			// Guard the ragged tail: row = wid + i*workers < n.
 			guard := b.NewLabel("p2_guard")
@@ -169,7 +177,10 @@ func gramPhase12(ctx *Ctx, k, wid isa.Reg, workers int) {
 			b.Add(pQ, pQ, stride)
 			b.FreeInt(rowi, bnd)
 		})
-		b.FreeInt(i, pA, pQ, pR, t, stride)
+		b.FreeInt(i, pA, pQ, stride)
+		if !ctx.Ckpt {
+			b.FreeInt(pR, t)
+		}
 		b.FreeFp(frkk, finv, fone, fa)
 	}
 	b.Barrier()
@@ -263,8 +274,23 @@ func (gramBench) buildVec(ctx *Ctx) {
 	ctx.MulConst(gv, ctx.Gid, vlen)
 	racc, fa, fq := b.Fp(), b.Fp(), b.Fp()
 
+	if ctx.Ckpt {
+		// kReg advances once per *executed* phase-3, so a checkpoint-restored
+		// run that skips completed phases would desynchronize it from k.
+		// Every core preloads it from the restored progress word (phase e
+		// covers column k = e-1); mtSetK's increment then lands the first
+		// executed phase on the right column. pA is not yet live here and
+		// serves as the address scratch — the register file is already full.
+		// Fault-free builds emit none of this and keep their golden
+		// instruction stream.
+		b.LiU(pA, ctx.ckptAddr)
+		b.Lw(kReg, pA, 0)
+		b.Addi(kReg, kReg, -1)
+	}
 	mtInitK, _ := b.Microthread(func() {
-		b.Li(kReg, -1)
+		if !ctx.Ckpt {
+			b.Li(kReg, -1)
+		}
 		b.Li(mReg, int32(m))
 	})
 	mtSetK, _ := b.Microthread(func() {

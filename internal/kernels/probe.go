@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"fmt"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+)
+
+// LadderProbe is the outcome of a recovery-ladder comparison for one kernel:
+// a fault schedule that demonstrably bites, the run repaired by the ladder,
+// and the same schedule absorbed by whole-run restarts only.
+type LadderProbe struct {
+	Plan    *fault.Plan
+	Rung    string // "replay" or "checkpoint": the ladder rung that repaired it
+	Ladder  *FaultResult
+	Restart *FaultResult
+}
+
+// ProbeReplayWin searches for a fault schedule on which the recovery ladder
+// strictly beats the whole-run-restart baseline, and returns both runs.
+//
+// It first sweeps single bit flips over injection cycles and frame offsets
+// for one that poisons an in-flight vload frame: a flip only bites when it
+// lands on an already-arrived word of a filled-but-unverified frame, so the
+// sweep needs fine cycle granularity and offsets spanning several frame
+// slots (slot stride is frameWords*4 bytes). For kernels that never stream
+// data through scratchpad frames (gramschm reads everything via global
+// gathers, paper sec. 6.2) no flip can bite; the probe falls back to killing
+// a lane so the checkpoint rung carries the comparison. Returns an error if
+// neither rung can demonstrate a strict win.
+func ProbeReplayWin(b Benchmark, p Params, sw config.Software, hw config.Manycore,
+	maxCycles int64) (*LadderProbe, error) {
+	groups, err := GroupsFor(sw, sw.Apply(hw))
+	if err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 || len(groups[0].Lanes) == 0 {
+		return nil, fmt.Errorf("%s: no vector lanes to probe", sw.Name)
+	}
+	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
+	base, err := Execute(b, p, sw, hw, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := base.Cycles()
+
+	tryFlip := func(cycle int64, off uint32) (*LadderProbe, error) {
+		plan := &fault.Plan{Events: []fault.Event{
+			{Kind: fault.FlipSpadWord, Cycle: cycle, Tile: victim, Offset: off, Bit: 30},
+		}}
+		lad, err := ExecuteWithFaults(b, p, sw, hw, maxCycles, plan)
+		if err != nil || lad.FrameReplays < 1 || lad.Attempts != 1 || lad.Degraded() {
+			// Flip not caught as a poisoned frame (overwritten before
+			// verification, data region, or escalated): not the scenario
+			// under test.
+			return nil, nil
+		}
+		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan,
+			ExecOpts{MaxCycles: maxCycles, NoReplay: true, NoCheckpoint: true})
+		if err != nil {
+			return nil, fmt.Errorf("restart baseline: %w", err)
+		}
+		if rst.TotalCycles <= lad.TotalCycles {
+			// The baseline shrugged this flip off (its uninstrumented build
+			// never consumed the corrupt word): it cannot witness the
+			// ladder's advantage.
+			return nil, nil
+		}
+		return &LadderProbe{Plan: plan, Rung: "replay", Ladder: lad, Restart: rst}, nil
+	}
+	// A kernel that never consumes a frame in its fault-free run has nothing
+	// the parity check protects: skip the flip sweep entirely.
+	var frames int64
+	for i := range base.Stats.Cores {
+		frames += base.Stats.Cores[i].FramesConsumed
+	}
+	if frames > 0 {
+		// Coarse pass: a handful of cycles, head-slot offsets.
+		for _, fr := range [][2]int64{{1, 3}, {1, 2}, {1, 4}, {2, 3}, {1, 6}, {3, 4}, {5, 6}, {1, 8}, {7, 8}} {
+			for _, off := range []uint32{0, 4, 16, 32} {
+				pr, err := tryFlip(baseCycles*fr[0]/fr[1], off)
+				if pr != nil || err != nil {
+					return pr, err
+				}
+			}
+		}
+		// Fine pass: i/32 cycle sweep crossed with offsets spanning the
+		// frame queue, for kernels whose frames verify quickly or whose flip
+		// must hit a deeper slot.
+		for i := int64(1); i < 32; i++ {
+			for _, off := range []uint32{0, 64, 128, 192, 256, 320, 384, 448} {
+				pr, err := tryFlip(baseCycles*i/32, off)
+				if pr != nil || err != nil {
+					return pr, err
+				}
+			}
+		}
+	}
+	// No flip bites: the kernel does not stream data through frames. Kill
+	// the victim instead and let the checkpoint rung carry the comparison.
+	for _, fr := range [][2]int64{{3, 4}, {1, 2}, {7, 8}, {5, 8}} {
+		plan := &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KillTile, Cycle: baseCycles * fr[0] / fr[1], Tile: victim},
+		}}
+		lad, err := ExecuteWithFaults(b, p, sw, hw, maxCycles, plan)
+		if err != nil || lad.CheckpointRestarts < 1 {
+			continue
+		}
+		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan,
+			ExecOpts{MaxCycles: maxCycles, NoReplay: true, NoCheckpoint: true})
+		if err != nil {
+			return nil, fmt.Errorf("restart baseline: %w", err)
+		}
+		if rst.TotalCycles <= lad.TotalCycles {
+			continue
+		}
+		return &LadderProbe{Plan: plan, Rung: "checkpoint", Ladder: lad, Restart: rst}, nil
+	}
+	return nil, fmt.Errorf("%s/%s: no fault schedule demonstrates a ladder win (base %d cycles)",
+		b.Info().Name, sw.Name, baseCycles)
+}

@@ -1,0 +1,176 @@
+package kernels
+
+import (
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+)
+
+// replayMaxCycles bounds the small Tiny-scale searches below.
+const replayMaxCycles = 30_000_000
+
+// flipPlan builds a single-event silent-corruption plan: one bit flip in
+// tile's scratchpad at the given cycle and byte offset. Bit 30 lands in a
+// float's exponent, so a consumed flip always moves the result far outside
+// the checker's tolerance.
+func flipPlan(cycle int64, tile int, off uint32) *fault.Plan {
+	return &fault.Plan{Events: []fault.Event{
+		{Kind: fault.FlipSpadWord, Cycle: cycle, Tile: tile, Offset: off, Bit: 30},
+	}}
+}
+
+// TestReplayLadderBeatsRestart is the acceptance criterion for the recovery
+// ladder under silent data corruption: for every PolyBench kernel under V4,
+// ProbeReplayWin must find a fault schedule the ladder repairs strictly
+// cheaper than the whole-run-restart baseline. Fourteen kernels demonstrate
+// the frame-replay rung (a frame-region bit flip poisons an in-flight vload
+// frame, repaired in-run with no dead tiles); gramschm — the one kernel
+// whose builds never stream data through scratchpad frames (global gathers
+// only, paper sec. 6.2) — demonstrates the checkpoint rung under a lane
+// kill, and a frame flip must be provably benign for it.
+func TestReplayLadderBeatsRestart(t *testing.T) {
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	for _, b := range PolyBench() {
+		b := b
+		t.Run(b.Info().Name, func(t *testing.T) {
+			p := b.Defaults(Tiny)
+			pr, err := ProbeReplayWin(b, p, sw, hw, replayMaxCycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lad := pr.Ladder
+			if lad.Report == nil {
+				t.Fatal("ladder run has no fault report")
+			}
+			switch pr.Rung {
+			case "replay":
+				if lad.Report.FramePoisons < 1 {
+					t.Errorf("replay fired without a recorded frame poison: %+v", lad.Report)
+				}
+				if len(lad.Ladder) != 1 || lad.Ladder[0].FrameReplays < 1 {
+					t.Errorf("ladder detail %+v, want one attempt with >= 1 replay", lad.Ladder)
+				}
+			case "checkpoint":
+				if lad.Report.Checkpoints < 1 {
+					t.Errorf("checkpoint restart without a recorded publish: %+v", lad.Report)
+				}
+				fromCkpt := false
+				for _, ai := range lad.Ladder {
+					fromCkpt = fromCkpt || ai.FromCheckpoint
+				}
+				if !fromCkpt {
+					t.Errorf("no ladder attempt marked FromCheckpoint: %+v", lad.Ladder)
+				}
+			default:
+				t.Fatalf("unknown rung %q", pr.Rung)
+			}
+			wantRung := "replay"
+			if b.Info().Name == "gramschm" {
+				wantRung = "checkpoint"
+			}
+			if pr.Rung != wantRung {
+				t.Errorf("win on the %s rung, want %s", pr.Rung, wantRung)
+			}
+			t.Logf("%s rung (%s @%d): ladder %d cycles (replays %d, ckpt restarts %d) vs restart baseline %d (attempts %d)",
+				pr.Rung, pr.Plan.Events[0].Kind, pr.Plan.Events[0].Cycle,
+				lad.TotalCycles, lad.FrameReplays, lad.CheckpointRestarts,
+				pr.Restart.TotalCycles, pr.Restart.Attempts)
+		})
+	}
+}
+
+// TestGramschmFlipBenign pins the gather-only exception: a frame-region flip
+// on a gramschm lane must not disturb the run at all — one clean attempt,
+// correct result, flip recorded in the report.
+func TestGramschmFlipBenign(t *testing.T) {
+	b, err := Get("gramschm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	groups, err := GroupsFor(sw, sw.Apply(hw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
+	p := b.Defaults(Tiny)
+	base, err := Execute(b, p, sw, hw, replayMaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lad, err := ExecuteWithFaults(b, p, sw, hw, replayMaxCycles, flipPlan(base.Cycles()/2, victim, 0))
+	if err != nil {
+		t.Fatalf("frame flip must be benign for a gather-only kernel: %v", err)
+	}
+	if lad.Attempts != 1 || lad.Degraded() {
+		t.Errorf("benign flip cost %d attempts (degraded %v), want 1 clean attempt", lad.Attempts, lad.Degraded())
+	}
+	if lad.Report == nil || lad.Report.FlipsFrame+lad.Report.FlipsData < 1 {
+		t.Errorf("flip not recorded in report: %+v", lad.Report)
+	}
+}
+
+// TestCheckpointRestart kills a lane late enough in a V4 mvt run that a
+// checkpoint has been published: the restart must resume from the snapshot
+// (CheckpointRestarts, Ladder.FromCheckpoint) and still produce the correct
+// result on the reformed fabric.
+func TestCheckpointRestart(t *testing.T) {
+	b, err := Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	groups, err := GroupsFor(sw, sw.Apply(hw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
+	p := b.Defaults(Tiny)
+	base, err := Execute(b, p, sw, hw, replayMaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCycles := base.Cycles()
+	// The kill must land after a phase boundary published a snapshot but
+	// before the run finishes; sweep the second half of the run.
+	for _, fr := range [][2]int64{{5, 8}, {3, 4}, {1, 2}, {7, 8}, {9, 16}, {11, 16}} {
+		plan := &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KillTile, Cycle: baseCycles * fr[0] / fr[1], Tile: victim},
+		}}
+		res, err := ExecuteWithFaults(b, p, sw, hw, replayMaxCycles, plan)
+		if err != nil || res.CheckpointRestarts < 1 {
+			continue
+		}
+		fromCkpt := false
+		for _, ai := range res.Ladder {
+			fromCkpt = fromCkpt || ai.FromCheckpoint
+		}
+		if !fromCkpt {
+			t.Errorf("CheckpointRestarts %d but no ladder attempt marked FromCheckpoint: %+v",
+				res.CheckpointRestarts, res.Ladder)
+		}
+		if res.Report == nil || res.Report.Checkpoints < 1 {
+			t.Errorf("restart without a recorded checkpoint publish: %+v", res.Report)
+		}
+		if res.Result == nil || res.Result.Stats.Cycles <= 0 {
+			t.Fatal("no final result after checkpoint restart")
+		}
+		t.Logf("kill @%d: %d attempts, %d checkpoint restart(s), %d full restart(s), total %d cycles",
+			plan.Events[0].Cycle, res.Attempts, res.CheckpointRestarts, res.FullRestarts, res.TotalCycles)
+		return
+	}
+	t.Fatal("no kill cycle produced a checkpoint-resumed restart")
+}

@@ -42,6 +42,15 @@ type ExecOpts struct {
 	Workers int
 	// TraceBarriers logs global barrier releases (per-instance debug aid).
 	TraceBarriers bool
+
+	// NoReplay disables the frame-integrity layer (per-frame parity +
+	// poisoned-frame replay) on fault runs; NoCheckpoint disables
+	// checkpointed restart. Both exist to measure the whole-run-restart
+	// baseline the recovery ladder is compared against. Fault-free runs
+	// (Execute/ExecuteOpts) never enable either, so these have no effect
+	// there.
+	NoReplay     bool
+	NoCheckpoint bool
 }
 
 // Execute runs benchmark b with parameters p under the given software row

@@ -43,6 +43,16 @@ type Params struct {
 	// Faults is the fault-injection schedule; nil costs nothing.
 	Faults *fault.Plan
 
+	// NoReplay disables the scratchpad integrity layer (per-frame parity +
+	// poisoned-frame replay) that fault-injection runs otherwise get. Used
+	// to measure the whole-run-restart baseline.
+	NoReplay bool
+
+	// Checkpoint enables checkpoint publication: csrw ckpt arms a
+	// global-memory snapshot at the next barrier release, retrievable via
+	// Machine.Checkpoint after the run.
+	Checkpoint bool
+
 	// Watchdog tuning; zero means the default. Long-latency fault/retry
 	// experiments raise these to avoid false deadlock aborts.
 	CheckEvery int64
@@ -139,6 +149,16 @@ type Machine struct {
 	brokenGroups []bool
 	checkEvery   int64
 	stallLimit   int64
+
+	// Integrity layer (fault-injection runs with replay enabled).
+	integrity bool
+	replays   []*replayState // per tile; nil = no replay in flight
+
+	// Checkpointing: armed from the parallel core phase by csrw ckpt,
+	// consumed at the serial barrier release.
+	ckptOn    bool
+	ckptArmed atomic.Bool
+	ckpt      *Checkpoint
 }
 
 // New builds and wires a machine.
@@ -218,9 +238,18 @@ func New(p Params) (*Machine, error) {
 		m.llcs[b] = mem.NewLLCBank(b, cfg, m.space.LLCNode(b), m.meshResp, m.dram,
 			m.Global, m, &m.Stats.LLCs[b])
 	}
+	m.integrity = p.Faults != nil && !p.NoReplay
+	m.ckptOn = p.Checkpoint
 	m.spads = make([]*mem.Scratchpad, cfg.Cores)
 	for t := range m.spads {
 		m.spads[t] = mem.NewScratchpad(t, cfg.SpadBytes, cfg.FrameCounters, &m.Stats.Cores[t])
+		m.spads[t].SetClock(func() int64 { return m.now })
+		if m.integrity {
+			m.spads[t].SetIntegrity(true)
+		}
+	}
+	if m.integrity {
+		m.replays = make([]*replayState, cfg.Cores)
 	}
 	// inet wiring: one input queue per grouped tile, children per tree.
 	inQs := make([]*inet.Queue, cfg.Cores)
@@ -329,13 +358,18 @@ func (m *Machine) buildStages() []sim.Stage {
 	}
 }
 
-// preMem fires due discrete fault events and drains DRAM completions.
+// preMem fires due discrete fault events, drains DRAM completions, and
+// drives frame replays. All of it is serial, so replay decisions are
+// identical for every engine worker count.
 func (m *Machine) preMem(now int64) {
 	if m.inj != nil && now >= m.inj.NextDiscrete() {
 		m.applyFaults(now)
 	}
 	for _, f := range m.dram.Completed(now, m.Global) {
 		m.llcs[f.Bank].Install(now, f.LineAddr)
+	}
+	if m.integrity {
+		m.tickReplays(now)
 	}
 }
 
@@ -348,6 +382,13 @@ func (m *Machine) preCores(now int64) {
 		m.barrier.arrived.Store(0)
 		if m.traceBarriers {
 			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
+		}
+		// An armed checkpoint fires exactly at the release: every store from
+		// before the barrier has drained and no core is past it, so the
+		// snapshot is a consistent cut. Skipped (but disarmed) when any
+		// scratchpad may hold unrepaired corruption.
+		if m.ckptArmed.Swap(false) && m.ckptOn && m.snapshotSafe() {
+			m.takeCheckpoint(now)
 		}
 	}
 }
@@ -487,7 +528,7 @@ func (m *Machine) deliver(node int, f msg.Message) bool {
 		m.cores[node].OnLoadResp(m.now, f)
 	case msg.KindSpadWord:
 		for i, v := range f.Vals {
-			m.spads[node].ArriveWord(f.SpadOff+uint32(4*i), v)
+			m.spads[node].ArriveWord(f.SpadOff+uint32(4*i), f.Addr+uint32(4*i), v)
 		}
 	case msg.KindRemoteStore:
 		m.spads[node].WriteWord(f.SpadOff, f.Vals[0])
@@ -524,8 +565,15 @@ func (m *Machine) applyFaults(now int64) {
 				m.report.StuckQueues++
 			}
 		case fault.FlipSpadWord:
-			if m.spads[e.Tile].FlipBit(e.Offset, e.Bit) {
+			if landed, inFrame := m.spads[e.Tile].FlipBit(e.Offset, e.Bit); landed {
 				m.report.FlippedWords++
+				if inFrame {
+					m.report.FlipsFrame++
+					m.Stats.SpadFlipsFrame++
+				} else {
+					m.report.FlipsData++
+					m.Stats.SpadFlipsData++
+				}
 			}
 		}
 	}
@@ -548,6 +596,9 @@ func (m *Machine) killTile(now int64, t int) {
 	}
 	c.Kill()
 	m.spads[t].Decommission()
+	if m.replays != nil {
+		m.replays[t] = nil // a dead tile's frames are beyond repair
+	}
 	m.report.DeadTiles = append(m.report.DeadTiles, t)
 	if gid := m.tileGroup[t]; gid >= 0 {
 		m.breakGroup(now, gid)
@@ -594,6 +645,10 @@ func (m *Machine) FaultReport() *fault.Report {
 	m.report.Retransmits = m.meshReq.Retransmits + m.meshResp.Retransmits
 	m.report.DroppedFlits = m.meshReq.Dropped + m.meshResp.Dropped
 	m.report.CorruptFlits = m.meshReq.Corrupt + m.meshResp.Corrupt
+	m.report.FramePoisons = 0
+	for i := range m.Stats.Cores {
+		m.report.FramePoisons += m.Stats.Cores[i].FramePoisons
+	}
 	return m.report
 }
 
@@ -687,7 +742,14 @@ func (m *Machine) checkComponents() error {
 	}
 	for t, s := range m.spads {
 		if err := s.Err(); err != nil {
-			return m.faultErr(t, err)
+			// Scratchpads stamp the cycle a violation latched at, so the
+			// error carries the occurrence cycle rather than the (up to
+			// CheckEvery later) cycle the sweep noticed it.
+			fe := &FaultError{Cycle: m.now, Tile: t, Err: err, State: m.debugState()}
+			if c := s.ErrCycle(); c >= 0 {
+				fe.Cycle = c
+			}
+			return fe
 		}
 	}
 	if err := m.meshReq.Err(); err != nil {

@@ -1,0 +1,142 @@
+package machine_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+	"rockcress/internal/isa"
+	"rockcress/internal/kernels"
+	"rockcress/internal/machine"
+	"rockcress/internal/prog"
+)
+
+// TestReplayDeterministicAcrossWorkers pins the recovery ladder to the
+// engine-determinism contract: a fixed flip schedule that forces an in-run
+// frame replay must produce bit-identical cycle counts, attempt ladders and
+// fault reports on the serial engine and on every tested parallel pool
+// width. The replay manager runs in the serial pre-memory step, so any
+// divergence here means replay state leaked into the parallel tick.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	b, err := kernels.Get("mvt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := config.Preset("V4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := config.ManycoreDefault()
+	groups, err := kernels.GroupsFor(sw, sw.Apply(hw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
+	p := b.Defaults(kernels.Tiny)
+	// The flip cycle/offset is known (from the kernels acceptance test) to
+	// poison an in-flight frame and trigger exactly one replay on mvt/V4.
+	plan := func() *fault.Plan {
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.FlipSpadWord, Cycle: 2758, Tile: victim, Offset: 0, Bit: 30},
+		}}
+	}
+	type outcome struct {
+		total    int64
+		attempts int
+		replays  int64
+		ladder   []kernels.AttemptInfo
+		report   *fault.Report
+	}
+	var ref *outcome
+	for _, workers := range goldenWorkers {
+		res, err := kernels.ExecuteWithFaultsOpts(b, p, sw, hw, plan(),
+			kernels.ExecOpts{MaxCycles: 30_000_000, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.FrameReplays < 1 {
+			t.Fatalf("workers=%d: flip did not trigger a replay (replays %d)", workers, res.FrameReplays)
+		}
+		got := &outcome{
+			total: res.TotalCycles, attempts: res.Attempts, replays: res.FrameReplays,
+			ladder: res.Ladder, report: res.Report,
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if got.total != ref.total || got.attempts != ref.attempts || got.replays != ref.replays {
+			t.Errorf("workers=%d: cycles/attempts/replays %d/%d/%d, serial engine %d/%d/%d",
+				workers, got.total, got.attempts, got.replays, ref.total, ref.attempts, ref.replays)
+		}
+		if !reflect.DeepEqual(got.ladder, ref.ladder) {
+			t.Errorf("workers=%d: ladder %+v differs from serial %+v", workers, got.ladder, ref.ladder)
+		}
+		if !reflect.DeepEqual(got.report, ref.report) {
+			t.Errorf("workers=%d: fault report differs from serial:\n%+v\n%+v", workers, got.report, ref.report)
+		}
+	}
+}
+
+// TestSpadErrCycleContext checks the structured scratchpad error carries the
+// cycle the corruption *occurred*, not the (later) cycle the watchdog swept
+// it up: tile 5 overflows its frame counter in the first few cycles while
+// tile 0 spins long enough that the default 1024-cycle component check is
+// the thing that surfaces the error.
+func TestSpadErrCycleContext(t *testing.T) {
+	cfg := config.ManycoreDefault()
+	b := prog.New("spad-err-cycle")
+	tid := b.Int()
+	five := b.Int()
+	b.Csrr(tid, isa.CsrCoreID)
+	b.Li(five, 5)
+	b.Bne(tid, five, "spin")
+	b.ConfigFrames(1, 2)
+	addr := b.Int()
+	off := b.Int()
+	b.Li(addr, 0x4000)
+	b.Li(off, 0)
+	b.VLoad(isa.VloadSelf, addr, off, 0, 1, false)
+	b.VLoad(isa.VloadSelf, addr, off, 0, 1, false)
+	b.Jmp("done")
+	b.Label("spin")
+	// Keep every other tile busy past the first component check so the
+	// machine cannot finish before detection.
+	i := b.Int()
+	b.ForI(i, 0, 2000, 1, func() {})
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m, err := machine.New(machine.Params{Cfg: cfg, Prog: p})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	_, runErr := m.Run(testBudget)
+	if runErr == nil {
+		t.Fatal("expected a frame-overflow error")
+	}
+	var fe *machine.FaultError
+	if !errors.As(runErr, &fe) {
+		t.Fatalf("error is not a *FaultError: %v", runErr)
+	}
+	if fe.Tile != 5 {
+		t.Errorf("FaultError.Tile = %d, want 5", fe.Tile)
+	}
+	if !strings.Contains(runErr.Error(), "overflow") {
+		t.Errorf("error does not mention overflow: %v", runErr)
+	}
+	// The overflow happens within the first few dozen cycles; detection waits
+	// for the first DefaultCheckEvery sweep. The error must report the former.
+	if fe.Cycle < 0 || fe.Cycle >= machine.DefaultCheckEvery {
+		t.Errorf("FaultError.Cycle = %d, want the occurrence cycle (< %d)", fe.Cycle, machine.DefaultCheckEvery)
+	}
+	if fe.Cycle >= m.Now() {
+		t.Errorf("FaultError.Cycle = %d not before detection at cycle %d", fe.Cycle, m.Now())
+	}
+}

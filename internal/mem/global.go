@@ -67,6 +67,22 @@ func (g *Global) WriteWord(addr uint32, v uint32) {
 	g.words[addr/4] = v
 }
 
+// Snapshot returns a copy of the whole store. The machine overlays dirty
+// LLC lines on top of it to publish a consistent checkpoint image.
+func (g *Global) Snapshot() []uint32 {
+	return append([]uint32(nil), g.words...)
+}
+
+// Restore replaces the store's contents with a snapshot taken from an
+// identically sized store.
+func (g *Global) Restore(words []uint32) {
+	if len(words) != len(g.words) {
+		g.fail("restore of %d words into %d-word store", len(words), len(g.words))
+		return
+	}
+	copy(g.words, words)
+}
+
 // ReadLine copies the line at lineAddr into dst (len(dst) words).
 func (g *Global) ReadLine(lineAddr uint32, dst []uint32) {
 	if !g.check(lineAddr) {

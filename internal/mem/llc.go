@@ -543,9 +543,12 @@ func (b *LLCBank) streamResponses(now int64) {
 		}
 		vals = append(vals, j.data[j.sent+len(vals)])
 	}
+	// Addr carries the global address of the first bundled word so the
+	// receiving scratchpad can record the frame's data provenance (replay).
 	resp := msg.Message{
 		Kind: msg.KindSpadWord, Src: b.node, Dst: tile,
 		Vals: vals, Words: len(vals), SpadOff: off,
+		Addr: m.Addr + uint32(4*k),
 	}
 	if !b.out.TrySend(resp) {
 		return
@@ -566,5 +569,23 @@ func (b *LLCBank) FlushTo(g *Global) {
 			g.WriteLine(l.addr, l.data)
 			l.dirty = false
 		}
+	}
+}
+
+// OverlayDirty copies every dirty line into words (a Global.Snapshot image)
+// without disturbing bank state. The machine uses it to publish a coherent
+// checkpoint while the cache keeps running.
+func (b *LLCBank) OverlayDirty(words []uint32) {
+	for i := range b.lines {
+		l := &b.lines[i]
+		if !l.valid || !l.dirty {
+			continue
+		}
+		lo := int(l.addr / 4)
+		if lo+len(l.data) > len(words) {
+			b.fail("dirty line %#x outside snapshot of %d words", l.addr, len(words))
+			continue
+		}
+		copy(words[lo:], l.data)
 	}
 }

@@ -118,7 +118,7 @@ func TestFrameLifecycle(t *testing.T) {
 	}
 	// Fill frame 0 out of order (arrival order within a frame is free).
 	for _, off := range []uint32{12, 0, 8, 4} {
-		s.ArriveWord(off, off*10)
+		s.ArriveWord(off, 0, off*10)
 	}
 	if !s.FrameReady() {
 		t.Fatal("full frame not ready")
@@ -150,9 +150,9 @@ func TestFrameOverflowDetected(t *testing.T) {
 	// while it is still full: data for a frame beyond the counters (the
 	// Fig. 9 violation) must surface.
 	for off := uint32(0); off < 16; off += 4 {
-		s.ArriveWord(off, 1)
+		s.ArriveWord(off, 0, 1)
 	}
-	s.ArriveWord(0, 2)
+	s.ArriveWord(0, 0, 2)
 	if s.Err() == nil {
 		t.Fatal("frame overflow not detected")
 	}
@@ -184,7 +184,7 @@ func TestFrameWindowProperty(t *testing.T) {
 				// Deliver one word of frame pendingSeq.
 				k := arrived[pendingSeq]
 				off := uint32((pendingSeq%frames)*fw*4 + k*4)
-				s.ArriveWord(off, 7)
+				s.ArriveWord(off, 0, 7)
 				arrived[pendingSeq]++
 				if arrived[pendingSeq] == fw {
 					pendingSeq++

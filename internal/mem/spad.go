@@ -6,6 +6,16 @@ import (
 	"rockcress/internal/stats"
 )
 
+// FrameSeg records where one contiguous run of vload words landed in a
+// frame: the scratchpad byte offset, the global byte address it was read
+// from, and the word count. The machine's replay manager re-issues these
+// runs as narrow self vloads when a frame fails its parity check.
+type FrameSeg struct {
+	Off   uint32
+	Addr  uint32
+	Words int
+}
+
 // Scratchpad is a tile's explicitly managed local memory, augmented with
 // the frame counters of §3.3: a fixed number of hardware counters track how
 // many words have arrived in each open frame, allowing out-of-order arrival
@@ -13,6 +23,14 @@ import (
 //
 // The frame region occupies the bottom of the scratchpad
 // (frameWords*numFrames words); the rest is free for program data.
+//
+// With integrity checking enabled (fault-injection runs only), each frame
+// additionally carries a parity word accumulated as vload responses arrive
+// and verified lazily the first time the head frame opens. A mismatch marks
+// the frame poisoned — frame_start stalls instead of feeding corrupt data —
+// until the machine replays the frame's vload traffic from the delivery
+// record. A fault-free machine never enables any of this, so the hot paths
+// stay identical to the seed simulator.
 type Scratchpad struct {
 	tile     int
 	words    []uint32
@@ -26,6 +44,21 @@ type Scratchpad struct {
 	st   *stats.Core
 	err  error
 	dead bool // decommissioned (tile killed): all accesses become no-ops
+
+	// Integrity extension (zero-cost when off).
+	integrity   bool
+	parity      []uint32     // per-slot XOR accumulator
+	segs        [][]FrameSeg // per-slot delivery record for replay
+	pending     []int        // per-slot injected flips not yet verified away
+	verifiedSeq int64        // head seq whose parity check already passed
+	poisoned    bool         // head frame failed verification
+	replaying   bool         // head frame is being refilled by a replay
+	suspect     bool         // corruption verification can no longer catch
+
+	// clock supplies the machine cycle for error context; errCycle records
+	// the cycle the first invariant violation latched.
+	clock    func() int64
+	errCycle int64
 }
 
 // NewScratchpad builds a scratchpad of the given byte size with the given
@@ -34,15 +67,35 @@ func NewScratchpad(tile, bytes, hwFrames int, st *stats.Core) *Scratchpad {
 	if bytes%4 != 0 || bytes <= 0 {
 		panic(fmt.Sprintf("mem: scratchpad size %d must be a positive word multiple", bytes))
 	}
-	return &Scratchpad{tile: tile, words: make([]uint32, bytes/4), hwFrames: hwFrames, st: st}
+	return &Scratchpad{tile: tile, words: make([]uint32, bytes/4), hwFrames: hwFrames, st: st,
+		verifiedSeq: -1, errCycle: -1}
 }
+
+// SetIntegrity enables per-frame parity accumulation, delivery recording,
+// and lazy verification at frame-open. The machine turns this on only for
+// fault-injection runs with replay enabled.
+func (s *Scratchpad) SetIntegrity(on bool) { s.integrity = on }
+
+// SetClock wires the machine's cycle counter in so invariant violations are
+// stamped with the cycle they occur at (not the cycle they are discovered).
+func (s *Scratchpad) SetClock(fn func() int64) { s.clock = fn }
 
 // Err returns the first invariant violation observed, if any.
 func (s *Scratchpad) Err() error { return s.err }
 
+// ErrCycle returns the cycle the first violation latched at (-1 if none, or
+// no clock was wired).
+func (s *Scratchpad) ErrCycle() int64 { return s.errCycle }
+
+// Tile returns the owning tile id.
+func (s *Scratchpad) Tile() int { return s.tile }
+
 func (s *Scratchpad) fail(format string, args ...any) {
 	if s.err == nil {
 		s.err = fmt.Errorf("scratchpad %d: %s", s.tile, fmt.Sprintf(format, args...))
+		if s.clock != nil {
+			s.errCycle = s.clock()
+		}
 	}
 }
 
@@ -77,6 +130,14 @@ func (s *Scratchpad) Configure(frameWords, frames int) {
 	s.numFrames = frames
 	s.counters = make([]int, frames)
 	s.headSeq = 0
+	if s.integrity {
+		s.parity = make([]uint32, frames)
+		s.segs = make([][]FrameSeg, frames)
+		s.pending = make([]int, frames)
+		s.verifiedSeq = -1
+		s.poisoned = false
+		s.replaying = false
+	}
 }
 
 func (s *Scratchpad) checkOff(off uint32) bool {
@@ -96,14 +157,39 @@ func (s *Scratchpad) checkOff(off uint32) bool {
 // dropped rather than tripping frame-counter invariants on a dead tile.
 func (s *Scratchpad) Decommission() { s.dead = true }
 
+// Dead reports whether the scratchpad has been decommissioned.
+func (s *Scratchpad) Dead() bool { return s.dead }
+
 // FlipBit flips one bit of the word at byte offset off (fault injection:
-// silent data corruption). Reports whether the flip landed in-range.
-func (s *Scratchpad) FlipBit(off uint32, bit uint8) bool {
+// silent data corruption). It reports whether the flip landed in-range and
+// whether it landed inside the frame region — the distinction the
+// silent-corruption accounting in fault.Report keys on. Frame-region flips
+// on an integrity-checked scratchpad will be caught by the parity check
+// when the frame opens; data-region flips (and flips into a frame already
+// verified) are beyond what frame replay can repair, so the scratchpad is
+// marked suspect and the machine stops publishing checkpoints.
+func (s *Scratchpad) FlipBit(off uint32, bit uint8) (landed, inFrame bool) {
 	if s.dead || off%4 != 0 || int(off/4) >= len(s.words) || bit > 31 {
-		return false
+		return false, false
 	}
 	s.words[off/4] ^= 1 << bit
-	return true
+	inFrame = s.numFrames > 0 && off < uint32(s.FrameRegionBytes())
+	if s.integrity {
+		if !inFrame {
+			s.suspect = true
+		} else {
+			slot := int(off) / (s.frameWords * 4)
+			head := int(s.headSeq % int64(s.numFrames))
+			if slot == head && s.verifiedSeq == s.headSeq {
+				// The head frame already passed its check; the consumer may
+				// read the flipped word unverified.
+				s.suspect = true
+			} else {
+				s.pending[slot]++
+			}
+		}
+	}
+	return true, inFrame
 }
 
 // ReadWord performs a program load from the scratchpad.
@@ -126,33 +212,172 @@ func (s *Scratchpad) WriteWord(off uint32, v uint32) {
 
 // ArriveWord delivers one word of vload data from the data network. Words
 // landing inside the frame region increment the owning frame's counter;
-// arrival order within a frame does not matter (§3.3).
-func (s *Scratchpad) ArriveWord(off uint32, v uint32) {
+// arrival order within a frame does not matter (§3.3). gaddr is the global
+// byte address the word was read from (the LLC stamps responses with it);
+// it feeds the delivery record replay reconstructs a frame from.
+func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) {
 	if s.dead || !s.checkOff(off) {
 		return
 	}
-	s.st.SpadWrites++
-	s.words[off/4] = v
 	region := uint32(s.FrameRegionBytes())
 	if s.numFrames == 0 || off >= region {
+		s.st.SpadWrites++
+		s.words[off/4] = v
 		return
 	}
 	slot := int(off) / (s.frameWords * 4)
 	if s.counters[slot] >= s.frameWords {
+		if s.replaying && slot == int(s.headSeq%int64(s.numFrames)) {
+			// A replayed head frame legitimately sees extra arrivals: stale
+			// words from the original vload still in flight, or duplicates
+			// from a timed-out replay attempt re-issued in full. Drop them;
+			// the parity check at frame-open catches any torn interleave.
+			s.st.ReplayStaleDrops++
+			return
+		}
 		s.fail("frame slot %d overflow: data arrived for a frame more than %d ahead of the head (paper Fig. 9)",
 			slot, s.numFrames)
 		return
 	}
+	s.st.SpadWrites++
+	s.words[off/4] = v
 	s.counters[slot]++
+	if s.integrity {
+		s.parity[slot] ^= v
+		s.recordSeg(slot, off, gaddr)
+	}
 }
 
-// FrameReady reports whether the head frame is completely filled.
+// recordSeg appends one delivered word to the slot's delivery record,
+// merging contiguous runs (responses stream consecutively, so a frame's
+// record stays a handful of segments).
+func (s *Scratchpad) recordSeg(slot int, off, gaddr uint32) {
+	segs := s.segs[slot]
+	if n := len(segs); n > 0 {
+		last := &segs[n-1]
+		if off == last.Off+uint32(4*last.Words) && gaddr == last.Addr+uint32(4*last.Words) {
+			last.Words++
+			return
+		}
+	}
+	s.segs[slot] = append(segs, FrameSeg{Off: off, Addr: gaddr, Words: 1})
+}
+
+// FrameReady reports whether the head frame is completely filled. With
+// integrity on, a full frame must also pass its parity check the first time
+// it opens; a mismatch poisons the frame (FrameReady stays false, the
+// consumer records frame stalls) until a replay refills it.
 func (s *Scratchpad) FrameReady() bool {
 	if s.numFrames == 0 {
 		s.fail("frame_start before frame configuration")
 		return false
 	}
-	return s.counters[s.headSeq%int64(s.numFrames)] == s.frameWords
+	slot := int(s.headSeq % int64(s.numFrames))
+	if s.counters[slot] != s.frameWords {
+		return false
+	}
+	if !s.integrity {
+		return true
+	}
+	return s.verifyHead(slot)
+}
+
+// verifyHead recomputes the head frame's XOR parity against the arrival
+// accumulator. One pass per frame: a passing check is latched for the
+// frame's lifetime.
+func (s *Scratchpad) verifyHead(slot int) bool {
+	if s.poisoned {
+		return false
+	}
+	if s.verifiedSeq == s.headSeq {
+		return true
+	}
+	base := slot * s.frameWords
+	var x uint32
+	for i := 0; i < s.frameWords; i++ {
+		x ^= s.words[base+i]
+	}
+	if x != s.parity[slot] {
+		s.poisoned = true
+		s.replaying = false
+		s.st.FramePoisons++
+		return false
+	}
+	s.verifiedSeq = s.headSeq
+	s.replaying = false
+	s.pending[slot] = 0 // any injected flip was overwritten before it mattered
+	return true
+}
+
+// Poisoned reports whether the head frame failed its parity check and is
+// waiting for a replay.
+func (s *Scratchpad) Poisoned() bool { return s.poisoned }
+
+// Replaying reports whether a frame replay is refilling the head frame.
+func (s *Scratchpad) Replaying() bool { return s.replaying }
+
+// Suspect reports whether the scratchpad may hold corruption that the
+// integrity layer can no longer detect or repair: an unverifiable flip
+// landed, a replay was abandoned, or verification is still pending. The
+// machine refuses to publish checkpoints while any scratchpad is suspect.
+func (s *Scratchpad) Suspect() bool {
+	if s.suspect || s.poisoned || s.replaying {
+		return true
+	}
+	for _, n := range s.pending {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HeadSegments returns a copy of the head frame's delivery record and
+// whether it covers the whole frame (only vload-delivered frames can be
+// replayed; frames part-written by program stores cannot).
+func (s *Scratchpad) HeadSegments() (segs []FrameSeg, complete bool) {
+	if s.numFrames == 0 {
+		return nil, false
+	}
+	slot := int(s.headSeq % int64(s.numFrames))
+	total := 0
+	for _, g := range s.segs[slot] {
+		total += g.Words
+	}
+	return append([]FrameSeg(nil), s.segs[slot]...), total == s.frameWords
+}
+
+// BeginReplay resets the head frame for a replayed refill: the counter,
+// parity accumulator, and delivery record restart from empty, and the slot
+// tolerates stale arrivals beyond its capacity until verification passes.
+func (s *Scratchpad) BeginReplay() {
+	if s.numFrames == 0 {
+		return
+	}
+	slot := int(s.headSeq % int64(s.numFrames))
+	s.counters[slot] = 0
+	s.parity[slot] = 0
+	s.segs[slot] = s.segs[slot][:0]
+	s.pending[slot] = 0
+	s.poisoned = false
+	s.replaying = true
+}
+
+// AbandonReplay gives up on repairing the head frame (retries exhausted on
+// a grouped tile: the machine breaks the group instead). The scratchpad
+// stays suspect so no checkpoint is published from this state.
+func (s *Scratchpad) AbandonReplay() {
+	s.suspect = true
+	s.poisoned = false
+	s.replaying = false
+}
+
+// FailReplay gives up on repairing the head frame on an ungrouped tile,
+// latching a structured error: with no group to break, the run itself must
+// restart.
+func (s *Scratchpad) FailReplay() {
+	s.AbandonReplay()
+	s.fail("frame replay exhausted retries on poisoned frame (head seq %d)", s.headSeq)
 }
 
 // FrameBase returns the byte offset of the head frame (the frame_start
@@ -174,6 +399,16 @@ func (s *Scratchpad) FreeFrame() {
 		return
 	}
 	s.counters[slot] = 0
+	if s.integrity {
+		s.parity[slot] = 0
+		s.segs[slot] = s.segs[slot][:0]
+		if s.pending[slot] > 0 {
+			// A flip raced between verification and release; the consumer
+			// may have read it.
+			s.suspect = true
+			s.pending[slot] = 0
+		}
+	}
 	s.headSeq++
 	s.st.FramesConsumed++
 }

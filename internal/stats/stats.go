@@ -60,6 +60,15 @@ type Core struct {
 	VloadsIssued   int64
 	PredNops       int64 // instructions squashed by predication
 
+	// Integrity counters (zero unless the fault-injection integrity layer
+	// is enabled): parity failures at frame-open, successful frame replays,
+	// replay re-issues after a failed or timed-out attempt, and stale vload
+	// words dropped while a replay was refilling the head frame.
+	FramePoisons     int64
+	FrameReplays     int64
+	ReplayRetries    int64
+	ReplayStaleDrops int64
+
 	// InetStallsAtHop and BackpressureAtHop are filled in by the machine
 	// from the core's counters, indexed by the core's hop distance from the
 	// scalar core (Figure 15). Kept here so per-core data stays together.
@@ -126,6 +135,16 @@ type Machine struct {
 	NocRetrans int64 // link retry-protocol retransmissions
 	NocDropped int64 // flits lost in transit and retransmitted
 	NocCorrupt int64 // flits CRC-rejected and retransmitted
+
+	// Silent-corruption accounting: injected scratchpad bit flips by landing
+	// site. Frame-region flips are repairable by frame replay; program-data
+	// flips are only caught by the end-of-run output compare.
+	SpadFlipsFrame int64
+	SpadFlipsData  int64
+
+	// Checkpoints published (consistent global-memory snapshots at armed
+	// barrier releases).
+	Checkpoints int64
 
 	// Engine counters: idle fast-forward skips taken and simulated cycles
 	// they covered. Architecturally invisible (every stall is backfilled);
@@ -274,6 +293,25 @@ func (m *Machine) Summary() string {
 	if m.NocRetrans > 0 {
 		fmt.Fprintf(&b, "noc retransmits: %d (dropped %d, corrupt %d)\n",
 			m.NocRetrans, m.NocDropped, m.NocCorrupt)
+	}
+	if m.SpadFlipsFrame > 0 || m.SpadFlipsData > 0 {
+		fmt.Fprintf(&b, "spad flips: %d in frame region, %d in program data\n",
+			m.SpadFlipsFrame, m.SpadFlipsData)
+	}
+	var poisons, replays, retries, stale int64
+	for i := range m.Cores {
+		c := &m.Cores[i]
+		poisons += c.FramePoisons
+		replays += c.FrameReplays
+		retries += c.ReplayRetries
+		stale += c.ReplayStaleDrops
+	}
+	if poisons > 0 || replays > 0 {
+		fmt.Fprintf(&b, "frame integrity: %d poisoned, %d replayed (%d retries, %d stale words dropped)\n",
+			poisons, replays, retries, stale)
+	}
+	if m.Checkpoints > 0 {
+		fmt.Fprintf(&b, "checkpoints published: %d\n", m.Checkpoints)
 	}
 	all := make([]int, len(m.Cores))
 	for i := range all {
