@@ -13,6 +13,10 @@
 //
 // Absolute cycle counts are the simulator's, not the paper's gem5 testbed;
 // EXPERIMENTS.md records the shape comparison per figure.
+//
+// -telemetry DIR writes one cycle-windowed JSONL file per simulated run
+// (window size -sample N) without changing any cycle count; -pprof FILE
+// writes a CPU profile of the whole sweep.
 package main
 
 import (
@@ -20,10 +24,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rockcress/internal/harness"
 	"rockcress/internal/kernels"
+	"rockcress/internal/trace"
 )
 
 func main() {
@@ -35,8 +41,23 @@ func main() {
 		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per figure sweep (results are identical for any value)")
+		telemDir  = flag.String("telemetry", "", "write per-run cycle-windowed telemetry (JSONL) into this directory")
+		sampleN   = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
@@ -48,6 +69,7 @@ func main() {
 	}
 	r := harness.New(harness.Options{
 		Scale: scale, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
+		TelemetryDir: *telemDir, SampleEvery: *sampleN,
 	})
 
 	out := os.Stdout

@@ -8,7 +8,14 @@
 //
 // -j spreads one simulation's per-cycle component ticks over a worker pool;
 // cycle counts are bit-identical for any value. Setting ROCKTRACE (any
-// non-empty value) traces barrier arrivals and releases to stderr.
+// non-empty value) traces barrier releases to stdout; setting it to a
+// numeric address additionally watches accesses to that global word.
+//
+// Observability: -trace out.json writes a Chrome trace-event / Perfetto
+// event trace, -telemetry out.jsonl writes cycle-windowed counter deltas
+// (window size -sample N), -prof prints the engine's per-stage wall-time
+// self-profile, and -pprof file.pb.gz writes a CPU profile. None of them
+// change simulated cycle counts.
 //
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
 // V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
@@ -20,11 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
 
 	"rockcress/internal/asm"
 	"rockcress/internal/config"
 	"rockcress/internal/fault"
 	"rockcress/internal/kernels"
+	"rockcress/internal/sim"
+	"rockcress/internal/trace"
 )
 
 func main() {
@@ -37,13 +48,64 @@ func main() {
 		dumpAsm   = flag.Bool("dump-asm", false, "print the built program's disassembly and exit")
 		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req"`)
 		workers   = flag.Int("j", 1, "engine worker goroutines for one simulation (0 or 1 = serial; cycle counts are identical for any value)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON event trace to this file")
+		telemOut  = flag.String("telemetry", "", "write cycle-windowed telemetry (JSONL) to this file")
+		sampleN   = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
+		profEng   = flag.Bool("prof", false, "print the engine's per-stage wall-time self-profile")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
 	opts := kernels.ExecOpts{
-		MaxCycles:     *maxCycles,
-		Workers:       *workers,
-		TraceBarriers: os.Getenv("ROCKTRACE") != "",
+		MaxCycles: *maxCycles,
+		Workers:   *workers,
+	}
+	// ROCKTRACE: any non-empty value traces barrier releases; a parseable
+	// numeric value additionally watches that global word address. Parsed
+	// once here — no simulator package reads the environment.
+	if env := os.Getenv("ROCKTRACE"); env != "" {
+		opts.TraceBarriers = true
+		if addr, err := strconv.ParseUint(env, 0, 32); err == nil {
+			opts.WatchAddr = uint32(addr)
+		}
+	}
+	var sink *trace.Sink
+	if *traceOut != "" || *telemOut != "" {
+		cfg := trace.Config{SampleEvery: *sampleN}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			cfg.EventsTo = f
+		}
+		if *telemOut != "" {
+			f, err := os.Create(*telemOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			cfg.SampleTo = f
+		}
+		sink = trace.NewSink(cfg)
+		opts.Trace = sink
+	}
+	var prof *sim.Prof
+	if *profEng {
+		prof = &sim.Prof{}
+		opts.Prof = prof
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	scale, err := parseScale(*scaleName)
@@ -72,6 +134,7 @@ func main() {
 			fatal(err)
 		}
 		runFaulted(bench, scale, sw, opts, plan, *verbose)
+		finishObs(sink, prof)
 		return
 	}
 	res, err := kernels.ExecuteOpts(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), opts)
@@ -93,6 +156,19 @@ func main() {
 		fmt.Printf("energy: %s\n", res.Energy)
 		fmt.Printf("vloads: %d microthreads: %d remote stores: %d\n",
 			sumVloads(res), sumMts(res), res.Stats.RemoteStores)
+	}
+	finishObs(sink, prof)
+}
+
+// finishObs flushes the event trace and prints the engine self-profile
+// after a successful run. fatal paths exit without flushing — a partial
+// trace of a failed run is not worth masking the error for.
+func finishObs(sink *trace.Sink, prof *sim.Prof) {
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rocksim:", err)
+	}
+	if prof != nil {
+		fmt.Print(prof.String())
 	}
 }
 

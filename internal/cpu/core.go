@@ -134,6 +134,10 @@ type Core struct {
 	// issueSlot, when set, receives the number of instructions issued each
 	// Tick (the machine's watchdog meter). The slot is owned by this core.
 	issueSlot *int64
+
+	// watchAddr, when nonzero, logs global stores to that address (the old
+	// ROCKTRACE=<addr> debugging aid, now per-instance).
+	watchAddr uint32
 }
 
 type lqEntry struct {
@@ -259,6 +263,19 @@ func (c *Core) setVPC(pc int) {
 // instructions incrementally, so the machine's progress watchdog reads a
 // running total instead of rescanning every stall histogram.
 func (c *Core) SetIssueSlot(p *int64) { c.issueSlot = p }
+
+// SetWatchAddr arms global-store logging for one address (0 disarms). The
+// per-instance replacement for the old ROCKTRACE=<addr> env hook.
+func (c *Core) SetWatchAddr(addr uint32) { c.watchAddr = addr }
+
+// InetHighWater returns the deepest occupancy the core's inet input queue
+// ever reached (0 when the tile has no queue).
+func (c *Core) InetHighWater() int {
+	if c.inQ == nil {
+		return 0
+	}
+	return c.inQ.HighWater()
+}
 
 // Tick advances the core one cycle.
 func (c *Core) Tick(now int64) {

@@ -3,20 +3,12 @@ package cpu
 import (
 	"fmt"
 	"math"
-	"os"
-	"strconv"
 
 	"rockcress/internal/inet"
 	"rockcress/internal/isa"
 	"rockcress/internal/msg"
 	"rockcress/internal/stats"
 )
-
-// traceStoreAddr mirrors mem's ROCKTRACE debug hook for store issue.
-var traceStoreAddr = func() uint32 {
-	v, _ := strconv.ParseUint(os.Getenv("ROCKTRACE"), 0, 32)
-	return uint32(v)
-}()
 
 // checkSources verifies every source register (and the destination, for
 // write-after-write) is ready at cycle now. Stalls caused by outstanding
@@ -401,7 +393,7 @@ func (c *Core) execGlobalLoad(now int64, in *isa.Instr) (bool, stats.StallKind) 
 
 func (c *Core) execGlobalStore(now int64, in *isa.Instr, val uint32) (bool, stats.StallKind) {
 	addr := c.intRegs[in.Rs1] + uint32(in.Imm)
-	if traceStoreAddr != 0 && addr == traceStoreAddr {
+	if c.watchAddr != 0 && addr == c.watchAddr {
 		fmt.Printf("[%d] core %d ISSUES store %#x = %d\n", now, c.ID, addr, int32(val))
 	}
 	m := msg.Message{

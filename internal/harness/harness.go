@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -18,6 +20,7 @@ import (
 
 	"rockcress/internal/config"
 	"rockcress/internal/kernels"
+	"rockcress/internal/trace"
 )
 
 // Options steers a harness session.
@@ -34,6 +37,16 @@ type Options struct {
 	// the value: each machine instance runs its own serial engine, and
 	// results are committed in sweep order.
 	Jobs int
+
+	// TelemetryDir, when set, dumps per-run windowed telemetry (JSONL) into
+	// the directory, one file per cache key. Each simulation gets its own
+	// private sink, so the bounded prewarm pool stays safe; duplicate runs
+	// of the same key (a cache race) write byte-identical files. Cycle
+	// counts are unchanged — the sampler only reads counters.
+	TelemetryDir string
+	// SampleEvery is the telemetry window size in cycles (default
+	// trace.DefaultSampleEvery).
+	SampleEvery int64
 }
 
 // Runner executes and caches simulations.
@@ -130,6 +143,41 @@ func (r *Runner) progress(name string, sw config.Software, modName string, res *
 	}
 }
 
+// sanitizeKey maps a cache key to a filesystem-safe telemetry file stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+}
+
+// execute runs one simulation, attaching a private telemetry sink when
+// TelemetryDir is set. GPU runs have no machine counters and dump nothing.
+// Safe under the bounded prewarm pool: every call owns its sink and file.
+// Duplicate executions of one key (the first-wins cache keeps only one
+// result) write byte-identical telemetry, so the shared path stays correct.
+func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
+	if r.opts.TelemetryDir == "" || sw.Style == config.StyleGPU {
+		return kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+	}
+	if err := os.MkdirAll(r.opts.TelemetryDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: telemetry dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(r.opts.TelemetryDir, sanitizeKey(key)+".jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("harness: telemetry file: %w", err)
+	}
+	defer f.Close()
+	sink := trace.NewSink(trace.Config{SampleTo: f, SampleEvery: r.opts.SampleEvery})
+	defer sink.Close()
+	return kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
+		kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Trace: sink})
+}
+
 // Run executes one benchmark under one configuration (with an optional
 // hardware modification), caching by (bench, config, mod, scale).
 func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*kernels.Result, error) {
@@ -138,7 +186,7 @@ func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*
 		return res, nil
 	}
 	start := time.Now()
-	res, err := kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+	res, err := r.execute(bench, sw, hw, key)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +287,7 @@ func (r *Runner) prewarm(reqs []runReq) error {
 				}
 				j := jobs[i]
 				start := time.Now()
-				res, err := kernels.Execute(j.bench, j.bench.Defaults(r.opts.Scale), j.sw, j.hw, r.opts.MaxCycles)
+				res, err := r.execute(j.bench, j.sw, j.hw, j.key)
 				outs[i] = outcome{res: res, err: err, secs: time.Since(start).Seconds()}
 				close(done[i])
 			}

@@ -54,6 +54,7 @@ type Queue struct {
 	entries    []entry
 	cap        int
 	stuckUntil int64 // fault injection: head is frozen before this cycle
+	hw         int   // deepest occupancy ever observed (telemetry gauge)
 }
 
 // NewQueue builds a queue with the configured capacity (Table 1a: 2).
@@ -74,7 +75,13 @@ func (q *Queue) Send(now int64, it Item) {
 		panic("inet: send on full queue")
 	}
 	q.entries = append(q.entries, entry{item: it, readyAt: now + 1})
+	if len(q.entries) > q.hw {
+		q.hw = len(q.entries)
+	}
 }
+
+// HighWater returns the deepest occupancy the queue ever reached.
+func (q *Queue) HighWater() int { return q.hw }
 
 // Ready reports whether an item is poppable at cycle now.
 func (q *Queue) Ready(now int64) bool {

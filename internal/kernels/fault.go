@@ -124,6 +124,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 			Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Faults: cur,
 			NoReplay: opts.NoReplay, Checkpoint: ckptOn,
 			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
+			Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
@@ -134,6 +135,10 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		if restored {
 			m.Global.Restore(snap.Words)
 			fr.CheckpointRestarts++
+			if rec := opts.Trace.Recorder(); rec != nil {
+				rec.Instant("checkpoint.restore", "recovery", snap.Cycle, 0,
+					map[string]int64{"attempt": int64(attempt)})
+			}
 		} else {
 			img.Apply(m.Global)
 			if attempt > 1 {

@@ -7,7 +7,9 @@ import (
 	"rockcress/internal/energy"
 	"rockcress/internal/gpu"
 	"rockcress/internal/machine"
+	"rockcress/internal/sim"
 	"rockcress/internal/stats"
+	"rockcress/internal/trace"
 )
 
 // DefaultMaxCycles bounds a single benchmark simulation.
@@ -51,6 +53,16 @@ type ExecOpts struct {
 	// there.
 	NoReplay     bool
 	NoCheckpoint bool
+
+	// Trace attaches an observability sink to the machine (nil costs
+	// nothing). One sink serves one execution; multi-attempt fault runs
+	// reuse it across attempts and the telemetry windows restart per
+	// attempt. The caller owns Close.
+	Trace *trace.Sink
+	// WatchAddr arms the per-instance global-address debug watch.
+	WatchAddr uint32
+	// Prof attaches an engine self-profile (cumulative across attempts).
+	Prof *sim.Prof
 }
 
 // Execute runs benchmark b with parameters p under the given software row
@@ -95,7 +107,8 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 		memBytes = machine.DefaultMemBytes
 	}
 	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes,
-		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers})
+		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
+		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 	}

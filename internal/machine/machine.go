@@ -21,6 +21,7 @@ import (
 	"rockcress/internal/noc"
 	"rockcress/internal/sim"
 	"rockcress/internal/stats"
+	"rockcress/internal/trace"
 )
 
 // DefaultMemBytes sizes the global backing store.
@@ -66,6 +67,22 @@ type Params struct {
 	// so tracing is safe under parallel sweeps; cmd/rocksim wires it to the
 	// ROCKTRACE environment variable.
 	TraceBarriers bool
+
+	// WatchAddr logs accesses to one global word address at the LLC banks
+	// and store issue at the cores (debug aid; 0 means off). Per-instance —
+	// the old ROCKTRACE=<addr> env hook, relocated so parallel sweeps and
+	// tests can watch independently.
+	WatchAddr uint32
+
+	// Trace attaches an observability sink (windowed telemetry sampler and
+	// structured event recorder). nil costs nothing; with a sink attached,
+	// cycle counts are still bit-identical for any engine worker count.
+	Trace *trace.Sink
+
+	// Prof attaches an engine self-profile (per-stage wall time plus the
+	// fast-forward meter). nil costs nothing. Reusable across attempts for
+	// cumulative numbers.
+	Prof *sim.Prof
 }
 
 // FaultError is a structured simulation failure: the cycle it surfaced, the
@@ -142,6 +159,12 @@ type Machine struct {
 
 	traceBarriers bool
 	ffKinds       []stats.StallKind // fast-forward backfill scratch
+
+	// Observability (all nil on an untraced machine; see trace.go).
+	rec     *trace.Recorder
+	sampler *trace.Sampler
+	prof    *sim.Prof
+	roleOf  []uint8 // tile -> trace.Role
 
 	// Fault injection (all nil/zero on a fault-free machine).
 	inj          *fault.Injector
@@ -279,6 +302,37 @@ func New(p Params) (*Machine, error) {
 		m.cores[t].SetIssueSlot(m.meter.Slot(t))
 	}
 	m.engine = sim.NewEngine(m.buildStages(), p.Workers)
+	m.buildRoles()
+	if p.WatchAddr != 0 {
+		for _, b := range m.llcs {
+			b.SetWatchAddr(p.WatchAddr)
+		}
+		for _, c := range m.cores {
+			c.SetWatchAddr(p.WatchAddr)
+		}
+	}
+	if p.Trace != nil {
+		m.rec = p.Trace.Recorder()
+		m.sampler = p.Trace.Sampler()
+	}
+	if m.rec != nil {
+		for _, s := range m.spads {
+			s.SetRecorder(m.rec)
+		}
+		m.emitTraceMeta()
+	}
+	if m.sampler != nil {
+		m.meshReq.EnableLinkHops()
+		m.meshResp.EnableLinkHops()
+		m.sampler.SetLinkLabels(m.meshReq.LinkLabels())
+		// Multi-attempt fault runs reuse one sink across machines; the window
+		// series restarts from cycle 0 with each new machine.
+		m.sampler.Reset()
+	}
+	if p.Prof != nil {
+		m.prof = p.Prof
+		m.engine.SetProfile(p.Prof)
+	}
 	return m, nil
 }
 
@@ -383,6 +437,10 @@ func (m *Machine) preCores(now int64) {
 		if m.traceBarriers {
 			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
 		}
+		if m.rec != nil {
+			m.rec.Instant("barrier.release", "barrier", now, m.tidMachine(),
+				map[string]int64{"gen": m.barrier.gen})
+		}
 		// An armed checkpoint fires exactly at the release: every store from
 		// before the barrier has drained and no core is past it, so the
 		// snapshot is a consistent cut. Skipped (but disarmed) when any
@@ -408,10 +466,19 @@ func (m *Machine) Now() int64 { return m.now }
 // request plane; core-to-core scratchpad stores ride the response plane
 // (they sink unconditionally at scratchpads).
 func (m *Machine) TrySend(f msg.Message) bool {
+	var ok bool
 	if f.Kind == msg.KindRemoteStore {
-		return m.meshResp.TrySend(f)
+		ok = m.meshResp.TrySend(f)
+	} else {
+		ok = m.meshReq.TrySend(f)
 	}
-	return m.meshReq.TrySend(f)
+	if ok && m.rec != nil && f.Kind == msg.KindVloadReq {
+		// m.now is stable during the parallel core phase (only the serial
+		// step advances it); the recorder's mutex covers concurrent emits.
+		m.rec.Instant("vload.issue", "vload", m.now, int64(f.Src),
+			map[string]int64{"addr": int64(f.Addr), "words": int64(f.Words)})
+	}
+	return ok
 }
 
 // LLCNodeFor returns the node id of the bank owning addr's line (striped).
@@ -521,6 +588,10 @@ func (m *Machine) deliver(node int, f msg.Message) bool {
 			return false
 		}
 		m.llcs[bank].Accept(f)
+		if m.rec != nil && f.Kind == msg.KindVloadReq {
+			m.rec.Instant("llc.fanout", "vload", m.now, m.tidLLC(bank),
+				map[string]int64{"addr": int64(f.Addr), "words": int64(f.Words), "src": int64(f.Src)})
+		}
 		return true
 	}
 	switch f.Kind {
@@ -563,9 +634,16 @@ func (m *Machine) applyFaults(now int64) {
 		case fault.StickInetQueue:
 			if m.cores[e.Tile].StickInet(now + e.Duration) {
 				m.report.StuckQueues++
+				if m.rec != nil {
+					m.rec.Span("fault.stick", "fault", now, e.Duration, int64(e.Tile), nil)
+				}
 			}
 		case fault.FlipSpadWord:
 			if landed, inFrame := m.spads[e.Tile].FlipBit(e.Offset, e.Bit); landed {
+				if m.rec != nil {
+					m.rec.Instant("fault.flip", "fault", now, int64(e.Tile),
+						map[string]int64{"offset": int64(e.Offset), "bit": int64(e.Bit)})
+				}
 				m.report.FlippedWords++
 				if inFrame {
 					m.report.FlipsFrame++
@@ -595,6 +673,9 @@ func (m *Machine) killTile(now int64, t int) {
 		m.active.Add(-1)
 	}
 	c.Kill()
+	if m.rec != nil {
+		m.rec.Instant("fault.kill", "fault", now, int64(t), nil)
+	}
 	m.spads[t].Decommission()
 	if m.replays != nil {
 		m.replays[t] = nil // a dead tile's frames are beyond repair
@@ -616,6 +697,10 @@ func (m *Machine) breakGroup(now int64, gid int) {
 	}
 	m.brokenGroups[gid] = true
 	m.report.BrokenGroups = append(m.report.BrokenGroups, gid)
+	if m.rec != nil {
+		m.rec.Instant("recover.groupbreak", "recovery", now, int64(m.Groups[gid].Scalar),
+			map[string]int64{"group": int64(gid)})
+	}
 	rpc := m.Prog.RecoverPC
 	for _, t := range m.Groups[gid].Tiles() {
 		c := m.cores[t]
@@ -717,6 +802,9 @@ func (m *Machine) fastForward(limit int64) bool {
 	m.meshResp.FastForward(n)
 	m.Stats.FastForwards++
 	m.Stats.SkippedCycles += n
+	if m.rec != nil {
+		m.rec.Span("fastforward", "engine", m.now, n, m.tidMachine(), nil)
+	}
 	m.now = horizon
 	return true
 }
@@ -782,14 +870,18 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 	}()
 	m.engine.Start()
 	defer m.engine.Stop()
+	// The final (partial) telemetry window flushes on every exit path, after
+	// the inline collect() on success so window sums match the aggregates.
+	defer m.sample(true)
 	var lastIssued int64 = -1
 	var stalled int64
 	for m.active.Load() > 0 {
 		// Idle fast-forward: when stepping can only record stalls, jump to
 		// the next event; the skip never crosses a checkpoint or the
 		// budget, so the checks below fire at the serial engine's cycles.
-		if !m.fastForward(maxCycles) {
-			m.step()
+		m.stepOrSkip(maxCycles)
+		if m.sampler != nil && m.sampler.Due(m.now) {
+			m.sample(false)
 		}
 		if m.now%m.checkEvery == 0 {
 			if err := m.checkComponents(); err != nil {
@@ -818,8 +910,9 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 	// Drain in-flight stores and responses so the flush below is complete.
 	drainDeadline := m.now + maxCycles
 	for m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
-		if !m.fastForward(drainDeadline) {
-			m.step()
+		m.stepOrSkip(drainDeadline)
+		if m.sampler != nil && m.sampler.Due(m.now) {
+			m.sample(false)
 		}
 		if m.now >= drainDeadline {
 			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: memory system failed to drain"))

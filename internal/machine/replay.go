@@ -79,6 +79,10 @@ func (m *Machine) takeCheckpoint(now int64) {
 		b.OverlayDirty(words)
 	}
 	m.ckpt = &Checkpoint{Cycle: now, Words: words}
+	if m.rec != nil {
+		m.rec.Instant("checkpoint", "recovery", now, m.tidMachine(),
+			map[string]int64{"words": int64(len(words))})
+	}
 	m.Stats.Checkpoints++
 	if m.report != nil {
 		m.report.Checkpoints++
@@ -133,6 +137,10 @@ func (m *Machine) startReplay(now int64, t int) {
 		}
 	}
 	s.BeginReplay()
+	if m.rec != nil {
+		m.rec.Instant("replay.start", "recovery", now, int64(t),
+			map[string]int64{"chunks": int64(len(chunks)), "seq": s.HeadSeq()})
+	}
 	rs := &replayState{tile: t, chunks: chunks, tries: 1, deadline: now + replayTimeout}
 	m.replays[t] = rs
 	m.driveReplay(now, rs)
@@ -169,6 +177,10 @@ func (m *Machine) driveReplay(now int64, rs *replayState) {
 	}
 	if !s.Replaying() {
 		// Verification passed: the frame is clean and the consumer unblocks.
+		if m.rec != nil {
+			m.rec.Instant("replay.ok", "recovery", now, int64(rs.tile),
+				map[string]int64{"tries": int64(rs.tries)})
+		}
 		m.Stats.Cores[rs.tile].FrameReplays++
 		if m.report != nil {
 			m.report.FrameReplays++
@@ -194,6 +206,10 @@ func (m *Machine) retryReplay(now int64, rs *replayState) {
 	rs.next = 0
 	rs.retryAt = now + replayBackoff<<(rs.tries-2)
 	rs.deadline = rs.retryAt + replayTimeout<<(rs.tries-1)
+	if m.rec != nil {
+		m.rec.Instant("replay.retry", "recovery", now, int64(rs.tile),
+			map[string]int64{"try": int64(rs.tries)})
+	}
 	m.spads[rs.tile].BeginReplay()
 	m.Stats.Cores[rs.tile].ReplayRetries++
 	if m.report != nil {
@@ -208,6 +224,9 @@ func (m *Machine) retryReplay(now int64, rs *replayState) {
 func (m *Machine) escalateReplay(now int64, t int) {
 	if m.report != nil {
 		m.report.ReplayEscalations++
+	}
+	if m.rec != nil {
+		m.rec.Instant("replay.escalate", "recovery", now, int64(t), nil)
 	}
 	s := m.spads[t]
 	if gid := m.tileGroup[t]; gid >= 0 && !m.brokenGroups[gid] {

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"rockcress/internal/stats"
+	"rockcress/internal/trace"
+)
+
+// Observability glue: everything here runs only when a trace sink or profile
+// is attached, reads counters without mutating simulated state, and executes
+// on the serial run loop (sampling, profiling) or under the recorder's mutex
+// (event emission from parallel shards) — so cycle counts stay bit-identical
+// with tracing on or off, for any engine worker count.
+
+// tidMachine is the trace thread id for machine-level events (barriers,
+// checkpoints, fast-forwards): one past the last NoC node id.
+func (m *Machine) tidMachine() int64 { return int64(m.space.Nodes()) }
+
+// tidLLC is the trace thread id of LLC bank b (its NoC node id, so core
+// tids 0..Cores-1 never collide).
+func (m *Machine) tidLLC(bank int) int64 { return int64(m.space.LLCNode(bank)) }
+
+// buildRoles fills the static tile -> CPI-stack role map: each group's
+// scalar and expander tiles, its remaining lanes, and ungrouped MIMD tiles.
+// The map is fixed at build time; a group broken mid-run keeps attributing
+// to the original roles (conservation sums over all roles regardless).
+func (m *Machine) buildRoles() {
+	m.roleOf = make([]uint8, m.Cfg.Cores)
+	for i := range m.roleOf {
+		m.roleOf[i] = uint8(trace.RoleMimd)
+	}
+	for _, g := range m.Groups {
+		m.roleOf[g.Scalar] = uint8(trace.RoleScalar)
+		for _, t := range g.Lanes {
+			m.roleOf[t] = uint8(trace.RoleLane)
+		}
+		m.roleOf[g.Expander] = uint8(trace.RoleExpander)
+	}
+}
+
+// emitTraceMeta names the trace threads (Perfetto track labels).
+func (m *Machine) emitTraceMeta() {
+	for t := range m.cores {
+		label := fmt.Sprintf("tile %d (%s)", t, trace.RoleNames[m.roleOf[t]])
+		m.rec.Meta(int64(t), label)
+	}
+	for b := range m.llcs {
+		m.rec.Meta(m.tidLLC(b), fmt.Sprintf("llc bank %d", b))
+	}
+	m.rec.Meta(m.tidMachine(), "machine")
+}
+
+// snapshotCum fills c with the cumulative totals of exactly the counters
+// collect() folds into the end-of-run stats.Machine, read from the same live
+// sources, so windowed deltas sum exactly to the final aggregates.
+func (m *Machine) snapshotCum(c *trace.Cum) {
+	for t := range m.Stats.Cores {
+		sc := &m.Stats.Cores[t]
+		r := &c.Roles[m.roleOf[t]]
+		r.Issued += sc.Issued()
+		r.Frame += sc.Stall(stats.StallFrame)
+		r.Inet += sc.Stall(stats.StallInet)
+		r.Backpressure += sc.Stall(stats.StallBackpressure)
+		r.Other += sc.Stall(stats.StallOther)
+		r.Instrs += sc.Instrs
+
+		c.Frames.Consumed += sc.FramesConsumed
+		c.Frames.Poisons += sc.FramePoisons
+		c.Frames.Replays += sc.FrameReplays
+		c.Frames.Retries += sc.ReplayRetries
+		c.Frames.StaleDrops += sc.ReplayStaleDrops
+	}
+	for b := range m.Stats.LLCs {
+		l := &m.Stats.LLCs[b]
+		c.LLC.Accesses += l.Accesses
+		c.LLC.Misses += l.Misses
+		c.LLC.WideReqs += l.WideReqs
+		c.LLC.RespWords += l.RespWords
+		c.LLC.Writebacks += l.Writebacks
+	}
+	c.Dram.Reads = m.dram.Reads
+	c.Dram.Writes = m.dram.Writes
+	c.Dram.Busy = m.dram.BusyCycles
+	c.Noc.FlitsReq = m.meshReq.Flits
+	c.Noc.HopsReq = m.meshReq.Hops
+	c.Noc.FlitsResp = m.meshResp.Flits
+	c.Noc.HopsResp = m.meshResp.Hops
+	c.Noc.Retrans = m.meshReq.Retransmits + m.meshResp.Retransmits
+	c.Noc.Dropped = m.meshReq.Dropped + m.meshResp.Dropped
+	c.Noc.Corrupt = m.meshReq.Corrupt + m.meshResp.Corrupt
+	c.Noc.RemoteStores = m.Stats.RemoteStores
+	c.Engine.FastForwards = m.Stats.FastForwards
+	c.Engine.SkippedCycles = m.Stats.SkippedCycles
+	c.Engine.Checkpoints = m.Stats.Checkpoints
+	// Fresh copies: the sampler keeps the previous snapshot by value, so the
+	// link slices must not alias the meshes' live counters.
+	c.LinksReq = append([]int64(nil), m.meshReq.LinkHops()...)
+	c.LinksResp = append([]int64(nil), m.meshResp.LinkHops()...)
+}
+
+// gauges reads the point-in-time values for the current window's end.
+func (m *Machine) gauges() trace.Gauges {
+	var g trace.Gauges
+	for t, s := range m.spads {
+		g.FramesOccupied += int64(s.FullFrames())
+		if hw := int64(m.cores[t].InetHighWater()); hw > g.InetHighWater {
+			g.InetHighWater = hw
+		}
+	}
+	return g
+}
+
+// sample emits one telemetry window ending at the current cycle.
+func (m *Machine) sample(final bool) {
+	if m.sampler == nil {
+		return
+	}
+	var c trace.Cum
+	m.snapshotCum(&c)
+	if final {
+		m.sampler.Finish(m.now, &c, m.gauges())
+	} else {
+		m.sampler.Record(m.now, &c, m.gauges())
+	}
+}
+
+// stepOrSkip is one iteration of the run loop: fast-forward when the whole
+// fabric is provably idle, step otherwise. With a profile attached it also
+// meters the fast-forward probe (Ns covers every probe, Ticks counts taken
+// skips; stage time is metered inside the engine).
+func (m *Machine) stepOrSkip(limit int64) {
+	if m.prof == nil {
+		if !m.fastForward(limit) {
+			m.step()
+		}
+		return
+	}
+	t0 := time.Now()
+	skipped := m.fastForward(limit)
+	m.prof.FastForward.Ns += int64(time.Since(t0))
+	if skipped {
+		m.prof.FastForward.Ticks++
+	} else {
+		m.step()
+	}
+}

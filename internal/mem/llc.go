@@ -3,8 +3,6 @@ package mem
 import (
 	"fmt"
 	"math"
-	"os"
-	"strconv"
 
 	"rockcress/internal/config"
 	"rockcress/internal/isa"
@@ -94,6 +92,10 @@ type LLCBank struct {
 	groups GroupLanes
 	st     *stats.LLC
 
+	// watch, when nonzero, logs accesses to one word address (the old
+	// ROCKTRACE=<addr> debugging aid, now per-instance).
+	watch uint32
+
 	err error
 }
 
@@ -123,12 +125,8 @@ func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, g
 	return b
 }
 
-// traceAddr enables ad-hoc tracing of one word address via ROCKTRACE=addr
-// (debug aid; zero means off).
-var traceAddr = func() uint32 {
-	v, _ := strconv.ParseUint(os.Getenv("ROCKTRACE"), 0, 32)
-	return uint32(v)
-}()
+// SetWatchAddr arms ad-hoc logging of one word address (0 disarms).
+func (b *LLCBank) SetWatchAddr(addr uint32) { b.watch = addr }
 
 // Err returns the first invariant violation the bank observed, if any.
 func (b *LLCBank) Err() error { return b.err }
@@ -346,7 +344,7 @@ func (b *LLCBank) processRequest(now int64) {
 }
 
 func (b *LLCBank) handleStore(now int64, m msg.Message) bool {
-	if traceAddr != 0 && m.Addr == traceAddr {
+	if b.watch != 0 && m.Addr == b.watch {
 		fmt.Printf("[%d] bank%d STORE addr=%#x val=%d from core %d\n", now, b.ID, m.Addr, int32(m.Vals[0]), m.Src)
 	}
 	lineAddr := b.lineAddrOf(m.Addr)
@@ -379,7 +377,7 @@ func (b *LLCBank) handleStore(now int64, m msg.Message) bool {
 }
 
 func (b *LLCBank) handleLoad(now int64, m msg.Message) bool {
-	if traceAddr != 0 && m.Kind == msg.KindLoadReq && m.Addr == traceAddr {
+	if b.watch != 0 && m.Kind == msg.KindLoadReq && m.Addr == b.watch {
 		w := b.lookup(b.lineAddrOf(m.Addr))
 		v := int32(-999)
 		if w >= 0 {

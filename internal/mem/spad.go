@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rockcress/internal/stats"
+	"rockcress/internal/trace"
 )
 
 // FrameSeg records where one contiguous run of vload words landed in a
@@ -59,6 +60,11 @@ type Scratchpad struct {
 	// the cycle the first invariant violation latched.
 	clock    func() int64
 	errCycle int64
+
+	// Event tracing (nil when disabled; never touches simulated state).
+	rec       *trace.Recorder
+	fillStart []int64 // per-slot cycle the first word of the current fill arrived
+	openAt    []int64 // per-slot cycle the frame first opened; -1 when unopened
 }
 
 // NewScratchpad builds a scratchpad of the given byte size with the given
@@ -79,6 +85,42 @@ func (s *Scratchpad) SetIntegrity(on bool) { s.integrity = on }
 // SetClock wires the machine's cycle counter in so invariant violations are
 // stamped with the cycle they occur at (not the cycle they are discovered).
 func (s *Scratchpad) SetClock(fn func() int64) { s.clock = fn }
+
+// SetRecorder attaches an event recorder for frame-lifecycle spans. The
+// machine wires it (with the clock) before the run; nil disables tracing.
+func (s *Scratchpad) SetRecorder(rec *trace.Recorder) {
+	s.rec = rec
+	if rec != nil && s.numFrames > 0 {
+		s.initTraceSlots()
+	}
+}
+
+func (s *Scratchpad) initTraceSlots() {
+	s.fillStart = make([]int64, s.numFrames)
+	s.openAt = make([]int64, s.numFrames)
+	for i := range s.openAt {
+		s.openAt[i] = -1
+	}
+}
+
+func (s *Scratchpad) now() int64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+// FullFrames counts completely filled, not-yet-consumed frames (the
+// occupancy gauge the telemetry sampler reads between cycles).
+func (s *Scratchpad) FullFrames() int {
+	n := 0
+	for _, c := range s.counters {
+		if c == s.frameWords {
+			n++
+		}
+	}
+	return n
+}
 
 // Err returns the first invariant violation observed, if any.
 func (s *Scratchpad) Err() error { return s.err }
@@ -130,6 +172,9 @@ func (s *Scratchpad) Configure(frameWords, frames int) {
 	s.numFrames = frames
 	s.counters = make([]int, frames)
 	s.headSeq = 0
+	if s.rec != nil {
+		s.initTraceSlots()
+	}
 	if s.integrity {
 		s.parity = make([]uint32, frames)
 		s.segs = make([][]FrameSeg, frames)
@@ -242,6 +287,16 @@ func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) {
 	s.st.SpadWrites++
 	s.words[off/4] = v
 	s.counters[slot]++
+	if s.rec != nil {
+		switch s.counters[slot] {
+		case 1:
+			s.fillStart[slot] = s.now()
+		case s.frameWords:
+			t := s.now()
+			s.rec.Span("frame.fill", "frame", s.fillStart[slot], t-s.fillStart[slot],
+				int64(s.tile), map[string]int64{"slot": int64(slot)})
+		}
+	}
 	if s.integrity {
 		s.parity[slot] ^= v
 		s.recordSeg(slot, off, gaddr)
@@ -301,6 +356,10 @@ func (s *Scratchpad) verifyHead(slot int) bool {
 		s.poisoned = true
 		s.replaying = false
 		s.st.FramePoisons++
+		if s.rec != nil {
+			s.rec.Instant("frame.poison", "recovery", s.now(), int64(s.tile),
+				map[string]int64{"slot": int64(slot), "seq": s.headSeq})
+		}
 		return false
 	}
 	s.verifiedSeq = s.headSeq
@@ -383,6 +442,14 @@ func (s *Scratchpad) FailReplay() {
 // FrameBase returns the byte offset of the head frame (the frame_start
 // writeback value).
 func (s *Scratchpad) FrameBase() uint32 {
+	if s.rec != nil && s.numFrames > 0 {
+		slot := int(s.headSeq % int64(s.numFrames))
+		if s.openAt[slot] < 0 {
+			s.openAt[slot] = s.now()
+			s.rec.Instant("frame.open", "frame", s.openAt[slot], int64(s.tile),
+				map[string]int64{"slot": int64(slot), "seq": s.headSeq})
+		}
+	}
 	return uint32(s.headSeq%int64(s.numFrames)) * uint32(s.frameWords*4)
 }
 
@@ -408,6 +475,16 @@ func (s *Scratchpad) FreeFrame() {
 			s.suspect = true
 			s.pending[slot] = 0
 		}
+	}
+	if s.rec != nil {
+		t := s.now()
+		start := s.openAt[slot]
+		if start < 0 {
+			start = t
+		}
+		s.rec.Span("frame.consume", "frame", start, t-start, int64(s.tile),
+			map[string]int64{"slot": int64(slot), "seq": s.headSeq})
+		s.openAt[slot] = -1
 	}
 	s.headSeq++
 	s.st.FramesConsumed++

@@ -129,6 +129,8 @@ type Mesh struct {
 	Retransmits int64 // transfers repeated by the link retry protocol
 	Dropped     int64 // flits lost in transit (then retransmitted)
 	Corrupt     int64 // flits CRC-rejected at the receiver (then retransmitted)
+
+	linkHops []int64 // per-link traversals (router*4 + out), telemetry only
 }
 
 type move struct {
@@ -327,6 +329,9 @@ func (m *Mesh) Tick() {
 			m.queues[key].push(f, m.route(mv.toTile, f.Dst))
 			m.occ[mv.toTile]++
 			m.Hops++
+			if m.linkHops != nil {
+				m.linkHops[mv.tile*4+int(mv.out)]++
+			}
 			incoming[key] = 0
 		}
 	}
@@ -365,6 +370,51 @@ func (m *Mesh) linkClear(tile, outOff, nt int) bool {
 	}
 	ls.holdUntil = m.now + (int64(1) << uint(backoff))
 	return false
+}
+
+// EnableLinkHops switches on per-link traversal accounting for telemetry.
+// Call before the first Tick; the counters only affect observability, never
+// routing, so cycle counts are unchanged.
+func (m *Mesh) EnableLinkHops() {
+	if m.linkHops == nil {
+		m.linkHops = make([]int64, m.w*m.h*4)
+	}
+}
+
+// LinkHops returns the per-link traversal counters (index router*4+direction
+// in N/E/S/W order), or nil when EnableLinkHops was never called. The slice
+// is live; callers snapshot it between cycles.
+func (m *Mesh) LinkHops() []int64 { return m.linkHops }
+
+// LinkLabels names each LinkHops index "from>to" by router id; indexes whose
+// direction leaves the mesh get "" (those counters never increment).
+func (m *Mesh) LinkLabels() []string {
+	labels := make([]string, m.w*m.h*4)
+	for tile := 0; tile < m.w*m.h; tile++ {
+		for out := portN; out <= portW; out++ {
+			switch out {
+			case portN:
+				if tile < m.w {
+					continue
+				}
+			case portS:
+				if tile >= (m.h-1)*m.w {
+					continue
+				}
+			case portE:
+				if tile%m.w == m.w-1 {
+					continue
+				}
+			case portW:
+				if tile%m.w == 0 {
+					continue
+				}
+			}
+			nt, _ := m.neighbor(tile, out)
+			labels[tile*4+int(out)] = fmt.Sprintf("%d>%d", tile, nt)
+		}
+	}
+	return labels
 }
 
 // neighbor returns the router and input port reached by leaving tile via out.

@@ -21,9 +21,12 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Never is the "until" value of a component with no self-scheduled future
@@ -60,10 +63,66 @@ type Stage struct {
 	Post   func(now int64) // serial, after every Commit of this stage
 }
 
+// StageMeter accumulates one stage's self-profile: how many times it ticked
+// and the wall time spent inside it (Pre + Propose + Commit + Post).
+type StageMeter struct {
+	Name  string
+	Ticks int64
+	Ns    int64
+}
+
+func (m *StageMeter) add(d time.Duration) {
+	m.Ticks++
+	m.Ns += int64(d)
+}
+
+// Prof collects the engine's self-profile: per-stage wall time plus the time
+// the machine spends probing and executing idle fast-forwards. All writes
+// happen on the driving goroutine, so no locking. Attach with SetProfile;
+// the engine pays one time.Now pair per stage tick only when attached.
+type Prof struct {
+	Stages []StageMeter
+	// FastForward accumulates the machine's quiescence probes and skips.
+	FastForward StageMeter
+}
+
+// String renders the profile as an aligned table, slowest stage first
+// kept in declared order for readability.
+func (p *Prof) String() string {
+	var b strings.Builder
+	var total int64
+	for i := range p.Stages {
+		total += p.Stages[i].Ns
+	}
+	total += p.FastForward.Ns
+	row := func(m *StageMeter) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(m.Ns) / float64(total)
+		}
+		per := 0.0
+		if m.Ticks > 0 {
+			per = float64(m.Ns) / float64(m.Ticks)
+		}
+		fmt.Fprintf(&b, "  %-14s %12d ticks %12.1fms %8.1f%% %8.0fns/tick\n",
+			m.Name, m.Ticks, float64(m.Ns)/1e6, pct, per)
+	}
+	b.WriteString("engine profile:\n")
+	for i := range p.Stages {
+		row(&p.Stages[i])
+	}
+	if p.FastForward.Ticks > 0 {
+		p.FastForward.Name = "fast-forward"
+		row(&p.FastForward)
+	}
+	return b.String()
+}
+
 // Engine drives the stages, optionally on a fixed worker pool.
 type Engine struct {
 	stages  []Stage
 	workers int
+	prof    *Prof
 
 	tasks   chan func()
 	started bool
@@ -85,6 +144,22 @@ func NewEngine(stages []Stage, workers int) *Engine {
 
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetProfile attaches a self-profile. The stage meter list is (re)used when
+// its names already match — a harness can hand the same Prof to successive
+// fault-run attempts and get cumulative numbers. nil detaches.
+func (e *Engine) SetProfile(p *Prof) {
+	e.prof = p
+	if p == nil {
+		return
+	}
+	if len(p.Stages) != len(e.stages) {
+		p.Stages = make([]StageMeter, len(e.stages))
+		for i := range e.stages {
+			p.Stages[i].Name = e.stages[i].Name
+		}
+	}
+}
 
 // Start spins up the worker pool. A no-op for the serial engine. Callers
 // must Stop when done (typically deferred around the run loop) so the
@@ -117,20 +192,31 @@ func (e *Engine) Stop() {
 
 // Tick advances every stage one cycle.
 func (e *Engine) Tick(now int64) {
+	if e.prof != nil {
+		for i := range e.stages {
+			t0 := time.Now()
+			e.tickStage(now, &e.stages[i])
+			e.prof.Stages[i].add(time.Since(t0))
+		}
+		return
+	}
 	for i := range e.stages {
-		st := &e.stages[i]
-		if st.Pre != nil {
-			st.Pre(now)
+		e.tickStage(now, &e.stages[i])
+	}
+}
+
+func (e *Engine) tickStage(now int64, st *Stage) {
+	if st.Pre != nil {
+		st.Pre(now)
+	}
+	e.propose(now, st.Shards)
+	for _, sh := range st.Shards {
+		for _, c := range sh {
+			c.Commit(now)
 		}
-		e.propose(now, st.Shards)
-		for _, sh := range st.Shards {
-			for _, c := range sh {
-				c.Commit(now)
-			}
-		}
-		if st.Post != nil {
-			st.Post(now)
-		}
+	}
+	if st.Post != nil {
+		st.Post(now)
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -187,5 +188,41 @@ func TestMeter(t *testing.T) {
 	}
 	if got := m.Total(); got != 10 {
 		t.Fatalf("Total = %d, want 10", got)
+	}
+}
+
+// TestProfileCountsTicks checks the attached self-profile meters every stage
+// tick, produces identical simulation results, and renders a table.
+func TestProfileCountsTicks(t *testing.T) {
+	shards := []Shard{{&counter{step: 1, limit: 50, wakeAt: Never}}}
+	e := NewEngine([]Stage{
+		{Name: "alpha", Shards: shards},
+		{Name: "beta"},
+	}, 1)
+	var p Prof
+	e.SetProfile(&p)
+	for now := int64(0); now < 10; now++ {
+		e.Tick(now)
+	}
+	if len(p.Stages) != 2 || p.Stages[0].Name != "alpha" || p.Stages[1].Name != "beta" {
+		t.Fatalf("stage meters = %+v", p.Stages)
+	}
+	for i := range p.Stages {
+		if p.Stages[i].Ticks != 10 {
+			t.Fatalf("stage %d ticked %d times, want 10", i, p.Stages[i].Ticks)
+		}
+	}
+	if got := shards[0][0].(*counter).v; got != 10 {
+		t.Fatalf("profiled run diverged: v = %d, want 10", got)
+	}
+	// Re-attach keeps cumulative meters when the layout matches.
+	e.SetProfile(&p)
+	e.Tick(10)
+	if p.Stages[0].Ticks != 11 {
+		t.Fatalf("re-attach reset meters: %d", p.Stages[0].Ticks)
+	}
+	s := p.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatalf("profile table missing stages:\n%s", s)
 	}
 }

@@ -290,6 +290,10 @@ func (m *Machine) Summary() string {
 	fmt.Fprintf(&b, "dram line reads: %d writes: %d busy cycles: %d\n",
 		m.DramReads, m.DramWrites, m.DramBusy)
 	fmt.Fprintf(&b, "noc flits: %d hops: %d\n", m.NocFlits, m.NocHops)
+	if m.FastForwards > 0 {
+		fmt.Fprintf(&b, "engine: %d idle fast-forwards skipped %d cycles (%.1f%% of run)\n",
+			m.FastForwards, m.SkippedCycles, 100*float64(m.SkippedCycles)/float64(max(m.Cycles, 1)))
+	}
 	if m.NocRetrans > 0 {
 		fmt.Fprintf(&b, "noc retransmits: %d (dropped %d, corrupt %d)\n",
 			m.NocRetrans, m.NocDropped, m.NocCorrupt)

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace event. Ts and Dur are in simulated cycles;
+// the Chrome trace-event writer renders them as microseconds, so one
+// Perfetto microsecond is one machine cycle.
+type Event struct {
+	Name  string
+	Cat   string
+	Ph    byte // 'X' span, 'i' instant, 'M' metadata
+	Ts    int64
+	Dur   int64 // spans only
+	Tid   int64
+	Args  map[string]int64
+	Label string // metadata events: the thread name
+}
+
+// Recorder is a bounded ring buffer of events. Producers in parallel engine
+// shards emit concurrently (one mutex per emit — tracing runs only); when
+// the ring fills, the oldest events are overwritten and counted so the tail
+// of a long run is always retained.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	dropped int64
+}
+
+// NewRecorder builds a recorder holding at most capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, overwriting the oldest when full.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	} else {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Span records a duration event [ts, ts+dur) on thread tid.
+func (r *Recorder) Span(name, cat string, ts, dur, tid int64, args map[string]int64) {
+	r.Emit(Event{Name: name, Cat: cat, Ph: 'X', Ts: ts, Dur: dur, Tid: tid, Args: args})
+}
+
+// Instant records a point event at ts on thread tid.
+func (r *Recorder) Instant(name, cat string, ts, tid int64, args map[string]int64) {
+	r.Emit(Event{Name: name, Cat: cat, Ph: 'i', Ts: ts, Tid: tid, Args: args})
+}
+
+// Meta names thread tid in the trace viewer.
+func (r *Recorder) Meta(tid int64, label string) {
+	r.Emit(Event{Name: "thread_name", Ph: 'M', Tid: tid, Label: label})
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the buffered events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// WriteJSON emits the buffered events as Chrome trace-event JSON (the object
+// form Perfetto and chrome://tracing both load).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	evs := r.Events()
+	out := make([]map[string]any, 0, len(evs))
+	for i := range evs {
+		e := &evs[i]
+		obj := map[string]any{
+			"name": e.Name,
+			"ph":   string(rune(e.Ph)),
+			"ts":   e.Ts,
+			"pid":  0,
+			"tid":  e.Tid,
+		}
+		if e.Cat != "" {
+			obj["cat"] = e.Cat
+		}
+		switch e.Ph {
+		case 'X':
+			obj["dur"] = e.Dur
+		case 'i':
+			obj["s"] = "t" // thread-scoped instant
+		case 'M':
+			obj["args"] = map[string]any{"name": e.Label}
+		}
+		if e.Args != nil {
+			obj["args"] = e.Args
+		}
+		out = append(out, obj)
+	}
+	doc := map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"droppedEvents": r.Dropped()},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

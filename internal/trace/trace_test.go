@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Instant("e", "test", int64(i), 0, nil)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Ts != want {
+			t.Fatalf("event %d Ts = %d, want %d (tail retained)", i, e.Ts, want)
+		}
+	}
+}
+
+func TestRecorderWriteJSONShape(t *testing.T) {
+	r := NewRecorder(16)
+	r.Meta(3, "tile3")
+	r.Span("vload", "mem", 100, 25, 3, map[string]int64{"addr": 64})
+	r.Instant("poison", "fault", 130, 3, nil)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	meta, span, inst := doc.TraceEvents[0], doc.TraceEvents[1], doc.TraceEvents[2]
+	if meta["ph"] != "M" || meta["args"].(map[string]any)["name"] != "tile3" {
+		t.Fatalf("bad metadata event: %v", meta)
+	}
+	if span["ph"] != "X" || span["dur"] != float64(25) || span["ts"] != float64(100) {
+		t.Fatalf("bad span event: %v", span)
+	}
+	if span["args"].(map[string]any)["addr"] != float64(64) {
+		t.Fatalf("span args lost: %v", span)
+	}
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Fatalf("bad instant event: %v", inst)
+	}
+	if doc.OtherData["droppedEvents"] != float64(0) {
+		t.Fatalf("bad droppedEvents: %v", doc.OtherData)
+	}
+}
+
+func TestSamplerWindowsConserve(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSampler(&buf, 100)
+	s.Reset()
+
+	cum := Cum{}
+	total := Cum{}
+	step := func(now int64, dLLCAcc, dMiss, dBusy int64) {
+		cum.LLC.Accesses += dLLCAcc
+		cum.LLC.Misses += dMiss
+		cum.Dram.Busy += dBusy
+		cum.Roles[RoleLane].Instrs += dLLCAcc * 2
+		if s.Due(now) {
+			s.Record(now, &cum, Gauges{FramesOccupied: 1})
+		}
+	}
+	step(100, 10, 3, 40)
+	step(200, 20, 5, 60)
+	step(350, 7, 7, 100) // crossed two boundaries at once (fast-forward)
+	step(360, 1, 0, 0)   // not due: inside current window
+	s.Finish(400, &cum, Gauges{InetHighWater: 9})
+	total = cum
+
+	if !s.finished {
+		t.Fatal("sampler not finished")
+	}
+
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	var sum Cum
+	nWin := 0
+	var lastEnd int64
+	var sawFinal bool
+	for dec.More() {
+		var w Window
+		if err := dec.Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		if w.Start != lastEnd {
+			t.Fatalf("window %d starts at %d, want %d (contiguous)", nWin, w.Start, lastEnd)
+		}
+		lastEnd = w.End
+		sum.LLC.Accesses += w.LLC.Accesses
+		sum.LLC.Misses += w.LLC.Misses
+		sum.Dram.Busy += w.Dram.Busy
+		sum.Roles[RoleLane].Instrs += w.Roles["lane"].Instrs
+		sawFinal = w.Final
+		nWin++
+	}
+	if nWin != 4 {
+		t.Fatalf("got %d windows, want 4", nWin)
+	}
+	if !sawFinal {
+		t.Fatal("last window not marked final")
+	}
+	if lastEnd != 400 {
+		t.Fatalf("last window ends at %d, want 400", lastEnd)
+	}
+	if sum.LLC != total.LLC || sum.Dram != total.Dram ||
+		sum.Roles[RoleLane] != total.Roles[RoleLane] {
+		t.Fatalf("window deltas do not sum to totals:\n sum %+v\n tot %+v", sum, total)
+	}
+}
+
+func TestSamplerResetRestartsSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSampler(&buf, 50)
+	s.Reset()
+	cum := Cum{}
+	cum.Noc.FlitsReq = 5
+	s.Record(50, &cum, Gauges{})
+	s.Finish(70, &cum, Gauges{})
+
+	// Second attempt on the same sink: series restarts from zero.
+	s.Reset()
+	if s.Due(10) {
+		t.Fatal("due immediately after reset")
+	}
+	cum2 := Cum{}
+	cum2.Noc.FlitsReq = 3
+	s.Record(50, &cum2, Gauges{})
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	var wins []Window
+	for dec.More() {
+		var w Window
+		if err := dec.Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		wins = append(wins, w)
+	}
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	last := wins[2]
+	if last.Start != 0 || last.Noc.FlitsReq != 3 {
+		t.Fatalf("post-reset window = %+v, want start 0 flits 3", last)
+	}
+}
+
+func TestSamplerFinishEmptyEmitsNothing(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSampler(&buf, 100)
+	s.Reset()
+	s.Finish(0, &Cum{}, Gauges{})
+	if buf.Len() != 0 {
+		t.Fatalf("empty run emitted %q", buf.String())
+	}
+}
+
+func TestSamplerLinkDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSampler(&buf, 100)
+	s.Reset()
+	s.SetLinkLabels([]string{"0>1", "", "1>0", "1>2"})
+	cum := Cum{LinksReq: []int64{4, 9, 0, 2}}
+	s.Record(100, &cum, Gauges{})
+	cum2 := Cum{LinksReq: []int64{4, 9, 1, 5}}
+	s.Record(200, &cum2, Gauges{})
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	var w1, w2 Window
+	if err := dec.Decode(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.LinksReq["0>1"] != 4 || w1.LinksReq["1>2"] != 2 {
+		t.Fatalf("w1 links = %v", w1.LinksReq)
+	}
+	if _, ok := w1.LinksReq[""]; ok {
+		t.Fatal("unlabeled link leaked into output")
+	}
+	if len(w2.LinksReq) != 2 || w2.LinksReq["1>0"] != 1 || w2.LinksReq["1>2"] != 3 {
+		t.Fatalf("w2 links = %v (want delta, not cum)", w2.LinksReq)
+	}
+}
+
+func TestNilSinkAccessors(t *testing.T) {
+	var s *Sink
+	if s.Sampler() != nil || s.Recorder() != nil {
+		t.Fatal("nil sink accessors must return nil")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkCloseFlushesEvents(t *testing.T) {
+	var ev bytes.Buffer
+	s := NewSink(Config{EventsTo: &ev, EventCap: 8})
+	s.Recorder().Instant("x", "c", 1, 0, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(ev.Bytes()) {
+		t.Fatalf("invalid JSON: %q", ev.String())
+	}
+	before := ev.Len()
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if ev.Len() != before {
+		t.Fatal("second Close re-flushed")
+	}
+}
