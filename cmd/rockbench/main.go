@@ -6,6 +6,8 @@
 //	rockbench -table 1a|1b|2|3
 //	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault|replay [-scale small|full] [-bench name,...]
 //	rockbench -all [-scale small|full]
+//	rockbench -check bench/baseline.json
+//	rockbench -update-baseline bench/baseline.json [-scale tiny]
 //
 // Each figure's independent simulations run on a worker pool of -j
 // goroutines (default GOMAXPROCS). The output — every cycle count, table
@@ -15,8 +17,15 @@
 // EXPERIMENTS.md records the shape comparison per figure.
 //
 // -telemetry DIR writes one cycle-windowed JSONL file per simulated run
-// (window size -sample N) without changing any cycle count; -pprof FILE
-// writes a CPU profile of the whole sweep.
+// (window size -sample N) and -report DIR writes one canonical per-run
+// report (rockdoctor's input) per run, neither changing any cycle count;
+// -pprof FILE writes a CPU profile of the whole sweep.
+//
+// -check is the perf-regression gate: it re-runs every kernel x config the
+// baseline file pins (at the baseline's own scale, ignoring -scale) and
+// fails with per-run diff attribution unless every cycle count is
+// bit-equal. -update-baseline re-records the file after an intentional
+// performance change.
 package main
 
 import (
@@ -34,16 +43,19 @@ import (
 
 func main() {
 	var (
-		tableName = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
-		figName   = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault, replay")
-		allFlag   = flag.Bool("all", false, "regenerate every table and figure")
-		scaleName = flag.String("scale", "small", "input scale: tiny, small, full")
-		benchCSV  = flag.String("bench", "", "comma-separated benchmark subset")
-		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per figure sweep (results are identical for any value)")
-		telemDir  = flag.String("telemetry", "", "write per-run cycle-windowed telemetry (JSONL) into this directory")
-		sampleN   = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
-		pprofOut  = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
+		tableName  = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
+		figName    = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault, replay")
+		allFlag    = flag.Bool("all", false, "regenerate every table and figure")
+		scaleName  = flag.String("scale", "small", "input scale: tiny, small, full")
+		benchCSV   = flag.String("bench", "", "comma-separated benchmark subset")
+		quiet      = flag.Bool("q", false, "suppress per-run progress lines")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations per figure sweep (results are identical for any value)")
+		telemDir   = flag.String("telemetry", "", "write per-run cycle-windowed telemetry (JSONL) into this directory")
+		sampleN    = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
+		reportDir  = flag.String("report", "", "write per-run reports (rockdoctor JSON) into this directory")
+		checkPath  = flag.String("check", "", "perf gate: verify cycle counts against this baseline file and exit nonzero on drift")
+		updatePath = flag.String("update-baseline", "", "re-record the baseline file at -scale")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
 	)
 	flag.Parse()
 
@@ -59,7 +71,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	scale, err := parseScale(*scaleName)
+	scale, err := kernels.ParseScale(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,11 +79,38 @@ func main() {
 	if *benchCSV != "" {
 		benches = strings.Split(*benchCSV, ",")
 	}
-	r := harness.New(harness.Options{
-		Scale: scale, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
-		TelemetryDir: *telemDir, SampleEvery: *sampleN,
-	})
+	newRunner := func(s kernels.Scale) *harness.Runner {
+		return harness.New(harness.Options{
+			Scale: s, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
+			TelemetryDir: *telemDir, SampleEvery: *sampleN, ReportDir: *reportDir,
+		})
+	}
 
+	if *checkPath != "" {
+		b, err := harness.ReadBaseline(*checkPath)
+		if err != nil {
+			fatal(err)
+		}
+		// The gate runs at the baseline's recorded scale, not -scale: the
+		// pinned cycle counts mean nothing at any other input size.
+		bscale, err := kernels.ParseScale(b.Scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := newRunner(bscale).Check(b, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *updatePath != "" {
+		if err := newRunner(scale).WriteBaseline(*updatePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline written: %s (%s scale)\n", *updatePath, scale)
+		return
+	}
+
+	r := newRunner(scale)
 	out := os.Stdout
 	if *tableName != "" {
 		if err := printTable(*tableName, scale); err != nil {
@@ -139,18 +178,6 @@ func printTable(name string, scale kernels.Scale) error {
 		return fmt.Errorf("unknown table %q", name)
 	}
 	return nil
-}
-
-func parseScale(s string) (kernels.Scale, error) {
-	switch s {
-	case "tiny":
-		return kernels.Tiny, nil
-	case "small":
-		return kernels.Small, nil
-	case "full":
-		return kernels.Full, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
 func fatal(err error) {

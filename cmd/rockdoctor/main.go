@@ -1,0 +1,128 @@
+// Command rockdoctor interprets the artifacts a simulation leaves behind:
+// per-run reports, windowed telemetry, and Perfetto event traces. It never
+// runs a simulation itself — rocksim -report / rockbench -report produce
+// the inputs; rockdoctor explains them.
+//
+// Usage:
+//
+//	rockdoctor explain report.json        # verdict + evidence + CPI stacks
+//	rockdoctor diff a.json b.json         # attribute the cycle delta
+//	rockdoctor trace trace.json           # vload-pipeline latencies, frame occupancy
+//	rockdoctor timeline telem.jsonl       # per-window bottleneck phases
+//
+// explain prints the run's bottleneck classification (frame-limited,
+// noc/inet-limited, dram-bandwidth-saturated, llc-miss-bound,
+// barrier-bound, or issue-bound) with the counter evidence the rule tree
+// fired on. diff divides the runtime delta between two reports into
+// per-category CPI-stack contributions on the pacing role. trace mines a
+// -trace event file for issue→fanout→frame-open→consume latency
+// percentiles. timeline classifies every telemetry window and merges
+// consecutive labels into phases, showing where the bottleneck moved.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rockcress/internal/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "explain":
+		err = explain(args)
+	case "diff":
+		err = diff(args)
+	case "trace":
+		err = traceCmd(args)
+	case "timeline":
+		err = timeline(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rockdoctor: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rockdoctor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `rockdoctor — bottleneck attribution for Rockcress runs
+
+  rockdoctor explain report.json        classify one run and show the evidence
+  rockdoctor diff a.json b.json         attribute the cycle delta between two runs
+  rockdoctor trace trace.json           vload-pipeline latencies and frame occupancy
+  rockdoctor timeline telem.jsonl       time-resolved bottleneck phases
+
+Produce the inputs with rocksim -report/-trace/-telemetry or
+rockbench -report/-telemetry.
+`)
+}
+
+func explain(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rockdoctor explain report.json")
+	}
+	r, err := analyze.ReadReport(args[0])
+	if err != nil {
+		return err
+	}
+	analyze.Explain(os.Stdout, r)
+	return nil
+}
+
+func diff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: rockdoctor diff a.json b.json")
+	}
+	a, err := analyze.ReadReport(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := analyze.ReadReport(args[1])
+	if err != nil {
+		return err
+	}
+	d := analyze.Diff(a, b)
+	d.Render(os.Stdout)
+	return nil
+}
+
+func traceCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rockdoctor trace trace.json")
+	}
+	evs, dropped, err := analyze.ReadTrace(args[0])
+	if err != nil {
+		return err
+	}
+	st := analyze.AnalyzeTrace(evs, dropped)
+	st.Render(os.Stdout)
+	return nil
+}
+
+func timeline(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rockdoctor timeline telemetry.jsonl")
+	}
+	ws, err := analyze.ReadWindows(args[0])
+	if err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		return fmt.Errorf("%s: no telemetry windows", args[0])
+	}
+	analyze.RenderTimeline(os.Stdout, analyze.Timeline(ws))
+	return nil
+}

@@ -12,10 +12,13 @@
 // numeric address additionally watches accesses to that global word.
 //
 // Observability: -trace out.json writes a Chrome trace-event / Perfetto
-// event trace, -telemetry out.jsonl writes cycle-windowed counter deltas
-// (window size -sample N), -prof prints the engine's per-stage wall-time
-// self-profile, and -pprof file.pb.gz writes a CPU profile. None of them
-// change simulated cycle counts.
+// event trace (ring sized by -trace-buf; a warning reports overwritten
+// events), -telemetry out.jsonl writes cycle-windowed counter deltas
+// (window size -sample N), -report out.json writes the canonical per-run
+// report with a bottleneck verdict (see rockdoctor), -prof prints the
+// engine's per-stage wall-time self-profile, and -pprof file.pb.gz writes
+// a CPU profile. None of them change simulated cycle counts. A failed
+// telemetry or trace write exits nonzero.
 //
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
 // V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
@@ -30,6 +33,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 
+	"rockcress/internal/analyze"
 	"rockcress/internal/asm"
 	"rockcress/internal/config"
 	"rockcress/internal/fault"
@@ -49,7 +53,9 @@ func main() {
 		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req"`)
 		workers   = flag.Int("j", 1, "engine worker goroutines for one simulation (0 or 1 = serial; cycle counts are identical for any value)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON event trace to this file")
+		traceBuf  = flag.Int("trace-buf", trace.DefaultEventCap, "event-trace ring capacity; oldest events drop (with a warning) when exceeded")
 		telemOut  = flag.String("telemetry", "", "write cycle-windowed telemetry (JSONL) to this file")
+		reportOut = flag.String("report", "", "write the canonical per-run report (JSON, for rockdoctor) to this file")
 		sampleN   = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
 		profEng   = flag.Bool("prof", false, "print the engine's per-stage wall-time self-profile")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
@@ -71,7 +77,7 @@ func main() {
 	}
 	var sink *trace.Sink
 	if *traceOut != "" || *telemOut != "" {
-		cfg := trace.Config{SampleEvery: *sampleN}
+		cfg := trace.Config{SampleEvery: *sampleN, EventCap: *traceBuf}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -108,7 +114,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	scale, err := parseScale(*scaleName)
+	scale, err := kernels.ParseScale(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
@@ -133,8 +139,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runFaulted(bench, scale, sw, opts, plan, *verbose)
-		finishObs(sink, prof)
+		res := runFaulted(bench, scale, sw, opts, plan, *verbose)
+		finish(*reportOut, res, *scaleName, sink, prof)
 		return
 	}
 	res, err := kernels.ExecuteOpts(bench, bench.Defaults(scale), sw, config.ManycoreDefault(), opts)
@@ -148,6 +154,9 @@ func main() {
 			g.Cycles, g.Wavefronts, g.ComputeOps, g.LoadOps, g.StoreOps)
 		fmt.Printf("lines: %d (tcp %d, tcc %d, llc %d, dram %d)\n",
 			g.Lines, g.TCPHits, g.TCCHits, g.LLCHits, g.DramLines)
+		if *reportOut != "" {
+			fatal(fmt.Errorf("-report needs machine counters; the GPU model has none"))
+		}
 		return
 	}
 	fmt.Print(res.Stats.Summary())
@@ -157,25 +166,50 @@ func main() {
 		fmt.Printf("vloads: %d microthreads: %d remote stores: %d\n",
 			sumVloads(res), sumMts(res), res.Stats.RemoteStores)
 	}
-	finishObs(sink, prof)
+	finish(*reportOut, res, *scaleName, sink, prof)
 }
 
-// finishObs flushes the event trace and prints the engine self-profile
-// after a successful run. fatal paths exit without flushing — a partial
-// trace of a failed run is not worth masking the error for.
-func finishObs(sink *trace.Sink, prof *sim.Prof) {
+// finish emits the per-run report, flushes the observability sink (warning
+// when the event ring overwrote anything), and prints the engine
+// self-profile. Any report or flush failure exits nonzero: a silently
+// truncated artifact would poison whatever reads it later. fatal paths
+// exit without flushing — a partial trace of a failed run is not worth
+// masking the error for.
+func finish(reportPath string, res *kernels.Result, scaleName string, sink *trace.Sink, prof *sim.Prof) {
+	failed := false
+	if reportPath != "" {
+		rep := analyze.New(analyze.Meta{Bench: res.Bench, Config: res.Config, Scale: scaleName},
+			res.Stats, res.Groups, res.HW)
+		if err := rep.WriteFile(reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "rocksim:", err)
+			failed = true
+		} else {
+			fmt.Printf("bottleneck: %s (report: %s)\n", rep.Bottleneck.Label, reportPath)
+		}
+	}
+	if rec := sink.Recorder(); rec != nil {
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr,
+				"rocksim: warning: event ring overwrote %d events; raise -trace-buf (now %d) to keep the whole run\n",
+				d, rec.Len())
+		}
+	}
 	if err := sink.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rocksim:", err)
+		failed = true
 	}
 	if prof != nil {
 		fmt.Print(prof.String())
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
 // runFaulted runs the benchmark under a fault schedule via the graceful
 // degradation harness and prints the final statistics plus what it cost.
 func runFaulted(bench kernels.Benchmark, scale kernels.Scale, sw config.Software,
-	opts kernels.ExecOpts, plan *fault.Plan, verbose bool) {
+	opts kernels.ExecOpts, plan *fault.Plan, verbose bool) *kernels.Result {
 	fr, err := kernels.ExecuteWithFaultsOpts(bench, bench.Defaults(scale), sw,
 		config.ManycoreDefault(), plan, opts)
 	if err != nil {
@@ -194,6 +228,7 @@ func runFaulted(bench kernels.Benchmark, scale kernels.Scale, sw config.Software
 	if verbose {
 		fmt.Printf("energy: %s\n", fr.Result.Energy)
 	}
+	return fr.Result
 }
 
 // dumpProgram builds the benchmark's program for the configuration and
@@ -236,18 +271,6 @@ func sumMts(res *kernels.Result) int64 {
 		t += res.Stats.Cores[i].Microthreads
 	}
 	return t
-}
-
-func parseScale(s string) (kernels.Scale, error) {
-	switch s {
-	case "tiny":
-		return kernels.Tiny, nil
-	case "small":
-		return kernels.Small, nil
-	case "full":
-		return kernels.Full, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (tiny, small, full)", s)
 }
 
 func fatal(err error) {

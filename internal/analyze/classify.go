@@ -1,0 +1,236 @@
+package analyze
+
+import (
+	"fmt"
+
+	"rockcress/internal/trace"
+)
+
+// Label is a bottleneck classification.
+type Label string
+
+const (
+	// LabelIdle marks a window in which no core was active (the engine
+	// fast-forwarded through it). Whole runs are never idle.
+	LabelIdle Label = "idle"
+	// LabelIssueBound: cores spend most active cycles issuing — the run is
+	// compute-bound; faster memory or network would not help much.
+	LabelIssueBound Label = "issue-bound"
+	// LabelDramSaturated: frame/memory stalls with the DRAM channel busy
+	// most of the run — more bandwidth is the fix (paper Figure 13).
+	LabelDramSaturated Label = "dram-bandwidth-saturated"
+	// LabelLLCMissBound: memory stalls dominated by line misses with DRAM
+	// headroom left — latency, not bandwidth; bigger LLC or better reuse.
+	LabelLLCMissBound Label = "llc-miss-bound"
+	// LabelNocLimited: the on-chip network is the constraint — either the
+	// data mesh is saturated (narrow links, Figure 17c) or vector lanes
+	// starve on the instruction network / choke on backpressure.
+	LabelNocLimited Label = "noc/inet-limited"
+	// LabelFrameLimited: cores wait on frames but no memory-system stage
+	// is saturated — plain load latency the access pattern exposes.
+	LabelFrameLimited Label = "frame-limited"
+	// LabelBarrierBound: the "other" bucket (barriers, fetch, hazards)
+	// dominates — synchronization and serial sections, not memory.
+	LabelBarrierBound Label = "barrier-bound"
+)
+
+// Classification thresholds. The tree is deliberately coarse: it must
+// separate the regimes the paper's own evaluation distinguishes (Figures
+// 12, 13, 17), not split hairs between neighboring mixes.
+const (
+	// issueBoundFrac: issued cycles / active cycles at or above this is
+	// compute-bound regardless of what the remaining stalls say.
+	issueBoundFrac = 0.60
+	// dramSatBusyFrac: DRAM channel duty cycle at or above this counts as
+	// saturated when memory stalls are present.
+	dramSatBusyFrac = 0.55
+	// nocSatHotLinkFrac: hottest-link duty cycle (traversals / cycles on
+	// the busiest directed link, either plane) at or above this counts the
+	// data mesh as congested — a link can move one flit per cycle, so this
+	// is a true utilization, symmetric with the DRAM rule.
+	nocSatHotLinkFrac = 0.55
+	// llcMissBoundRate: aggregate LLC miss ratio at or above this makes
+	// frame stalls miss-bound rather than plain latency-bound.
+	llcMissBoundRate = 0.20
+	// memStallMinFrac: frame stalls must be at least this fraction of
+	// active cycles before a saturated memory stage is blamed for them.
+	memStallMinFrac = 0.15
+)
+
+// Verdict is a classification with its supporting evidence.
+type Verdict struct {
+	Label Label `json:"label"`
+	// Evidence lists the measured facts the rule tree fired on, most
+	// decisive first.
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+// Features is the reduced counter vector the rule tree reads. It can be
+// built from a whole-run Report or from one telemetry window, so the same
+// classifier yields both the run verdict and the phase timeline.
+type Features struct {
+	// CPI-stack cycles over the cores being judged (the pacing role for
+	// runs, every role for windows).
+	Issued, Frame, Inet, Backpressure, Other int64
+
+	Span     int64 // cycles covered (machine cycles, not core-cycles)
+	DramBusy int64 // DRAM busy cycles within the span
+
+	LLCAccesses, LLCMisses int64
+
+	// HotLinkHops is the busiest directed mesh link's traversal count
+	// within the span (either plane); its ratio to Span is that link's
+	// duty cycle. 0 disables the mesh-congestion rule.
+	HotLinkHops int64
+}
+
+// active returns total core-active cycles in the feature vector.
+func (f *Features) active() int64 {
+	return f.Issued + f.Frame + f.Inet + f.Backpressure + f.Other
+}
+
+// ClassifyFeatures runs the top-down rule tree:
+//
+//  1. nothing active -> idle (windows only)
+//  2. issued-fraction >= issueBoundFrac -> issue-bound
+//  3. memory stalls present and DRAM duty >= dramSatBusyFrac -> dram-bandwidth-saturated
+//  4. memory stalls present and hottest-link duty >= nocSatHotLinkFrac -> noc/inet-limited
+//  5. dominant stall bucket decides, ties broken frame > inet > other:
+//     frame -> llc-miss-bound when the miss ratio >= llcMissBoundRate, else frame-limited
+//     inet+backpressure -> noc/inet-limited
+//     other -> barrier-bound
+//
+// The saturation rules (3, 4) outrank the dominant-bucket rule because a
+// pegged shared stage explains the stalls queued behind it: a V4 run at
+// network width 1 shows mostly frame stalls, but the fix is the mesh, not
+// the frames (Figure 17c), and an NV_PF run with a busy DRAM channel wants
+// bandwidth, not lower latency (Figure 13).
+func ClassifyFeatures(f Features) Verdict {
+	total := f.active()
+	if total == 0 {
+		return Verdict{Label: LabelIdle, Evidence: []string{"no core was active"}}
+	}
+	frac := func(n int64) float64 { return float64(n) / float64(total) }
+	pct := func(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }
+
+	issuedF := frac(f.Issued)
+	frameF := frac(f.Frame)
+	netF := frac(f.Inet + f.Backpressure)
+	otherF := frac(f.Other)
+	memF := frameF + netF // stalls a saturated shared stage could explain
+
+	var dramBusyF float64
+	if f.Span > 0 {
+		dramBusyF = float64(f.DramBusy) / float64(f.Span)
+	}
+	var hotLinkF float64
+	if f.Span > 0 {
+		hotLinkF = float64(f.HotLinkHops) / float64(f.Span)
+	}
+	var missRate float64
+	if f.LLCAccesses > 0 {
+		missRate = float64(f.LLCMisses) / float64(f.LLCAccesses)
+	}
+
+	if issuedF >= issueBoundFrac {
+		return Verdict{Label: LabelIssueBound, Evidence: []string{
+			"issuing " + pct(issuedF) + " of active cycles",
+			"stalls: frame " + pct(frameF) + ", inet " + pct(netF) + ", other " + pct(otherF),
+		}}
+	}
+	if memF >= memStallMinFrac && dramBusyF >= dramSatBusyFrac {
+		return Verdict{Label: LabelDramSaturated, Evidence: []string{
+			"DRAM channel busy " + pct(dramBusyF) + " of cycles",
+			"frame/inet stalls " + pct(memF) + " of active cycles",
+			fmt.Sprintf("llc miss rate %.2f", missRate),
+		}}
+	}
+	if memF >= memStallMinFrac && hotLinkF >= nocSatHotLinkFrac {
+		return Verdict{Label: LabelNocLimited, Evidence: []string{
+			"hottest mesh link busy " + pct(hotLinkF) + " of cycles",
+			"frame/inet stalls " + pct(memF) + " of active cycles",
+			"DRAM busy only " + pct(dramBusyF) + " of cycles",
+		}}
+	}
+	// Dominant-bucket rule; ties break frame > inet > other (memory first,
+	// then network, then synchronization) — pinned by the classifier tests.
+	switch {
+	case frameF >= netF && frameF >= otherF:
+		if missRate >= llcMissBoundRate {
+			return Verdict{Label: LabelLLCMissBound, Evidence: []string{
+				fmt.Sprintf("llc miss rate %.2f on %d accesses", missRate, f.LLCAccesses),
+				"frame stalls " + pct(frameF) + " of active cycles",
+				"DRAM busy only " + pct(dramBusyF) + " of cycles",
+			}}
+		}
+		return Verdict{Label: LabelFrameLimited, Evidence: []string{
+			"frame stalls " + pct(frameF) + " of active cycles",
+			fmt.Sprintf("llc miss rate %.2f, DRAM busy %s — no memory stage saturated", missRate, pct(dramBusyF)),
+		}}
+	case netF >= otherF:
+		return Verdict{Label: LabelNocLimited, Evidence: []string{
+			"inet/backpressure stalls " + pct(netF) + " of active cycles",
+			"frame stalls " + pct(frameF) + ", other " + pct(otherF),
+		}}
+	default:
+		return Verdict{Label: LabelBarrierBound, Evidence: []string{
+			"barrier/hazard/fetch stalls " + pct(otherF) + " of active cycles",
+			"frame stalls " + pct(frameF) + ", inet " + pct(netF),
+		}}
+	}
+}
+
+// Classify builds the feature vector for a whole run and classifies it.
+// CPI-stack fractions come from the pacing role (expander cores for vector
+// configurations, per the paper's Figure 13 methodology; MIMD cores
+// otherwise); DRAM, LLC, and mesh saturation are machine-global.
+func Classify(r *Report) Verdict {
+	hot := r.Noc.HotReqHops
+	if r.Noc.HotRespHops > hot {
+		hot = r.Noc.HotRespHops
+	}
+	f := Features{
+		Span:        r.Cycles,
+		DramBusy:    r.Dram.Busy,
+		LLCAccesses: r.LLC.Accesses,
+		LLCMisses:   r.LLC.Misses,
+		HotLinkHops: hot,
+	}
+	if rc, ok := r.Roles[r.PacingRole()]; ok {
+		f.Issued = rc.Issued
+		f.Frame = rc.Frame
+		f.Inet = rc.Inet
+		f.Backpressure = rc.Backpressure
+		f.Other = rc.Other
+	}
+	return ClassifyFeatures(f)
+}
+
+// ClassifyWindow classifies one telemetry window. Role counters are
+// summed over every role (a window's JSONL does not say which role
+// paces); the hottest-link duty comes from the window's per-link deltas.
+func ClassifyWindow(w *trace.Window) Verdict {
+	var hot int64
+	for _, links := range []map[string]int64{w.LinksReq, w.LinksResp} {
+		for _, v := range links {
+			if v > hot {
+				hot = v
+			}
+		}
+	}
+	f := Features{
+		Span:        w.End - w.Start,
+		DramBusy:    w.Dram.Busy,
+		LLCAccesses: w.LLC.Accesses,
+		LLCMisses:   w.LLC.Misses,
+		HotLinkHops: hot,
+	}
+	for _, rc := range w.Roles {
+		f.Issued += rc.Issued
+		f.Frame += rc.Frame
+		f.Inet += rc.Inet
+		f.Backpressure += rc.Backpressure
+		f.Other += rc.Other
+	}
+	return ClassifyFeatures(f)
+}

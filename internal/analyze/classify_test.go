@@ -1,0 +1,126 @@
+package analyze
+
+import (
+	"testing"
+
+	"rockcress/internal/trace"
+)
+
+// TestClassifyFeatures pins the rule tree: every label is reachable, the
+// saturation rules outrank the dominant-bucket rule, and ties break
+// frame > inet > other.
+func TestClassifyFeatures(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Features
+		want Label
+	}{
+		{
+			name: "idle window",
+			f:    Features{Span: 1000},
+			want: LabelIdle,
+		},
+		{
+			name: "issue bound",
+			f:    Features{Issued: 700, Frame: 300, Span: 1000},
+			want: LabelIssueBound,
+		},
+		{
+			name: "issue bound outranks saturated dram",
+			f:    Features{Issued: 600, Frame: 400, Span: 1000, DramBusy: 1000},
+			want: LabelIssueBound,
+		},
+		{
+			name: "dram saturated",
+			f:    Features{Issued: 300, Frame: 500, Other: 200, Span: 1000, DramBusy: 600},
+			want: LabelDramSaturated,
+		},
+		{
+			name: "dram outranks hot link",
+			f:    Features{Issued: 300, Frame: 500, Other: 200, Span: 1000, DramBusy: 600, HotLinkHops: 1000},
+			want: LabelDramSaturated,
+		},
+		{
+			name: "busy dram without memory stalls is not blamed",
+			f:    Features{Issued: 300, Frame: 100, Other: 600, Span: 1000, DramBusy: 900},
+			want: LabelBarrierBound,
+		},
+		{
+			name: "hot mesh link",
+			f:    Features{Issued: 300, Frame: 500, Other: 200, Span: 1000, DramBusy: 100, HotLinkHops: 600},
+			want: LabelNocLimited,
+		},
+		{
+			name: "llc miss bound",
+			f:    Features{Issued: 300, Frame: 500, Other: 200, Span: 1000, LLCAccesses: 100, LLCMisses: 30},
+			want: LabelLLCMissBound,
+		},
+		{
+			name: "frame limited",
+			f:    Features{Issued: 300, Frame: 500, Other: 200, Span: 1000, LLCAccesses: 100, LLCMisses: 10},
+			want: LabelFrameLimited,
+		},
+		{
+			name: "inet dominant",
+			f:    Features{Issued: 200, Frame: 300, Inet: 400, Backpressure: 100, Span: 1000},
+			want: LabelNocLimited,
+		},
+		{
+			name: "backpressure counts as network",
+			f:    Features{Issued: 200, Frame: 300, Backpressure: 500, Span: 1000},
+			want: LabelNocLimited,
+		},
+		{
+			name: "barrier bound",
+			f:    Features{Issued: 300, Frame: 200, Other: 500, Span: 1000},
+			want: LabelBarrierBound,
+		},
+		{
+			name: "tie frame vs inet breaks to frame",
+			f:    Features{Issued: 200, Frame: 400, Inet: 400, Span: 1000},
+			want: LabelFrameLimited,
+		},
+		{
+			name: "tie frame vs other breaks to frame",
+			f:    Features{Issued: 200, Frame: 400, Other: 400, Span: 1000},
+			want: LabelFrameLimited,
+		},
+		{
+			name: "tie inet vs other breaks to inet",
+			f:    Features{Issued: 200, Inet: 400, Other: 400, Span: 1000},
+			want: LabelNocLimited,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := ClassifyFeatures(tc.f)
+			if v.Label != tc.want {
+				t.Fatalf("got %q want %q (evidence: %v)", v.Label, tc.want, v.Evidence)
+			}
+			if tc.want != LabelIdle && len(v.Evidence) == 0 {
+				t.Fatalf("verdict %q has no evidence", v.Label)
+			}
+		})
+	}
+}
+
+// TestClassifyWindow checks the window path: role counters sum over every
+// role and the hottest link comes from the per-link deltas.
+func TestClassifyWindow(t *testing.T) {
+	w := &trace.Window{
+		Start: 0, End: 1000,
+		Roles: map[string]trace.RoleCounters{
+			"expander": {Issued: 300, Frame: 500},
+			"lane":     {Other: 200},
+		},
+		Dram:      trace.DramCounters{Busy: 100},
+		LinksResp: map[string]int64{"3>4": 600, "4>5": 200},
+	}
+	if got := ClassifyWindow(w).Label; got != LabelNocLimited {
+		t.Fatalf("hot-link window classified %q, want %q", got, LabelNocLimited)
+	}
+	empty := &trace.Window{Start: 2000, End: 3000, Roles: map[string]trace.RoleCounters{}}
+	if got := ClassifyWindow(empty).Label; got != LabelIdle {
+		t.Fatalf("empty window classified %q, want %q", got, LabelIdle)
+	}
+}

@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CategoryDelta attributes part of a cycle delta to one CPI-stack
+// category of the pacing role: Delta is (B's per-core cycles in the
+// category) minus (A's), so positive values explain why B is slower.
+type CategoryDelta struct {
+	Category string  `json:"category"`
+	A        float64 `json:"a"` // per-pacing-core cycles in run A
+	B        float64 `json:"b"`
+	Delta    float64 `json:"delta"`
+}
+
+// CounterDelta is one raw machine counter's change between the runs.
+type CounterDelta struct {
+	Counter string `json:"counter"`
+	A       int64  `json:"a"`
+	B       int64  `json:"b"`
+}
+
+// DiffReport attributes the cycle delta between two runs.
+type DiffReport struct {
+	NameA, NameB   string
+	CyclesA        int64
+	CyclesB        int64
+	Delta          int64 // CyclesB - CyclesA
+	PacingRole     string
+	Categories     []CategoryDelta // sorted by |Delta|, largest first
+	Residual       float64         // Delta minus the sum of category deltas
+	Counters       []CounterDelta  // raw counters that moved, largest relative change first
+	VerdictA       Verdict
+	VerdictB       Verdict
+	RoleMismatch   bool // pacing roles differ (cross-config diff): attribution is per-category, not per-cause
+	SchemaMismatch bool
+}
+
+// Diff explains the cycle difference between two runs. The attribution
+// rests on the identity that a core's active cycles are the sum of its
+// CPI-stack buckets: dividing each bucket by the pacing-role population
+// yields per-core cycles whose bucket deltas sum to the runtime delta up
+// to a residual (early-halting cores, role-population changes), which is
+// reported rather than redistributed.
+func Diff(a, b *Report) *DiffReport {
+	d := &DiffReport{
+		NameA: a.Name(), NameB: b.Name(),
+		CyclesA: a.Cycles, CyclesB: b.Cycles,
+		Delta:    b.Cycles - a.Cycles,
+		VerdictA: a.Bottleneck, VerdictB: b.Bottleneck,
+	}
+	roleA, roleB := a.PacingRole(), b.PacingRole()
+	d.PacingRole = roleB
+	d.RoleMismatch = roleA != roleB
+
+	perCore := func(r *Report, role string) (vals [5]float64) {
+		rc, ok := r.Roles[role]
+		pop := r.RolePop[role]
+		if !ok || pop == 0 {
+			return vals
+		}
+		p := float64(pop)
+		vals[0] = float64(rc.Issued) / p
+		vals[1] = float64(rc.Frame) / p
+		vals[2] = float64(rc.Inet) / p
+		vals[3] = float64(rc.Backpressure) / p
+		vals[4] = float64(rc.Other) / p
+		return vals
+	}
+	va := perCore(a, roleA)
+	vb := perCore(b, roleB)
+	names := [5]string{"issued", "frame", "inet", "backpressure", "other"}
+	var attributed float64
+	for i, n := range names {
+		cd := CategoryDelta{Category: n, A: va[i], B: vb[i], Delta: vb[i] - va[i]}
+		attributed += cd.Delta
+		d.Categories = append(d.Categories, cd)
+	}
+	sort.SliceStable(d.Categories, func(i, j int) bool {
+		return abs(d.Categories[i].Delta) > abs(d.Categories[j].Delta)
+	})
+	d.Residual = float64(d.Delta) - attributed
+
+	counters := []CounterDelta{
+		{"instrs", a.Instrs, b.Instrs},
+		{"llc.accesses", a.LLC.Accesses, b.LLC.Accesses},
+		{"llc.misses", a.LLC.Misses, b.LLC.Misses},
+		{"llc.writebacks", a.LLC.Writebacks, b.LLC.Writebacks},
+		{"dram.reads", a.Dram.Reads, b.Dram.Reads},
+		{"dram.writes", a.Dram.Writes, b.Dram.Writes},
+		{"dram.busy", a.Dram.Busy, b.Dram.Busy},
+		{"noc.hops_req", a.Noc.HopsReq, b.Noc.HopsReq},
+		{"noc.hops_resp", a.Noc.HopsResp, b.Noc.HopsResp},
+		{"noc.retrans", a.Noc.Retrans, b.Noc.Retrans},
+		{"frames.consumed", a.Frames.Consumed, b.Frames.Consumed},
+		{"frames.replays", a.Frames.Replays, b.Frames.Replays},
+		{"engine.checkpoints", a.Engine.Checkpoints, b.Engine.Checkpoints},
+	}
+	for _, c := range counters {
+		if c.A != c.B {
+			d.Counters = append(d.Counters, c)
+		}
+	}
+	sort.SliceStable(d.Counters, func(i, j int) bool {
+		return relChange(d.Counters[i]) > relChange(d.Counters[j])
+	})
+	return d
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func relChange(c CounterDelta) float64 {
+	base := float64(c.A)
+	if base == 0 {
+		base = 1
+	}
+	return abs(float64(c.B-c.A) / base)
+}
+
+// Render prints the diff for humans: the headline delta, the per-category
+// attribution, and the raw counters that moved.
+func (d *DiffReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "A: %-40s %10d cycles  [%s]\n", d.NameA, d.CyclesA, d.VerdictA.Label)
+	fmt.Fprintf(w, "B: %-40s %10d cycles  [%s]\n", d.NameB, d.CyclesB, d.VerdictB.Label)
+	sign := ""
+	if d.Delta > 0 {
+		sign = "+"
+	}
+	rel := 0.0
+	if d.CyclesA != 0 {
+		rel = 100 * float64(d.Delta) / float64(d.CyclesA)
+	}
+	fmt.Fprintf(w, "delta: %s%d cycles (%s%.1f%%)\n\n", sign, d.Delta, sign, rel)
+	if d.RoleMismatch {
+		fmt.Fprintf(w, "note: pacing roles differ between runs; per-core attribution is approximate\n")
+	}
+	fmt.Fprintf(w, "attribution (per %s core, cycles):\n", d.PacingRole)
+	fmt.Fprintf(w, "  %-14s %12s %12s %12s\n", "category", "A", "B", "delta")
+	for _, c := range d.Categories {
+		fmt.Fprintf(w, "  %-14s %12.0f %12.0f %+12.0f\n", c.Category, c.A, c.B, c.Delta)
+	}
+	fmt.Fprintf(w, "  %-14s %38s %+12.0f\n", "residual", "", d.Residual)
+	if len(d.Counters) > 0 {
+		fmt.Fprintf(w, "\ncounters that moved (largest relative change first):\n")
+		fmt.Fprintf(w, "  %-20s %12s %12s %9s\n", "counter", "A", "B", "change")
+		for _, c := range d.Counters {
+			base := float64(c.A)
+			if base == 0 {
+				base = 1
+			}
+			fmt.Fprintf(w, "  %-20s %12d %12d %+8.1f%%\n", c.Counter, c.A, c.B,
+				100*float64(c.B-c.A)/base)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rockcress/internal/trace"
+)
+
+// diffFixture builds a pair of reports where run B is slower than run A
+// by exactly 500 cycles of extra frame stall on every expander core.
+func diffFixture() (*Report, *Report) {
+	a := sampleReport()
+	b := sampleReport()
+	rc := b.Roles["expander"]
+	rc.Frame += 500
+	b.Roles["expander"] = rc
+	b.Cycles += 500
+	b.Dram.Busy += 400
+	return a, b
+}
+
+func TestDiffAttribution(t *testing.T) {
+	a, b := diffFixture()
+	d := Diff(a, b)
+	if d.Delta != 500 {
+		t.Fatalf("delta %d, want 500", d.Delta)
+	}
+	if d.PacingRole != "expander" || d.RoleMismatch {
+		t.Fatalf("pacing role %q mismatch=%v", d.PacingRole, d.RoleMismatch)
+	}
+	// One expander core: the +500 frame cycles are attributed 1:1 and
+	// nothing is left over.
+	if top := d.Categories[0]; top.Category != "frame" || top.Delta != 500 {
+		t.Fatalf("top category %+v, want frame +500", top)
+	}
+	var attributed float64
+	for _, c := range d.Categories {
+		attributed += c.Delta
+	}
+	if got := float64(d.Delta) - attributed; got != d.Residual || d.Residual != 0 {
+		t.Fatalf("residual %v (recomputed %v), want 0", d.Residual, got)
+	}
+	// dram.busy moved and must be listed.
+	found := false
+	for _, c := range d.Counters {
+		if c.Counter == "dram.busy" && c.B-c.A == 400 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dram.busy delta missing from counters: %+v", d.Counters)
+	}
+}
+
+func TestDiffRoleMismatchFlagged(t *testing.T) {
+	a, b := diffFixture()
+	// Rebuild A as a pure-MIMD run: its pacing role becomes mimd.
+	a.Roles = map[string]trace.RoleCounters{"mimd": a.Roles["mimd"]}
+	a.RolePop = map[string]int{"mimd": 2}
+	d := Diff(a, b)
+	if !d.RoleMismatch {
+		t.Fatal("pacing-role mismatch not flagged")
+	}
+	var buf bytes.Buffer
+	d.Render(&buf)
+	if !strings.Contains(buf.String(), "pacing roles differ") {
+		t.Fatalf("render missing mismatch note:\n%s", buf.String())
+	}
+}

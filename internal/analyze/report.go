@@ -1,0 +1,324 @@
+// Package analyze interprets the simulator's telemetry: it renders one
+// run's counters as a canonical machine-readable report, classifies the
+// run's (and each telemetry window's) bottleneck with a top-down rule
+// tree, attributes the cycle delta between two runs to counter
+// categories, and mines the Perfetto event trace for vload-pipeline
+// latencies and frame occupancy. Everything here is post-mortem: it only
+// reads counters a finished run produced, so attaching report emission to
+// a simulation cannot change a single cycle.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rockcress/internal/config"
+	"rockcress/internal/stats"
+	"rockcress/internal/trace"
+)
+
+// SchemaVersion is bumped whenever a Report field changes meaning or name.
+// The golden round-trip test pins the serialized form of the current
+// version; readers reject reports from a different schema.
+const SchemaVersion = 1
+
+// Meta identifies which simulation a report describes.
+type Meta struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	Scale  string `json:"scale,omitempty"`
+	Mod    string `json:"mod,omitempty"` // hardware-sensitivity modifier, "" = default machine
+}
+
+// HWInfo records the machine parameters the classifier's saturation rules
+// need (bandwidth ceilings, link counts); it is a subset of config.Manycore.
+type HWInfo struct {
+	Cores         int `json:"cores"`
+	MeshWidth     int `json:"mesh_width"`
+	MeshHeight    int `json:"mesh_height"`
+	LLCBanks      int `json:"llc_banks"`
+	LLCBytes      int `json:"llc_bytes"`
+	CacheLine     int `json:"cache_line_bytes"`
+	NetWidthWords int `json:"net_width_words"`
+	DRAMBandwidth int `json:"dram_bandwidth"` // bytes per cycle
+	DRAMLatency   int `json:"dram_latency"`
+}
+
+// LLCReport is the aggregate cache activity plus the derived miss ratio.
+type LLCReport struct {
+	trace.LLCCounters
+	StoreHits   int64   `json:"store_hits"`
+	StoreMisses int64   `json:"store_misses"`
+	MissRate    float64 `json:"miss_rate"`
+}
+
+// DramReport is the DRAM channel activity plus its duty cycle.
+type DramReport struct {
+	trace.DramCounters
+	BusyFrac float64 `json:"busy_frac"`
+}
+
+// NocReport is the mesh activity split by plane, plus the fault-retry
+// protocol counters.
+type NocReport struct {
+	trace.NocCounters
+	// HopsPerCycle is (req+resp hops) / cycles: average link-traversals
+	// demanded per cycle across the whole fabric.
+	HopsPerCycle float64 `json:"hops_per_cycle"`
+	// HotReqHops/HotRespHops are the busiest single link's traversal
+	// counts; HotLinkBusyFrac is the hotter of the two divided by cycles —
+	// that link's duty cycle (a link moves at most one flit per cycle), the
+	// mesh's analogue of the DRAM channel's busy fraction.
+	HotReqHops      int64   `json:"hot_req_hops"`
+	HotRespHops     int64   `json:"hot_resp_hops"`
+	HotLinkBusyFrac float64 `json:"hot_link_busy_frac"`
+}
+
+// FaultReport is the injected-fault footprint (all zero on clean runs).
+type FaultReport struct {
+	SpadFlipsFrame int64 `json:"spad_flips_frame"`
+	SpadFlipsData  int64 `json:"spad_flips_data"`
+}
+
+// Report is the canonical per-run report.json. Counter groups reuse the
+// telemetry sampler's types so the report, the JSONL windows, and the
+// end-of-run stats all speak the same field names.
+type Report struct {
+	Schema int `json:"schema"`
+	Meta
+
+	Cycles int64 `json:"cycles"`
+	Instrs int64 `json:"instrs"`
+
+	HW HWInfo `json:"hw"`
+
+	// Roles maps role name -> summed CPI-stack cycles; RolePop maps role
+	// name -> how many tiles hold that role (for per-core normalization).
+	Roles   map[string]trace.RoleCounters `json:"roles"`
+	RolePop map[string]int                `json:"role_pop"`
+
+	Frames trace.FrameCounters  `json:"frames"`
+	LLC    LLCReport            `json:"llc"`
+	Dram   DramReport           `json:"dram"`
+	Noc    NocReport            `json:"noc"`
+	Engine trace.EngineCounters `json:"engine"`
+	Faults FaultReport          `json:"faults"`
+
+	Bottleneck Verdict `json:"bottleneck"`
+}
+
+// New builds a report from a finished run's statistics. groups is the
+// run's vector-group layout (nil or empty for pure-MIMD configurations);
+// it determines the role map exactly as the machine's telemetry does.
+func New(meta Meta, st *stats.Machine, groups []*config.Group, hw config.Manycore) *Report {
+	r := &Report{
+		Schema: SchemaVersion,
+		Meta:   meta,
+		Cycles: st.Cycles,
+		Instrs: st.TotalInstrs(),
+		HW: HWInfo{
+			Cores: hw.Cores, MeshWidth: hw.MeshWidth, MeshHeight: hw.MeshHeight,
+			LLCBanks: hw.LLCBanks, LLCBytes: hw.LLCBytes, CacheLine: hw.CacheLineBytes,
+			NetWidthWords: hw.NetWidthWords,
+			DRAMBandwidth: hw.DRAMBandwidth, DRAMLatency: hw.DRAMLatency,
+		},
+		Roles:   make(map[string]trace.RoleCounters, trace.NumRoles),
+		RolePop: make(map[string]int, trace.NumRoles),
+	}
+
+	// Static tile -> role map, mirroring machine.buildRoles: group scalars
+	// and expanders, remaining lanes, everything else MIMD.
+	roleOf := make([]trace.Role, len(st.Cores))
+	for i := range roleOf {
+		roleOf[i] = trace.RoleMimd
+	}
+	for _, g := range groups {
+		if g.Scalar < len(roleOf) {
+			roleOf[g.Scalar] = trace.RoleScalar
+		}
+		for _, t := range g.Lanes {
+			if t < len(roleOf) {
+				roleOf[t] = trace.RoleLane
+			}
+		}
+		if g.Expander < len(roleOf) {
+			roleOf[g.Expander] = trace.RoleExpander
+		}
+	}
+	var sums [trace.NumRoles]trace.RoleCounters
+	var pops [trace.NumRoles]int
+	for t := range st.Cores {
+		c := &st.Cores[t]
+		rc := &sums[roleOf[t]]
+		pops[roleOf[t]]++
+		rc.Issued += c.Issued()
+		rc.Frame += c.Stall(stats.StallFrame)
+		rc.Inet += c.Stall(stats.StallInet)
+		rc.Backpressure += c.Stall(stats.StallBackpressure)
+		rc.Other += c.Stall(stats.StallOther)
+		rc.Instrs += c.Instrs
+
+		r.Frames.Consumed += c.FramesConsumed
+		r.Frames.Poisons += c.FramePoisons
+		r.Frames.Replays += c.FrameReplays
+		r.Frames.Retries += c.ReplayRetries
+		r.Frames.StaleDrops += c.ReplayStaleDrops
+	}
+	for role := trace.Role(0); role < trace.NumRoles; role++ {
+		if pops[role] > 0 {
+			r.Roles[trace.RoleNames[role]] = sums[role]
+			r.RolePop[trace.RoleNames[role]] = pops[role]
+		}
+	}
+
+	for b := range st.LLCs {
+		l := &st.LLCs[b]
+		r.LLC.Accesses += l.Accesses
+		r.LLC.Misses += l.Misses
+		r.LLC.WideReqs += l.WideReqs
+		r.LLC.RespWords += l.RespWords
+		r.LLC.Writebacks += l.Writebacks
+		r.LLC.StoreHits += l.StoreHits
+		r.LLC.StoreMisses += l.StoreMisses
+	}
+	r.LLC.MissRate = st.LLCMissRate()
+
+	r.Dram.Reads = st.DramReads
+	r.Dram.Writes = st.DramWrites
+	r.Dram.Busy = st.DramBusy
+	if st.Cycles > 0 {
+		r.Dram.BusyFrac = float64(st.DramBusy) / float64(st.Cycles)
+	}
+
+	r.Noc.FlitsReq = st.NocReqFlits
+	r.Noc.HopsReq = st.NocReqHops
+	r.Noc.FlitsResp = st.NocRespFlits
+	r.Noc.HopsResp = st.NocRespHops
+	r.Noc.Retrans = st.NocRetrans
+	r.Noc.Dropped = st.NocDropped
+	r.Noc.Corrupt = st.NocCorrupt
+	r.Noc.RemoteStores = st.RemoteStores
+	r.Noc.HotReqHops = st.NocReqHotHops
+	r.Noc.HotRespHops = st.NocRespHotHops
+	if st.Cycles > 0 {
+		r.Noc.HopsPerCycle = float64(st.NocHops) / float64(st.Cycles)
+		hot := st.NocReqHotHops
+		if st.NocRespHotHops > hot {
+			hot = st.NocRespHotHops
+		}
+		r.Noc.HotLinkBusyFrac = float64(hot) / float64(st.Cycles)
+	}
+
+	r.Engine.FastForwards = st.FastForwards
+	r.Engine.SkippedCycles = st.SkippedCycles
+	r.Engine.Checkpoints = st.Checkpoints
+
+	r.Faults.SpadFlipsFrame = st.SpadFlipsFrame
+	r.Faults.SpadFlipsData = st.SpadFlipsData
+
+	r.Bottleneck = Classify(r)
+	return r
+}
+
+// PacingRole returns the role whose stall profile paces the run: the
+// expander for vector configurations (the paper's Figure 13 methodology),
+// MIMD cores otherwise, falling back to whichever role has cores.
+func (r *Report) PacingRole() string {
+	for _, name := range []string{
+		trace.RoleNames[trace.RoleExpander],
+		trace.RoleNames[trace.RoleMimd],
+		trace.RoleNames[trace.RoleLane],
+		trace.RoleNames[trace.RoleScalar],
+	} {
+		if r.RolePop[name] > 0 {
+			return name
+		}
+	}
+	return ""
+}
+
+// WriteFile serializes the report (indented, trailing newline) to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	return nil
+}
+
+// Write serializes the report to w.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("analyze: encode report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport parses one report.json and validates its schema version.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("analyze: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("analyze: %s: schema %d, this tool reads schema %d",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Name renders the report's identity for human output.
+func (r *Report) Name() string {
+	n := r.Bench + "/" + r.Config
+	if r.Mod != "" {
+		n += "+" + r.Mod
+	}
+	if r.Scale != "" {
+		n += " (" + r.Scale + ")"
+	}
+	return n
+}
+
+// roleNamesSorted returns the report's role keys in canonical order
+// (scalar, expander, lane, mimd — the trace package's order) so rendered
+// output is deterministic.
+func (r *Report) roleNamesSorted() []string {
+	var out []string
+	for role := trace.Role(0); role < trace.NumRoles; role++ {
+		if _, ok := r.Roles[trace.RoleNames[role]]; ok {
+			out = append(out, trace.RoleNames[role])
+		}
+	}
+	// Defensive: include any unknown keys a future schema might add.
+	var extra []string
+	for k := range r.Roles {
+		found := false
+		for _, v := range out {
+			if v == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

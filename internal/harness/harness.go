@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rockcress/internal/analyze"
 	"rockcress/internal/config"
 	"rockcress/internal/kernels"
 	"rockcress/internal/trace"
@@ -47,6 +48,12 @@ type Options struct {
 	// SampleEvery is the telemetry window size in cycles (default
 	// trace.DefaultSampleEvery).
 	SampleEvery int64
+
+	// ReportDir, when set, writes one canonical per-run report
+	// (rockdoctor's input format) per cache key into the directory. GPU
+	// runs have no machine counters and are skipped. Like telemetry,
+	// reports only read finished-run counters: cycle counts are unchanged.
+	ReportDir string
 }
 
 // Runner executes and caches simulations.
@@ -156,14 +163,37 @@ func sanitizeKey(key string) string {
 }
 
 // execute runs one simulation, attaching a private telemetry sink when
-// TelemetryDir is set. GPU runs have no machine counters and dump nothing.
-// Safe under the bounded prewarm pool: every call owns its sink and file.
-// Duplicate executions of one key (the first-wins cache keeps only one
-// result) write byte-identical telemetry, so the shared path stays correct.
-func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
+// TelemetryDir is set and writing a per-run report when ReportDir is set.
+// GPU runs have no machine counters and dump neither. Safe under the
+// bounded prewarm pool: every call owns its sink and files. Duplicate
+// executions of one key (the first-wins cache keeps only one result) write
+// byte-identical artifacts, so the shared path stays correct. A failed
+// telemetry flush or report write fails the run: a silently truncated
+// artifact would poison whatever reads it later.
+func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key, modName string) (*kernels.Result, error) {
+	var res *kernels.Result
+	var err error
 	if r.opts.TelemetryDir == "" || sw.Style == config.StyleGPU {
-		return kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+		res, err = kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+	} else {
+		res, err = r.executeTelemetry(bench, sw, hw, key)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.ReportDir != "" && res.GPU == nil {
+		if err := os.MkdirAll(r.opts.ReportDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: report dir: %w", err)
+		}
+		rep := r.report(res, modName)
+		if err := rep.WriteFile(filepath.Join(r.opts.ReportDir, sanitizeKey(key)+".report.json")); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (r *Runner) executeTelemetry(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
 	if err := os.MkdirAll(r.opts.TelemetryDir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: telemetry dir: %w", err)
 	}
@@ -171,11 +201,32 @@ func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.
 	if err != nil {
 		return nil, fmt.Errorf("harness: telemetry file: %w", err)
 	}
-	defer f.Close()
 	sink := trace.NewSink(trace.Config{SampleTo: f, SampleEvery: r.opts.SampleEvery})
-	defer sink.Close()
-	return kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
+	res, err := kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
 		kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Trace: sink})
+	// Close order: the sink first (it surfaces sampler write errors the hot
+	// path swallowed mid-run), then the file. The simulation error wins;
+	// after that the first artifact error fails the run.
+	cerr := sink.Close()
+	ferr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if ferr != nil {
+		return nil, fmt.Errorf("harness: telemetry file: %w", ferr)
+	}
+	return res, nil
+}
+
+// report builds the canonical per-run report for one cached result.
+func (r *Runner) report(res *kernels.Result, modName string) *analyze.Report {
+	return analyze.New(analyze.Meta{
+		Bench: res.Bench, Config: res.Config,
+		Scale: r.opts.Scale.String(), Mod: modName,
+	}, res.Stats, res.Groups, res.HW)
 }
 
 // Run executes one benchmark under one configuration (with an optional
@@ -186,7 +237,7 @@ func (r *Runner) Run(bench kernels.Benchmark, sw config.Software, mod *HWMod) (*
 		return res, nil
 	}
 	start := time.Now()
-	res, err := r.execute(bench, sw, hw, key)
+	res, err := r.execute(bench, sw, hw, key, modName)
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +338,7 @@ func (r *Runner) prewarm(reqs []runReq) error {
 				}
 				j := jobs[i]
 				start := time.Now()
-				res, err := r.execute(j.bench, j.sw, j.hw, j.key)
+				res, err := r.execute(j.bench, j.sw, j.hw, j.key, j.modName)
 				outs[i] = outcome{res: res, err: err, secs: time.Since(start).Seconds()}
 				close(done[i])
 			}

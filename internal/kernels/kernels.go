@@ -31,6 +31,20 @@ func (s Scale) String() string {
 	return fmt.Sprintf("scale(%d)", int(s))
 }
 
+// ParseScale maps a scale name back to its Scale. The CLIs and the
+// perf-baseline gate share it so the accepted names stay in one place.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (tiny, small, full)", s)
+}
+
 // Params sizes one benchmark run. Benchmarks interpret the fields they use.
 type Params struct {
 	N, M, K int // primary dimensions

@@ -321,9 +321,12 @@ func New(p Params) (*Machine, error) {
 		}
 		m.emitTraceMeta()
 	}
+	// Per-link hop accounting is always on: the per-hop branch exists
+	// either way, and the hottest link's duty cycle feeds the end-of-run
+	// bottleneck report (rockdoctor), not just windowed telemetry.
+	m.meshReq.EnableLinkHops()
+	m.meshResp.EnableLinkHops()
 	if m.sampler != nil {
-		m.meshReq.EnableLinkHops()
-		m.meshResp.EnableLinkHops()
 		m.sampler.SetLinkLabels(m.meshReq.LinkLabels())
 		// Multi-attempt fault runs reuse one sink across machines; the window
 		// series restarts from cycle 0 with each new machine.
@@ -945,12 +948,28 @@ func (m *Machine) collect() {
 	st.Cycles = m.now
 	st.NocFlits = m.meshReq.Flits + m.meshResp.Flits
 	st.NocHops = m.meshReq.Hops + m.meshResp.Hops
+	st.NocReqFlits = m.meshReq.Flits
+	st.NocReqHops = m.meshReq.Hops
+	st.NocRespFlits = m.meshResp.Flits
+	st.NocRespHops = m.meshResp.Hops
 	st.DramReads = m.dram.Reads
 	st.DramWrites = m.dram.Writes
 	st.DramBusy = m.dram.BusyCycles
 	st.NocRetrans = m.meshReq.Retransmits + m.meshResp.Retransmits
 	st.NocDropped = m.meshReq.Dropped + m.meshResp.Dropped
 	st.NocCorrupt = m.meshReq.Corrupt + m.meshResp.Corrupt
+	st.NocReqHotHops = maxOf(m.meshReq.LinkHops())
+	st.NocRespHotHops = maxOf(m.meshResp.LinkHops())
+}
+
+func maxOf(vs []int64) int64 {
+	var m int64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // debugState summarizes non-halted cores for deadlock diagnostics.

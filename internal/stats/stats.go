@@ -123,12 +123,25 @@ type Machine struct {
 	Cores  []Core
 	LLCs   []LLC
 
-	NocFlits     int64
-	NocHops      int64
-	DramReads    int64 // lines read from DRAM
-	DramWrites   int64
-	DramBusy     int64 // cycles the DRAM channel was occupied
-	RemoteStores int64
+	NocFlits int64
+	NocHops  int64
+	// Per-plane splits of the totals above: the request plane carries
+	// memory requests, the response plane carries load responses and
+	// remote scratchpad stores. rockdoctor's NoC attribution needs the
+	// split; NocFlits/NocHops stay as the plane sums.
+	NocReqFlits  int64
+	NocReqHops   int64
+	NocRespFlits int64
+	NocRespHops  int64
+	// Hottest single link's traversal count per plane: divided by Cycles
+	// this is that link's duty cycle, the mesh's analogue of DramBusy —
+	// the saturation signal rockdoctor's NoC-limited rule reads.
+	NocReqHotHops  int64
+	NocRespHotHops int64
+	DramReads      int64 // lines read from DRAM
+	DramWrites     int64
+	DramBusy       int64 // cycles the DRAM channel was occupied
+	RemoteStores   int64
 
 	// Fault-injection counters (zero on a fault-free run), summed over both
 	// mesh planes.

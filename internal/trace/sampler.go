@@ -116,7 +116,7 @@ type EngineCounters struct {
 
 func (a EngineCounters) sub(b EngineCounters) EngineCounters {
 	return EngineCounters{
-		FastForwards: a.FastForwards - b.FastForwards,
+		FastForwards:  a.FastForwards - b.FastForwards,
 		SkippedCycles: a.SkippedCycles - b.SkippedCycles,
 		Checkpoints:   a.Checkpoints - b.Checkpoints,
 	}
