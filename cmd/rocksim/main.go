@@ -124,6 +124,9 @@ func main() {
 	}
 	var sw config.Software
 	if *cfgName == "GPU" {
+		if *reportOut != "" {
+			fatal(fmt.Errorf("-report needs machine counters; the GPU model has none"))
+		}
 		sw = kernels.GPUSoftware()
 	} else if sw, err = config.Preset(*cfgName); err != nil {
 		fatal(err)
@@ -154,9 +157,6 @@ func main() {
 			g.Cycles, g.Wavefronts, g.ComputeOps, g.LoadOps, g.StoreOps)
 		fmt.Printf("lines: %d (tcp %d, tcc %d, llc %d, dram %d)\n",
 			g.Lines, g.TCPHits, g.TCCHits, g.LLCHits, g.DramLines)
-		if *reportOut != "" {
-			fatal(fmt.Errorf("-report needs machine counters; the GPU model has none"))
-		}
 		return
 	}
 	fmt.Print(res.Stats.Summary())

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -42,9 +43,16 @@ func distOf(samples []float64) LatencyDist {
 		return LatencyDist{}
 	}
 	sort.Float64s(samples)
+	// Interpolate between neighbor ranks: truncating the index would
+	// under-report the tail on small populations (n=10 would label ~p89
+	// as p99).
 	pick := func(q float64) float64 {
-		i := int(q * float64(len(samples)-1))
-		return samples[i]
+		pos := q * float64(len(samples)-1)
+		lo := int(math.Floor(pos))
+		if lo >= len(samples)-1 {
+			return samples[len(samples)-1]
+		}
+		return samples[lo] + (pos-float64(lo))*(samples[lo+1]-samples[lo])
 	}
 	var sum float64
 	for _, v := range samples {

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"rockcress/internal/analyze"
 	"rockcress/internal/kernels"
@@ -103,12 +104,29 @@ func (r *Runner) WriteBaseline(path string) error {
 }
 
 // Check re-runs every baseline entry and demands bit-equal cycle counts.
+// The baseline must cover the full expected sweep (every PolyBench kernel
+// under every BaselineConfigs entry) — missing entries fail the gate.
 // Each drifted run prints rockdoctor's full diff attribution; the returned
 // error (nil when everything matches) summarizes how many runs drifted.
 // The runner must have been built at the baseline's scale.
 func (r *Runner) Check(b *Baseline, out io.Writer) error {
 	if got := r.opts.Scale.String(); got != b.Scale {
 		return fmt.Errorf("harness: baseline is %s scale, runner is %s", b.Scale, got)
+	}
+	// The gate only replays what the file contains, so a stale or
+	// hand-edited baseline with entries removed would silently stop
+	// covering those runs. Demand the full expected sweep.
+	var missing []string
+	for _, q := range r.baselineReqs() {
+		k := baselineKey(q.bench.Info().Name, q.cfg)
+		if _, ok := b.Runs[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("harness: baseline is missing %d sweep runs (%s); regenerate with -update-baseline",
+			len(missing), strings.Join(missing, ", "))
 	}
 	keys := make([]string, 0, len(b.Runs))
 	for k := range b.Runs {

@@ -101,6 +101,19 @@ func TestCheckRejectsWrongScale(t *testing.T) {
 	}
 }
 
+// TestCheckRejectsIncompleteBaseline pins the sweep-coverage guard: a
+// baseline with entries removed must fail the gate rather than silently
+// checking fewer runs.
+func TestCheckRejectsIncompleteBaseline(t *testing.T) {
+	b := &Baseline{Schema: analyze.SchemaVersion, Scale: "tiny",
+		Runs: map[string]*analyze.Report{"gemm/V4": {Schema: analyze.SchemaVersion}}}
+	err := tinyRunner(t, "").Check(b, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "missing") ||
+		!strings.Contains(err.Error(), "mvt/V16") {
+		t.Fatalf("want missing-runs error naming absent entries, got %v", err)
+	}
+}
+
 // TestTelemetryAndReportsDoNotChangeCycles is the do-no-harm guarantee:
 // attaching report emission and telemetry to a run must leave its cycle
 // count bit-identical to a bare run.
