@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rockcress/internal/asm"
 	"rockcress/internal/config"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/machine"
 )
 
@@ -24,6 +27,7 @@ func main() {
 		disFlag = flag.Bool("dis", false, "print the round-tripped disassembly")
 		runFlag = flag.Bool("run", false, "run the program on a default fabric")
 		budget  = flag.Int64("max-cycles", 50_000_000, "simulation budget for -run")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for -run (0 = unlimited)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -43,7 +47,15 @@ func main() {
 		fmt.Print(asm.Disassemble(prog))
 	}
 	if *runFlag {
-		m, err := machine.New(machine.Params{Cfg: config.ManycoreDefault(), Prog: prog})
+		// SIGINT/SIGTERM abort the run at its next watchdog checkpoint.
+		ctx, stop := lifecycle.WithSignals(context.Background())
+		defer stop()
+		var deadline time.Time
+		if *timeout > 0 {
+			deadline = time.Now().Add(*timeout)
+		}
+		m, err := machine.New(machine.Params{Cfg: config.ManycoreDefault(), Prog: prog,
+			Ctx: ctx, WallDeadline: deadline})
 		if err != nil {
 			fatal(err)
 		}
@@ -57,5 +69,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rockasm:", err)
+	if lifecycle.Interrupted(err) {
+		os.Exit(lifecycle.ExitCodeInterrupted)
+	}
 	os.Exit(1)
 }

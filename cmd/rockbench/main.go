@@ -26,9 +26,18 @@
 // fails with per-run diff attribution unless every cycle count is
 // bit-equal. -update-baseline re-records the file after an intentional
 // performance change.
+//
+// Lifecycle: SIGINT/SIGTERM cancel the sweep cleanly (in-flight simulations
+// abort at their next watchdog checkpoint, completed cells are kept, exit
+// status 130); -timeout D bounds each simulation's wall-clock time;
+// -journal FILE records every completed cell crash-safely, and -resume
+// reloads it so a rerun skips the completed cells and produces final tables
+// byte-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,8 +47,13 @@ import (
 
 	"rockcress/internal/harness"
 	"rockcress/internal/kernels"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/trace"
 )
+
+// journalHint is printed on an interrupted exit so the user knows the sweep
+// is resumable.
+var journalHint string
 
 func main() {
 	var (
@@ -56,8 +70,16 @@ func main() {
 		checkPath  = flag.String("check", "", "perf gate: verify cycle counts against this baseline file and exit nonzero on drift")
 		updatePath = flag.String("update-baseline", "", "re-record the baseline file at -scale")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the sweep to this file")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited); a run exceeding it fails its sweep cell")
+		jrnlPath   = flag.String("journal", "", "record completed sweep cells crash-safely into this file")
+		resume     = flag.Bool("resume", false, "reload -journal and skip its completed cells (final tables are byte-identical to an uninterrupted run)")
 	)
 	flag.Parse()
+
+	// First SIGINT/SIGTERM cancels the sweep at the next watchdog
+	// checkpoints; a second signal kills the process the OS way.
+	ctx, stop := lifecycle.WithSignals(context.Background())
+	defer stop()
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -79,11 +101,56 @@ func main() {
 	if *benchCSV != "" {
 		benches = strings.Split(*benchCSV, ",")
 	}
+
+	// The journal pins the sweep definition: resuming under a different
+	// selector or scale would silently skip the wrong cells, so the meta
+	// check refuses it. Cell results are fsynced as they land; a crash or
+	// interrupt anywhere leaves a replayable prefix.
+	var (
+		journal *lifecycle.Journal
+		seed    []lifecycle.JournalEntry
+	)
+	if *resume && *jrnlPath == "" {
+		fatal(errors.New("-resume requires -journal"))
+	}
+	if *jrnlPath != "" {
+		meta := map[string]string{"scale": *scaleName, "bench": *benchCSV}
+		if *resume {
+			journal, seed, err = lifecycle.ResumeJournal(*jrnlPath, meta)
+		} else {
+			journal, err = lifecycle.CreateJournal(*jrnlPath, meta)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		// Close runs only on the clean-exit path (fatal skips defers, but
+		// every Record is already fsynced); it surfaces any latched append
+		// error so a silently unrecordable sweep cannot look resumable.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "rockbench: journal:", cerr)
+				os.Exit(1)
+			}
+		}()
+		journalHint = fmt.Sprintf("journal saved: rerun with -journal %s -resume to continue", *jrnlPath)
+	}
+
 	newRunner := func(s kernels.Scale) *harness.Runner {
-		return harness.New(harness.Options{
+		r := harness.New(harness.Options{
 			Scale: s, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
 			TelemetryDir: *telemDir, SampleEvery: *sampleN, ReportDir: *reportDir,
+			Ctx: ctx, WallBudget: *timeout, Journal: journal,
 		})
+		if len(seed) > 0 {
+			n, err := r.SeedJournal(seed)
+			if err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Printf("# resumed %d completed cells from %s\n", n, *jrnlPath)
+			}
+		}
+		return r
 	}
 
 	if *checkPath != "" {
@@ -182,5 +249,11 @@ func printTable(name string, scale kernels.Scale) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rockbench:", err)
+	if lifecycle.Interrupted(err) {
+		if journalHint != "" {
+			fmt.Fprintln(os.Stderr, "rockbench:", journalHint)
+		}
+		os.Exit(lifecycle.ExitCodeInterrupted)
+	}
 	os.Exit(1)
 }

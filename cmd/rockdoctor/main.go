@@ -21,10 +21,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"rockcress/internal/analyze"
+	"rockcress/internal/lifecycle"
 )
 
 func main() {
@@ -32,6 +34,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// rockdoctor only reads artifacts, so commands finish fast; the signal
+	// context still gives a clean 130 exit if one lands mid-read (a second
+	// signal falls back to the OS default and kills the process).
+	ctx, stop := lifecycle.WithSignals(context.Background())
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -51,8 +58,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err == nil {
+		err = ctx.Err()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rockdoctor:", err)
+		if lifecycle.Interrupted(err) {
+			os.Exit(lifecycle.ExitCodeInterrupted)
+		}
 		os.Exit(1)
 	}
 }
@@ -103,11 +116,12 @@ func traceCmd(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: rockdoctor trace trace.json")
 	}
-	evs, dropped, err := analyze.ReadTrace(args[0])
+	tf, err := analyze.ReadTraceFile(args[0])
 	if err != nil {
 		return err
 	}
-	st := analyze.AnalyzeTrace(evs, dropped)
+	st := analyze.AnalyzeTrace(tf.Events, tf.Dropped)
+	st.Truncated = tf.Truncated
 	st.Render(os.Stdout)
 	return nil
 }
@@ -116,12 +130,15 @@ func timeline(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: rockdoctor timeline telemetry.jsonl")
 	}
-	ws, err := analyze.ReadWindows(args[0])
+	ws, truncated, err := analyze.ReadWindowsFile(args[0])
 	if err != nil {
 		return err
 	}
 	if len(ws) == 0 {
 		return fmt.Errorf("%s: no telemetry windows", args[0])
+	}
+	if truncated {
+		fmt.Println("WARNING: run was interrupted; this timeline covers a prefix of the run")
 	}
 	analyze.RenderTimeline(os.Stdout, analyze.Timeline(ws))
 	return nil

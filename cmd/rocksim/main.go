@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,9 +39,14 @@ import (
 	"rockcress/internal/config"
 	"rockcress/internal/fault"
 	"rockcress/internal/kernels"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/sim"
 	"rockcress/internal/trace"
 )
+
+// failSink lets fatal flush a truncation-marked trace/telemetry artifact
+// instead of leaving a torn or empty file behind an aborted run.
+var failSink *trace.Sink
 
 func main() {
 	var (
@@ -59,12 +65,21 @@ func main() {
 		sampleN   = flag.Int64("sample", trace.DefaultSampleEvery, "telemetry window size in cycles")
 		profEng   = flag.Bool("prof", false, "print the engine's per-stage wall-time self-profile")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeded runs fail with a diagnostic snapshot")
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run at its next watchdog checkpoint; the
+	// trace/telemetry sink is still flushed, truncation-marked, on the way
+	// out. A second signal kills the process immediately.
+	ctx, stop := lifecycle.WithSignals(context.Background())
+	defer stop()
+
 	opts := kernels.ExecOpts{
-		MaxCycles: *maxCycles,
-		Workers:   *workers,
+		MaxCycles:  *maxCycles,
+		Workers:    *workers,
+		Ctx:        ctx,
+		WallBudget: *timeout,
 	}
 	// ROCKTRACE: any non-empty value traces barrier releases; a parseable
 	// numeric value additionally watches that global word address. Parsed
@@ -96,6 +111,7 @@ func main() {
 		}
 		sink = trace.NewSink(cfg)
 		opts.Trace = sink
+		failSink = sink
 	}
 	var prof *sim.Prof
 	if *profEng {
@@ -173,8 +189,8 @@ func main() {
 // when the event ring overwrote anything), and prints the engine
 // self-profile. Any report or flush failure exits nonzero: a silently
 // truncated artifact would poison whatever reads it later. fatal paths
-// exit without flushing — a partial trace of a failed run is not worth
-// masking the error for.
+// flush too, but truncation-marked (see fatal), so an aborted run leaves a
+// valid, honestly-labeled partial artifact rather than a torn file.
 func finish(reportPath string, res *kernels.Result, scaleName string, sink *trace.Sink, prof *sim.Prof) {
 	failed := false
 	if reportPath != "" {
@@ -275,5 +291,22 @@ func sumMts(res *kernels.Result) int64 {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rocksim:", err)
+	if failSink != nil {
+		// The machine's own flush already marked truncation for errors inside
+		// a run; marking again here (idempotent) also covers failures before
+		// or between runs, so every aborted artifact carries the marker.
+		if rec := failSink.Recorder(); rec != nil {
+			rec.MarkTruncated()
+		}
+		if smp := failSink.Sampler(); smp != nil {
+			smp.MarkTruncated()
+		}
+		if cerr := failSink.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "rocksim:", cerr)
+		}
+	}
+	if lifecycle.Interrupted(err) {
+		os.Exit(lifecycle.ExitCodeInterrupted)
+	}
 	os.Exit(1)
 }

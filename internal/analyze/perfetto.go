@@ -25,7 +25,17 @@ type traceDoc struct {
 	TraceEvents []json.RawMessage `json:"traceEvents"`
 	OtherData   struct {
 		DroppedEvents int64 `json:"droppedEvents"`
+		Truncated     bool  `json:"truncated"`
 	} `json:"otherData"`
+}
+
+// TraceFile is a parsed event-trace file: its counter events plus the
+// provenance the recorder stamped on it (ring drops, and whether the run
+// was cut short by a cancel, wall-budget expiry, or fault).
+type TraceFile struct {
+	Events    []TraceEvent
+	Dropped   int64
+	Truncated bool
 }
 
 // LatencyDist summarizes one latency population in cycles.
@@ -73,7 +83,11 @@ func distOf(samples []float64) LatencyDist {
 type TraceStats struct {
 	Events  int64 `json:"events"`
 	Dropped int64 `json:"dropped"`
-	SpanTs  int64 `json:"span_ts"` // last event end - first event start, cycles
+	// Truncated marks statistics computed from a trace whose run was cut
+	// short (cancel, wall budget, or fault); they describe a prefix of the
+	// run, not the whole run.
+	Truncated bool  `json:"truncated,omitempty"`
+	SpanTs    int64 `json:"span_ts"` // last event end - first event start, cycles
 
 	// IssueToFanout: vload request injected at its source tile until an LLC
 	// bank accepted it (request-plane traversal + bank admission).
@@ -103,15 +117,31 @@ type TraceStats struct {
 
 // ReadTrace parses a Chrome trace-event JSON file the Recorder wrote.
 func ReadTrace(path string) ([]TraceEvent, int64, error) {
+	tf, err := ReadTraceFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tf.Events, tf.Dropped, nil
+}
+
+// ReadTraceFile parses a Chrome trace-event JSON file the Recorder wrote,
+// including its truncation marker. An interrupted run flushes a valid,
+// truncation-marked document, so readers report "partial" rather than
+// failing on it.
+func ReadTraceFile(path string) (*TraceFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("analyze: %w", err)
+		return nil, fmt.Errorf("analyze: %w", err)
 	}
 	var doc traceDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, 0, fmt.Errorf("analyze: %s: %w", path, err)
+		return nil, fmt.Errorf("analyze: %s: %w", path, err)
 	}
-	evs := make([]TraceEvent, 0, len(doc.TraceEvents))
+	tf := &TraceFile{
+		Events:    make([]TraceEvent, 0, len(doc.TraceEvents)),
+		Dropped:   doc.OtherData.DroppedEvents,
+		Truncated: doc.OtherData.Truncated,
+	}
 	for _, raw := range doc.TraceEvents {
 		var e TraceEvent
 		if err := json.Unmarshal(raw, &e); err != nil {
@@ -122,9 +152,9 @@ func ReadTrace(path string) ([]TraceEvent, int64, error) {
 		if e.Ph == "M" {
 			continue
 		}
-		evs = append(evs, e)
+		tf.Events = append(tf.Events, e)
 	}
-	return evs, doc.OtherData.DroppedEvents, nil
+	return tf, nil
 }
 
 type slotKey struct {
@@ -252,6 +282,9 @@ func (t *TraceStats) Render(w io.Writer) {
 		fmt.Fprintf(w, " (%d fast-forwarded)", t.FastForwarded)
 	}
 	fmt.Fprintln(w)
+	if t.Truncated {
+		fmt.Fprintln(w, "WARNING: run was interrupted; this trace covers a prefix of the run, not its whole execution")
+	}
 	if t.Dropped > 0 {
 		fmt.Fprintf(w, "WARNING: %d events were dropped by the ring buffer; statistics cover the tail of the run only\n", t.Dropped)
 	}

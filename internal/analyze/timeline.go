@@ -22,31 +22,50 @@ type Phase struct {
 
 // ReadWindows parses a JSONL telemetry file the sampler wrote.
 func ReadWindows(path string) ([]trace.Window, error) {
+	ws, _, err := ReadWindowsFile(path)
+	return ws, err
+}
+
+// ReadWindowsFile parses a JSONL telemetry file and reports whether it is
+// partial: either a window carries the sampler's truncation marker (the run
+// was interrupted but flushed cleanly) or the final line is torn (the
+// process died mid-write). A torn line anywhere else is still corruption
+// and errors; a torn tail costs at most one window.
+func ReadWindowsFile(path string) (ws []trace.Window, truncated bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("analyze: %w", err)
+		return nil, false, fmt.Errorf("analyze: %w", err)
 	}
 	defer f.Close()
-	var out []trace.Window
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
+	line, tornAt := 0, 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if tornAt > 0 {
+			return nil, false, fmt.Errorf("analyze: %s:%d: corrupt window (not the final line)", path, tornAt)
+		}
 		var w trace.Window
 		if err := json.Unmarshal([]byte(text), &w); err != nil {
-			return nil, fmt.Errorf("analyze: %s:%d: %w", path, line, err)
+			tornAt = line
+			continue
 		}
-		out = append(out, w)
+		if w.Truncated {
+			truncated = true
+		}
+		ws = append(ws, w)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("analyze: %s: %w", path, err)
+		return nil, false, fmt.Errorf("analyze: %s: %w", path, err)
 	}
-	return out, nil
+	if tornAt > 0 {
+		truncated = true
+	}
+	return ws, truncated, nil
 }
 
 // Timeline classifies every window and merges consecutive equal labels

@@ -101,6 +101,7 @@ type Core struct {
 	ticket  int64
 	halted  bool
 	dead    bool // killed by fault injection (halted is also set)
+	blowUp  bool // armed injected panic; fires on the next Tick
 	predOn  bool
 	mtCount int64
 
@@ -148,14 +149,19 @@ type lqEntry struct {
 
 // New builds a core. group/laneIdx describe the tile's static place in the
 // machine's group layout (lane -1 when the tile is the scalar core or in no
-// group); inQ and outQs are its inet wiring.
+// group); inQ and outQs are its inet wiring. The only failure is a bad
+// icache geometry, which is configuration input.
 func New(id int, cfg config.Manycore, prog *isa.Program, env Env, st *stats.Core,
-	spad *mem.Scratchpad, group *config.Group, laneIdx int, inQ *inet.Queue, outQs []*inet.Queue) *Core {
+	spad *mem.Scratchpad, group *config.Group, laneIdx int, inQ *inet.Queue, outQs []*inet.Queue) (*Core, error) {
+	ic, err := NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.CacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		ID: id, cfg: cfg, prog: prog, env: env, st: st, spad: spad,
 		group: group, laneIdx: laneIdx, inQ: inQ, outQs: outQs,
 		predOn: true,
-		icache: NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.CacheLineBytes),
+		icache: ic,
 		lq:     make([]lqEntry, cfg.LoadQueueEntries),
 	}
 	for i := range c.vecRegs {
@@ -166,7 +172,7 @@ func New(id int, cfg config.Manycore, prog *isa.Program, env Env, st *stats.Core
 	} else {
 		st.Hop = -1
 	}
-	return c
+	return c, nil
 }
 
 // Halted reports whether the core has executed halt.
@@ -277,8 +283,19 @@ func (c *Core) InetHighWater() int {
 	return c.inQ.HighWater()
 }
 
+// ArmPanic makes the core's next Tick panic — a simulated software defect
+// (fault.PanicTile). It fires inside the engine's parallel core phase, the
+// same place a real bug would, so the chaos harness exercises the full
+// crash-containment path: worker recover, stack capture, RunError
+// attribution.
+func (c *Core) ArmPanic() { c.blowUp = true }
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(now int64) {
+	if c.blowUp {
+		c.blowUp = false
+		panic(fmt.Sprintf("cpu: injected panic on tile %d at cycle %d", c.ID, now))
+	}
 	if c.issueSlot == nil {
 		c.tick(now)
 		return

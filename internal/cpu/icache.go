@@ -1,5 +1,7 @@
 package cpu
 
+import "fmt"
+
 // ICache models a tile's private instruction cache as a set-associative tag
 // array. Misses pay a fixed refill penalty (the paper's gem5 model fetches
 // over the NoC; we approximate the refill with a constant latency and keep
@@ -14,21 +16,23 @@ type ICache struct {
 }
 
 // NewICache builds a cache of the given geometry. Sets must come out a
-// power of two.
-func NewICache(bytes, ways, lineBytes int) *ICache {
+// power of two; the geometry is configuration input, so a bad shape is a
+// validated error, not a panic.
+func NewICache(bytes, ways, lineBytes int) (*ICache, error) {
 	sets := bytes / (ways * lineBytes)
 	if sets < 1 {
 		sets = 1
 	}
 	if sets&(sets-1) != 0 {
-		panic("cpu: icache sets must be a power of two")
+		return nil, fmt.Errorf("cpu: icache sets %d must be a power of two (%d B, %d-way, %d B lines)",
+			sets, bytes, ways, lineBytes)
 	}
 	return &ICache{
 		sets: sets, ways: ways, lineBytes: lineBytes,
 		tags:  make([]uint32, sets*ways),
 		valid: make([]bool, sets*ways),
 		mru:   make([]uint8, sets),
-	}
+	}, nil
 }
 
 // Access looks byteAddr up, filling on miss, and reports whether it hit.

@@ -3,7 +3,7 @@ package cpu
 import "testing"
 
 func TestICacheHitAfterFill(t *testing.T) {
-	c := NewICache(4096, 2, 64)
+	c, _ := NewICache(4096, 2, 64)
 	if c.Access(0) {
 		t.Fatal("cold access hit")
 	}
@@ -16,7 +16,7 @@ func TestICacheHitAfterFill(t *testing.T) {
 }
 
 func TestICacheAssociativity(t *testing.T) {
-	c := NewICache(4096, 2, 64)
+	c, _ := NewICache(4096, 2, 64)
 	// 4kB 2-way 64B lines = 32 sets; addresses 0, 2048, 4096 share set 0.
 	c.Access(0)
 	c.Access(2048)
@@ -34,7 +34,7 @@ func TestICacheAssociativity(t *testing.T) {
 }
 
 func TestICacheLoopResidency(t *testing.T) {
-	c := NewICache(4096, 2, 64)
+	c, _ := NewICache(4096, 2, 64)
 	// A 512-instruction loop (2 kB) fits: after one warm pass every
 	// access hits.
 	for pc := uint32(0); pc < 512; pc++ {

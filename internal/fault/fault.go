@@ -40,6 +40,13 @@ const (
 	// Offset on tile T at cycle C: silent data corruption, detected only
 	// by the harness's reference check.
 	FlipSpadWord
+	// PanicTile makes tile T's core panic on its next tick at or after
+	// cycle C — a simulated software defect, not a hardware fault. The
+	// panic fires inside the engine's parallel core phase, so it exercises
+	// the crash-containment path end to end (worker recover, stack
+	// preservation, RunError attribution); the chaos-soak harness is its
+	// main consumer.
+	PanicTile
 )
 
 func (k Kind) String() string {
@@ -54,6 +61,8 @@ func (k Kind) String() string {
 		return "stick"
 	case FlipSpadWord:
 		return "flip"
+	case PanicTile:
+		return "panic"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -96,6 +105,8 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KillTile:
 		return fmt.Sprintf("kill@%d:t%d", e.Cycle, e.Tile)
+	case PanicTile:
+		return fmt.Sprintf("panic@%d:t%d", e.Cycle, e.Tile)
 	case DropFlit, CorruptFlit:
 		window := strconv.FormatInt(e.Cycle, 10)
 		if e.Until > 0 {
@@ -121,7 +132,7 @@ type Plan struct {
 func (p *Plan) Validate(cores int) error {
 	for i, e := range p.Events {
 		switch e.Kind {
-		case KillTile, StickInetQueue, FlipSpadWord:
+		case KillTile, StickInetQueue, FlipSpadWord, PanicTile:
 			if e.Tile < 0 || e.Tile >= cores {
 				return fmt.Errorf("fault: event %d (%s): tile %d out of range [0,%d)", i, e, e.Tile, cores)
 			}

@@ -18,6 +18,7 @@ import (
 //	corrupt@C-U:A>B:pP[:plane]  corrupt (CRC-detected) instead of drop
 //	stick@C:tT:dD        freeze tile T's inet queue for D cycles
 //	flip@C:tT:oOFF:bBIT  flip bit BIT of spad word at byte offset OFF
+//	panic@C:tT           tile T's core panics at cycle C (crash containment)
 //
 // For link faults U may be omitted (drop@C:A>B:pP) for an open-ended
 // window; plane is req, resp, or both (default both).
@@ -53,7 +54,7 @@ func Parse(spec string) (*Plan, error) {
 func parseEvent(kind string, fields []string) (Event, error) {
 	var e Event
 	switch kind {
-	case "kill", "stick", "flip":
+	case "kill", "stick", "flip", "panic":
 		c, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
 			return e, fmt.Errorf("bad cycle %q", fields[0])
@@ -104,6 +105,15 @@ func parseEvent(kind string, fields []string) (Event, error) {
 			return e, err
 		}
 		e.Kind, e.Tile = KillTile, int(t)
+	case "panic":
+		if err := need(1); err != nil {
+			return e, err
+		}
+		t, err := intArg(args[0], "t")
+		if err != nil {
+			return e, err
+		}
+		e.Kind, e.Tile = PanicTile, int(t)
 	case "stick":
 		if err := need(2); err != nil {
 			return e, err

@@ -65,8 +65,9 @@ func (r *Runner) FigFault(w io.Writer) error {
 			if k > 0 {
 				plan = fault.KillPlan(faultSeed, k, hw.Cores, start, 101)
 			}
-			fr, err := kernels.ExecuteWithFaults(bench, bench.Defaults(r.opts.Scale), sw, hw,
-				r.opts.MaxCycles, plan)
+			fr, err := kernels.ExecuteWithFaultsOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
+				plan, kernels.ExecOpts{MaxCycles: r.opts.MaxCycles,
+					Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
 			if err != nil {
 				return fmt.Errorf("fault curve %s k=%d: %w", cfgName, k, err)
 			}

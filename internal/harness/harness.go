@@ -7,6 +7,8 @@
 package harness
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +23,7 @@ import (
 	"rockcress/internal/analyze"
 	"rockcress/internal/config"
 	"rockcress/internal/kernels"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/trace"
 )
 
@@ -54,13 +57,30 @@ type Options struct {
 	// runs have no machine counters and are skipped. Like telemetry,
 	// reports only read finished-run counters: cycle counts are unchanged.
 	ReportDir string
+
+	// Ctx, when non-nil, makes every simulation the runner launches
+	// cancellable (SIGINT/SIGTERM via lifecycle.WithSignals, -timeout via
+	// context.WithTimeout). Cancellation lands at watchdog-checkpoint
+	// granularity; runs that complete are cycle-identical either way.
+	Ctx context.Context
+	// WallBudget, when positive, bounds each simulation's host time; a run
+	// exceeding it fails its sweep cell with lifecycle.ErrWallBudget.
+	WallBudget time.Duration
+	// Journal, when non-nil, receives every newly computed cell result:
+	// the first-wins cache made persistent. Seed it from a previous
+	// interrupted sweep with SeedJournal for -resume. The caller owns
+	// Close and should surface Journal.Err at exit.
+	Journal *lifecycle.Journal
 }
 
 // Runner executes and caches simulations.
 type Runner struct {
 	opts  Options
-	mu    sync.Mutex // guards cache during parallel sweeps
+	mu    sync.Mutex // guards cache (and journaled set) during parallel sweeps
 	cache map[string]*kernels.Result
+	// journaled marks keys already present in the journal (seeded from a
+	// previous run), so resumed cells are not appended a second time.
+	journaled map[string]bool
 }
 
 // New creates a runner.
@@ -68,7 +88,36 @@ func New(opts Options) *Runner {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = kernels.DefaultMaxCycles
 	}
-	return &Runner{opts: opts, cache: map[string]*kernels.Result{}}
+	return &Runner{opts: opts, cache: map[string]*kernels.Result{},
+		journaled: map[string]bool{}}
+}
+
+// SeedJournal pre-loads the cache from a previous run's journal entries
+// (-resume): each successfully journaled cell becomes a cache hit, so the
+// resumed sweep re-runs only the missing cells and the final tables come
+// out byte-identical to an uninterrupted run (the stored result is the full
+// kernels.Result; Go's JSON round-trip of float64 is exact). Cells that
+// were journaled as failures are not seeded — resume retries them. Returns
+// how many cells were seeded.
+func (r *Runner) SeedJournal(entries []lifecycle.JournalEntry) (int, error) {
+	n := 0
+	for _, e := range entries {
+		if e.Err != "" || len(e.Result) == 0 {
+			continue
+		}
+		var res kernels.Result
+		if err := json.Unmarshal(e.Result, &res); err != nil {
+			return n, fmt.Errorf("harness: journal entry %s: %w", e.Key, err)
+		}
+		r.mu.Lock()
+		if _, ok := r.cache[e.Key]; !ok {
+			r.cache[e.Key] = &res
+			r.journaled[e.Key] = true
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n, nil
 }
 
 // HWMod tweaks the hardware configuration for sensitivity studies.
@@ -133,6 +182,11 @@ func (r *Runner) lookup(key string) (*kernels.Result, bool) {
 
 // store commits a result first-wins, returning whichever pointer the cache
 // ends up holding (so repeated Runs keep returning the identical result).
+// A newly committed cell is appended to the journal (when one is attached)
+// before store returns: a crash right after never loses an acknowledged
+// cell. Append errors latch in the journal (Journal.Err) rather than
+// failing the run — a sweep with a broken journal still finishes, it just
+// is not resumable.
 func (r *Runner) store(key string, res *kernels.Result) *kernels.Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -140,6 +194,10 @@ func (r *Runner) store(key string, res *kernels.Result) *kernels.Result {
 		return prev
 	}
 	r.cache[key] = res
+	if r.opts.Journal != nil && !r.journaled[key] {
+		r.journaled[key] = true
+		_ = r.opts.Journal.Record(key, res, "") // latched in Journal.Err
+	}
 	return res
 }
 
@@ -172,12 +230,20 @@ func sanitizeKey(key string) string {
 // artifact would poison whatever reads it later.
 func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key, modName string) (*kernels.Result, error) {
 	var res *kernels.Result
-	var err error
-	if r.opts.TelemetryDir == "" || sw.Style == config.StyleGPU {
-		res, err = kernels.Execute(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
-	} else {
-		res, err = r.executeTelemetry(bench, sw, hw, key)
-	}
+	// Contain is the crash boundary of one sweep cell: a panic anywhere in
+	// prepare/build/run (machine.Run recovers its own loop, but the paths
+	// around it are otherwise bare) becomes a RunError failing this cell,
+	// not the whole sweep process.
+	err := lifecycle.Contain(bench.Info().Name, sw.Name, 1, func() error {
+		var eerr error
+		if r.opts.TelemetryDir == "" || sw.Style == config.StyleGPU {
+			res, eerr = kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
+				kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
+		} else {
+			res, eerr = r.executeTelemetry(bench, sw, hw, key)
+		}
+		return eerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +269,8 @@ func (r *Runner) executeTelemetry(bench kernels.Benchmark, sw config.Software, h
 	}
 	sink := trace.NewSink(trace.Config{SampleTo: f, SampleEvery: r.opts.SampleEvery})
 	res, err := kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
-		kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Trace: sink})
+		kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Trace: sink,
+			Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
 	// Close order: the sink first (it surfaces sampler write errors the hot
 	// path swallowed mid-run), then the file. The simulation error wins;
 	// after that the first artifact error fails the run.
@@ -336,6 +403,16 @@ func (r *Runner) prewarm(reqs []runReq) error {
 				if i >= len(jobs) {
 					return
 				}
+				// A canceled sweep stops claiming new cells but still closes
+				// every done channel, so the drain below never hangs and the
+				// cells that did finish are committed (and journaled).
+				if r.opts.Ctx != nil {
+					if cerr := r.opts.Ctx.Err(); cerr != nil {
+						outs[i] = outcome{err: fmt.Errorf("harness: sweep canceled: %w", cerr)}
+						close(done[i])
+						continue
+					}
+				}
 				j := jobs[i]
 				start := time.Now()
 				res, err := r.execute(j.bench, j.sw, j.hw, j.key, j.modName)
@@ -347,14 +424,18 @@ func (r *Runner) prewarm(reqs []runReq) error {
 	var firstErr error
 	for i := range jobs {
 		<-done[i]
-		if firstErr != nil {
-			continue
-		}
 		if outs[i].err != nil {
-			firstErr = outs[i].err
+			if firstErr == nil {
+				firstErr = outs[i].err
+			}
 			continue
 		}
-		r.progress(jobs[i].bench.Info().Name, jobs[i].sw, jobs[i].modName, outs[i].res, outs[i].secs)
+		// Cells that completed are committed (and journaled) even after an
+		// earlier cell failed or the sweep was canceled: finished work is
+		// never forfeited, which is what makes -resume cheap.
+		if firstErr == nil {
+			r.progress(jobs[i].bench.Info().Name, jobs[i].sw, jobs[i].modName, outs[i].res, outs[i].secs)
+		}
 		r.store(jobs[i].key, outs[i].res)
 	}
 	return firstErr

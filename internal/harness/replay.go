@@ -27,7 +27,8 @@ func (r *Runner) FigReplay(w io.Writer) error {
 	}
 	tbl := &table{header: []string{"kernel", "rung", "ladder", "restart", "speedup"}}
 	for _, bench := range r.benches() {
-		pr, err := kernels.ProbeReplayWin(bench, bench.Defaults(r.opts.Scale), sw, hw, r.opts.MaxCycles)
+		pr, err := kernels.ProbeReplayWinOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
+			kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
 		if err != nil {
 			return fmt.Errorf("replay figure: %w", err)
 		}

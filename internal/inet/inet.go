@@ -57,12 +57,14 @@ type Queue struct {
 	hw         int   // deepest occupancy ever observed (telemetry gauge)
 }
 
-// NewQueue builds a queue with the configured capacity (Table 1a: 2).
-func NewQueue(capacity int) *Queue {
+// NewQueue builds a queue with the configured capacity (Table 1a: 2). The
+// capacity is configuration input, so a bad value is a validated error, not
+// a panic.
+func NewQueue(capacity int) (*Queue, error) {
 	if capacity < 1 {
-		panic("inet: queue capacity must be at least 1")
+		return nil, fmt.Errorf("inet: queue capacity %d must be at least 1", capacity)
 	}
-	return &Queue{cap: capacity}
+	return &Queue{cap: capacity}, nil
 }
 
 // CanSend reports whether the queue has room for another item.
@@ -72,7 +74,9 @@ func (q *Queue) CanSend() bool { return len(q.entries) < q.cap }
 // The caller must check CanSend first.
 func (q *Queue) Send(now int64, it Item) {
 	if !q.CanSend() {
-		panic("inet: send on full queue")
+		// True invariant: callers gate on CanSend, so a full queue here is a
+		// simulator bug, not bad user input.
+		panic("internal/inet: invariant: send on full queue")
 	}
 	q.entries = append(q.entries, entry{item: it, readyAt: now + 1})
 	if len(q.entries) > q.hw {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestQueueLinkLatency(t *testing.T) {
-	q := NewQueue(2)
+	q, _ := NewQueue(2)
 	q.Send(10, Item{Kind: ItemMTStart, PC: 7})
 	if q.Ready(10) {
 		t.Fatal("item visible in the send cycle (links take one cycle)")
@@ -22,7 +22,7 @@ func TestQueueLinkLatency(t *testing.T) {
 }
 
 func TestQueueCapacity(t *testing.T) {
-	q := NewQueue(2)
+	q, _ := NewQueue(2)
 	q.Send(0, Item{Kind: ItemInstr})
 	q.Send(0, Item{Kind: ItemInstr})
 	if q.CanSend() {
@@ -38,7 +38,7 @@ func TestQueueCapacity(t *testing.T) {
 }
 
 func TestQueueFIFO(t *testing.T) {
-	q := NewQueue(4)
+	q, _ := NewQueue(4)
 	for i := int32(0); i < 4; i++ {
 		q.Send(int64(i), Item{Kind: ItemInstr, Instr: isa.Instr{Imm: i}})
 	}
@@ -53,7 +53,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueueStick(t *testing.T) {
-	q := NewQueue(2)
+	q, _ := NewQueue(2)
 	q.Send(0, Item{Kind: ItemInstr})
 	q.StickUntil(50)
 	if q.Ready(10) {
@@ -76,7 +76,7 @@ func TestQueueStick(t *testing.T) {
 }
 
 func TestQueueReset(t *testing.T) {
-	q := NewQueue(2)
+	q, _ := NewQueue(2)
 	q.Send(0, Item{Kind: ItemDevec})
 	q.Reset()
 	if q.Len() != 0 || q.Ready(10) {

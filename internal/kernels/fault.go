@@ -2,10 +2,12 @@ package kernels
 
 import (
 	"fmt"
+	"time"
 
 	"rockcress/internal/config"
 	"rockcress/internal/energy"
 	"rockcress/internal/fault"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/machine"
 )
 
@@ -76,6 +78,9 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 	var avoid []int
 	mimd := false
 	ckptOn := !opts.NoCheckpoint
+	// One wall budget covers the whole recovery ladder, not each attempt:
+	// a pathological restart loop is exactly what the budget must bound.
+	wallDeadline := opts.wallDeadline()
 	// Latest published checkpoint, carried across attempts. A snapshot is
 	// only restorable into a build with the same recovery-point count (the
 	// MIMD fallback may change the phase structure).
@@ -85,6 +90,16 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 	// succeeds or buries at least one more tile.
 	for attempt := 1; attempt <= hw.Cores; attempt++ {
 		fr.Attempts = attempt
+		// Cancellation and the wall budget also gate restarts, so an
+		// interrupted ladder stops between attempts, not just mid-run.
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, wrapRun(name, sw.Name, attempt, fmt.Errorf("run canceled: %w", cerr))
+			}
+		}
+		if !wallDeadline.IsZero() && time.Now().After(wallDeadline) {
+			return nil, wrapRun(name, sw.Name, attempt, lifecycle.ErrWallBudget)
+		}
 		groups, ctxAvoid, err := degradedLayout(sw, hw, avoid, mimd)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", name, sw.Name, err)
@@ -125,6 +140,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 			NoReplay: opts.NoReplay, Checkpoint: ckptOn,
 			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
 			Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof,
+			Ctx: opts.Ctx, WallDeadline: wallDeadline,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
@@ -191,7 +207,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 			}
 			if runErr != nil {
 				// Failed without consuming any fault: restarting cannot help.
-				return nil, fmt.Errorf("%s/%s: run: %w", name, sw.Name, runErr)
+				return nil, wrapRun(name, sw.Name, attempt, runErr)
 			}
 			return nil, fmt.Errorf("%s/%s: wrong result with no fault consumed (not repairable by restart)",
 				name, sw.Name)

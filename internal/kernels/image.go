@@ -37,7 +37,7 @@ func (a *Array) End() uint32 { return a.Addr + uint32(4*a.Len) }
 // At returns the byte address of word i.
 func (a *Array) At(i int) uint32 {
 	if i < 0 || i >= a.Len {
-		panic(fmt.Sprintf("kernels: %s[%d] out of %d", a.Name, i, a.Len))
+		panic(fmt.Sprintf("internal/kernels: invariant: %s[%d] out of %d", a.Name, i, a.Len))
 	}
 	return a.Addr + uint32(4*i)
 }
@@ -110,7 +110,7 @@ func (im *Image) AllocZero(name string, words int) *Array {
 func (im *Image) Arr(name string) *Array {
 	a, ok := im.byName[name]
 	if !ok {
-		panic(fmt.Sprintf("kernels: unknown array %q", name))
+		panic(fmt.Sprintf("internal/kernels: invariant: unknown array %q", name))
 	}
 	return a
 }

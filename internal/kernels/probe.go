@@ -5,6 +5,7 @@ import (
 
 	"rockcress/internal/config"
 	"rockcress/internal/fault"
+	"rockcress/internal/lifecycle"
 )
 
 // LadderProbe is the outcome of a recovery-ladder comparison for one kernel:
@@ -31,6 +32,20 @@ type LadderProbe struct {
 // neither rung can demonstrate a strict win.
 func ProbeReplayWin(b Benchmark, p Params, sw config.Software, hw config.Manycore,
 	maxCycles int64) (*LadderProbe, error) {
+	return ProbeReplayWinOpts(b, p, sw, hw, ExecOpts{MaxCycles: maxCycles})
+}
+
+// ProbeReplayWinOpts is ProbeReplayWin with engine options; Ctx and
+// WallBudget bound every execution the search performs.
+func ProbeReplayWinOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore,
+	opts ExecOpts) (*LadderProbe, error) {
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+		opts.MaxCycles = maxCycles
+	}
+	rstOpts := opts
+	rstOpts.NoReplay, rstOpts.NoCheckpoint = true, true
 	groups, err := GroupsFor(sw, sw.Apply(hw))
 	if err != nil {
 		return nil, err
@@ -39,7 +54,7 @@ func ProbeReplayWin(b Benchmark, p Params, sw config.Software, hw config.Manycor
 		return nil, fmt.Errorf("%s: no vector lanes to probe", sw.Name)
 	}
 	victim := groups[0].Lanes[len(groups[0].Lanes)-1]
-	base, err := Execute(b, p, sw, hw, maxCycles)
+	base, err := ExecuteOpts(b, p, sw, hw, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -49,15 +64,22 @@ func ProbeReplayWin(b Benchmark, p Params, sw config.Software, hw config.Manycor
 		plan := &fault.Plan{Events: []fault.Event{
 			{Kind: fault.FlipSpadWord, Cycle: cycle, Tile: victim, Offset: off, Bit: 30},
 		}}
-		lad, err := ExecuteWithFaults(b, p, sw, hw, maxCycles, plan)
-		if err != nil || lad.FrameReplays < 1 || lad.Attempts != 1 || lad.Degraded() {
+		lad, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan, opts)
+		if err != nil {
+			// An interrupted probe search stops; any other failed flip is
+			// just not the scenario under test.
+			if lifecycle.Interrupted(err) {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if lad.FrameReplays < 1 || lad.Attempts != 1 || lad.Degraded() {
 			// Flip not caught as a poisoned frame (overwritten before
 			// verification, data region, or escalated): not the scenario
 			// under test.
 			return nil, nil
 		}
-		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan,
-			ExecOpts{MaxCycles: maxCycles, NoReplay: true, NoCheckpoint: true})
+		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan, rstOpts)
 		if err != nil {
 			return nil, fmt.Errorf("restart baseline: %w", err)
 		}
@@ -103,12 +125,17 @@ func ProbeReplayWin(b Benchmark, p Params, sw config.Software, hw config.Manycor
 		plan := &fault.Plan{Events: []fault.Event{
 			{Kind: fault.KillTile, Cycle: baseCycles * fr[0] / fr[1], Tile: victim},
 		}}
-		lad, err := ExecuteWithFaults(b, p, sw, hw, maxCycles, plan)
-		if err != nil || lad.CheckpointRestarts < 1 {
+		lad, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan, opts)
+		if err != nil {
+			if lifecycle.Interrupted(err) {
+				return nil, err
+			}
 			continue
 		}
-		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan,
-			ExecOpts{MaxCycles: maxCycles, NoReplay: true, NoCheckpoint: true})
+		if lad.CheckpointRestarts < 1 {
+			continue
+		}
+		rst, err := ExecuteWithFaultsOpts(b, p, sw, hw, plan, rstOpts)
 		if err != nil {
 			return nil, fmt.Errorf("restart baseline: %w", err)
 		}

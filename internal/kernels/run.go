@@ -1,11 +1,15 @@
 package kernels
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"rockcress/internal/config"
 	"rockcress/internal/energy"
 	"rockcress/internal/gpu"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/machine"
 	"rockcress/internal/sim"
 	"rockcress/internal/stats"
@@ -63,6 +67,24 @@ type ExecOpts struct {
 	WatchAddr uint32
 	// Prof attaches an engine self-profile (cumulative across attempts).
 	Prof *sim.Prof
+
+	// Ctx, when non-nil, makes the execution cancellable at watchdog-
+	// checkpoint granularity. A run that completes is cycle-identical with
+	// or without a context attached.
+	Ctx context.Context
+	// WallBudget, when positive, bounds the execution's host time: a run
+	// still going past it fails with lifecycle.ErrWallBudget and a
+	// diagnostic state dump. Multi-attempt fault executions share one
+	// budget across attempts.
+	WallBudget time.Duration
+}
+
+// wallDeadline converts the budget to an absolute machine deadline.
+func (o *ExecOpts) wallDeadline() time.Time {
+	if o.WallBudget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.WallBudget)
 }
 
 // Execute runs benchmark b with parameters p under the given software row
@@ -80,7 +102,7 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 		maxCycles = DefaultMaxCycles
 	}
 	if sw.Style == config.StyleGPU {
-		return executeGPU(b, p, maxCycles)
+		return executeGPU(b, p, maxCycles, opts)
 	}
 	hw = sw.Apply(hw)
 	groups, err := GroupsFor(sw, hw)
@@ -108,14 +130,15 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 	}
 	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes,
 		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
-		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof})
+		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof,
+		Ctx: opts.Ctx, WallDeadline: opts.wallDeadline()})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 	}
 	img.Apply(m.Global)
 	st, err := m.Run(maxCycles)
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: run: %w", name, sw.Name, err)
+		return nil, wrapRun(name, sw.Name, 1, err)
 	}
 	if err := img.Check(m.Global); err != nil {
 		return nil, fmt.Errorf("%s/%s: wrong result: %w", name, sw.Name, err)
@@ -126,7 +149,7 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 	}, nil
 }
 
-func executeGPU(b Benchmark, p Params, maxCycles int64) (*Result, error) {
+func executeGPU(b Benchmark, p Params, maxCycles int64, opts ExecOpts) (*Result, error) {
 	name := b.Info().Name
 	img, err := b.Prepare(p)
 	if err != nil {
@@ -140,10 +163,20 @@ func executeGPU(b Benchmark, p Params, maxCycles int64) (*Result, error) {
 		return nil, fmt.Errorf("%s/GPU: %w", name, err)
 	}
 	// Kernels launch back to back on one device: caches stay warm, cycles
-	// accumulate.
+	// accumulate. The GPU model has no watchdog checkpoints, so cancellation
+	// and the wall budget are checked between launches.
+	deadline := opts.wallDeadline()
 	sim := gpu.NewSim(config.GPUDefault())
 	var total gpu.Stats
 	for _, k := range launches {
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, wrapRun(name, "GPU", 1, fmt.Errorf("run canceled: %w", cerr))
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, wrapRun(name, "GPU", 1, lifecycle.ErrWallBudget)
+		}
 		st, err := sim.Run(k, maxCycles)
 		if err != nil {
 			return nil, fmt.Errorf("%s/GPU: %w", name, err)
@@ -151,6 +184,23 @@ func executeGPU(b Benchmark, p Params, maxCycles int64) (*Result, error) {
 		total.Add(st)
 	}
 	return &Result{Bench: name, Config: "GPU", Params: p, GPU: &total}, nil
+}
+
+// wrapRun attaches cell identity (kernel, configuration, attempt) to a run
+// failure, pulling the surfacing cycle and any recovered panic stack out of
+// the machine's FaultError so nothing diagnostic is lost in the wrapping.
+func wrapRun(bench, cfg string, attempt int, err error) error {
+	if err == nil {
+		return nil
+	}
+	cycle := int64(-1)
+	stack := ""
+	var fe *machine.FaultError
+	if errors.As(err, &fe) {
+		cycle = fe.Cycle
+		stack = fe.Stack
+	}
+	return lifecycle.WrapRun(bench, cfg, attempt, cycle, stack, err)
 }
 
 // GPUSoftware is the Table 3 GPU row.

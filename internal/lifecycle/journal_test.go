@@ -1,0 +1,184 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type cellResult struct {
+	Cycles int64   `json:"cycles"`
+	GFlops float64 `json:"gflops"`
+}
+
+// TestJournalRoundTrip records cells (including a failed one and a duplicate
+// key) and checks Load returns the header meta and the first-wins entries in
+// file order.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := map[string]string{"scale": "tiny", "bench": "gemm,mvt"}
+	j, err := CreateJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("gemm|V4||0", &cellResult{Cycles: 101, GFlops: 1.5}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("mvt|NV||0", nil, "wall-clock budget exceeded"); err != nil {
+		t.Fatal(err)
+	}
+	// First-wins: a re-record of the same key must not shadow the original.
+	if err := j.Record("gemm|V4||0", &cellResult{Cycles: 999}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Meta["scale"] != "tiny" || hdr.Meta["bench"] != "gemm,mvt" {
+		t.Errorf("meta lost: %v", hdr.Meta)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(entries))
+	}
+	var res cellResult
+	if err := json.Unmarshal(entries[0].Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 101 || res.GFlops != 1.5 {
+		t.Errorf("first-wins violated or result mangled: %+v", res)
+	}
+	if entries[1].Err != "wall-clock budget exceeded" || len(entries[1].Result) != 0 {
+		t.Errorf("failed cell mangled: %+v", entries[1])
+	}
+}
+
+// TestJournalTornTail simulates a hard kill mid-append: a final unparseable
+// line must be tolerated (the completed prefix replays), but garbage
+// followed by more entries is corruption and must error.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", &cellResult{Cycles: 1}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"b","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Key != "a" {
+		t.Fatalf("prefix lost: %+v", entries)
+	}
+
+	// Same garbage mid-file is corruption, not a torn tail.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n{\"key\":\"c\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := LoadJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption not detected: %v", err)
+	}
+}
+
+// TestResumeJournal checks the resume path end to end: a matching meta
+// reopens for append (and scrubs any torn tail), a mismatched meta refuses,
+// and appends after resume land in the same replayable file.
+func TestResumeJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := map[string]string{"scale": "tiny"}
+	j, err := CreateJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", &cellResult{Cycles: 7}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail from a hard kill.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString(`{"key":"torn`)
+	f.Close()
+
+	if _, _, err := ResumeJournal(path, map[string]string{"scale": "full"}); err == nil {
+		t.Fatal("meta mismatch accepted")
+	}
+
+	j2, entries, err := ResumeJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Key != "a" {
+		t.Fatalf("resume entries wrong: %+v", entries)
+	}
+	if err := j2.Record("b", &cellResult{Cycles: 8}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, entries, err = LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal not replayable after resume: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Key != "a" || entries[1].Key != "b" {
+		t.Fatalf("post-resume entries wrong: %+v", entries)
+	}
+}
+
+// TestJournalResultBytesStable checks the byte-identity foundation of
+// -resume: a result journaled as JSON and reloaded re-marshals to the exact
+// same bytes, so tables rebuilt from seeded cells match an uninterrupted
+// run's output byte for byte.
+func TestJournalResultBytesStable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := CreateJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &cellResult{Cycles: 123456789, GFlops: 3.0000000000000004}
+	origBytes, _ := json.Marshal(orig)
+	if err := j.Record("k", orig, ""); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back cellResult
+	if err := json.Unmarshal(entries[0].Result, &back); err != nil {
+		t.Fatal(err)
+	}
+	backBytes, _ := json.Marshal(&back)
+	if string(origBytes) != string(backBytes) {
+		t.Fatalf("result not byte-stable through the journal:\n%s\n%s", origBytes, backBytes)
+	}
+}

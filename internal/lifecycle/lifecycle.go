@@ -1,0 +1,129 @@
+// Package lifecycle is the run-lifecycle layer: everything that makes a
+// simulation cancellable, deadline-bounded, crash-contained, and resumable
+// without touching simulated cycle counts.
+//
+//   - RunError is the structured failure of one sweep cell: which kernel and
+//     configuration died, on which attempt, at which simulated cycle, and —
+//     for contained panics — the original goroutine stack. A panic anywhere
+//     in a cell fails that cell, never the process.
+//   - WithSignals installs SIGINT/SIGTERM handling as context cancellation:
+//     the first signal cancels the context (runs abort at the next watchdog
+//     checkpoint and the harness flushes partial artifacts); a second signal
+//     kills the process the OS way.
+//   - ErrWallBudget is the wall-clock watchdog's verdict, distinct from the
+//     simulated-cycle watchdog: a run that burns host time without finishing
+//     is killed with a diagnostic snapshot instead of hanging a sweep.
+//   - Journal (journal.go) is the crash-safe sweep journal behind rockbench
+//     -journal/-resume.
+//
+// The package deliberately depends on nothing inside the simulator, so any
+// layer (sim, machine, kernels, harness, cmds) can use it.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+)
+
+// ErrWallBudget is wrapped by errors returned when a run exceeded its
+// wall-clock budget. Detect with errors.Is.
+var ErrWallBudget = errors.New("wall-clock budget exceeded")
+
+// RunError is the structured failure of one simulation cell. Every field is
+// diagnostic context the bare error string used to lose: the cell identity
+// (kernel, configuration), the restart attempt that died, the simulated
+// cycle the failure surfaced at (-1 when unknown), and the original panic
+// stack when the failure was a contained panic.
+type RunError struct {
+	Kernel  string
+	Config  string
+	Attempt int
+	Cycle   int64 // simulated cycle the failure surfaced at; -1 unknown
+	Stack   string
+	Err     error
+}
+
+func (e *RunError) Error() string {
+	s := fmt.Sprintf("%s/%s", e.Kernel, e.Config)
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" attempt %d", e.Attempt)
+	}
+	if e.Cycle >= 0 {
+		s += fmt.Sprintf(" (cycle %d)", e.Cycle)
+	}
+	s += ": " + e.Err.Error()
+	if e.Stack != "" {
+		s += "\npanic stack:\n" + e.Stack
+	}
+	return s
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// WrapRun attaches cell context to a run failure. Idempotent: an error that
+// already is a *RunError keeps its fields (missing ones are filled in), so
+// layered wrapping never loses the innermost attempt's context. A nil err
+// returns nil. cycle < 0 means unknown; stack "" means not a panic.
+func WrapRun(kernel, config string, attempt int, cycle int64, stack string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *RunError
+	if errors.As(err, &re) {
+		if re.Kernel == "" {
+			re.Kernel = kernel
+		}
+		if re.Config == "" {
+			re.Config = config
+		}
+		if re.Attempt == 0 {
+			re.Attempt = attempt
+		}
+		return err
+	}
+	return &RunError{Kernel: kernel, Config: config, Attempt: attempt,
+		Cycle: cycle, Stack: stack, Err: err}
+}
+
+// Contain runs fn, converting a panic into a *RunError carrying the original
+// stack. This is the containment boundary a sweep's worker pool wraps each
+// cell in: a simulator bug fails the cell, not the process.
+func Contain(kernel, config string, attempt int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunError{
+				Kernel: kernel, Config: config, Attempt: attempt, Cycle: -1,
+				Stack: string(debug.Stack()),
+				Err:   fmt.Errorf("panic: %v", r),
+			}
+		}
+	}()
+	return fn()
+}
+
+// Interrupted reports whether err traces back to cancellation: a delivered
+// signal, an expired deadline, or an explicit CancelFunc. Callers use it to
+// pick exit paths (flush-and-report-partial vs plain failure).
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// WallBudget reports whether err traces back to the wall-clock watchdog.
+func WallBudget(err error) bool { return errors.Is(err, ErrWallBudget) }
+
+// WithSignals returns a child context canceled on the first SIGINT or
+// SIGTERM. After the first signal the handler is removed, so a second signal
+// takes the default OS action (immediate kill) — the escape hatch when a
+// clean shutdown itself wedges. The returned stop releases the handler.
+func WithSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCodeInterrupted is the conventional exit status for a SIGINT-driven
+// clean shutdown (128 + SIGINT).
+const ExitCodeInterrupted = 130

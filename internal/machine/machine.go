@@ -5,17 +5,21 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rockcress/internal/config"
 	"rockcress/internal/cpu"
 	"rockcress/internal/fault"
 	"rockcress/internal/inet"
 	"rockcress/internal/isa"
+	"rockcress/internal/lifecycle"
 	"rockcress/internal/mem"
 	"rockcress/internal/msg"
 	"rockcress/internal/noc"
@@ -83,6 +87,18 @@ type Params struct {
 	// fast-forward meter). nil costs nothing. Reusable across attempts for
 	// cumulative numbers.
 	Prof *sim.Prof
+
+	// Ctx, when non-nil, makes the run cancellable: cancellation is checked
+	// at watchdog-checkpoint granularity (never mid-cycle), so cycle counts
+	// of runs that complete are bit-identical with or without a context.
+	Ctx context.Context
+
+	// WallDeadline, when non-zero, is the wall-clock watchdog: a run still
+	// going past it aborts with a diagnostic state dump. Distinct from the
+	// simulated-cycle watchdog (CheckEvery/StallLimit) — this one catches
+	// host-time hangs (livelock, pathological slowdown), not simulated
+	// deadlock. Checked at the same checkpoint granularity as Ctx.
+	WallDeadline time.Time
 }
 
 // FaultError is a structured simulation failure: the cycle it surfaced, the
@@ -94,6 +110,10 @@ type FaultError struct {
 	Tile  int
 	Err   error
 	State string
+	// Stack is the goroutine stack of a recovered panic (empty otherwise).
+	// For engine-worker panics it is the worker's stack at the point the
+	// component died, carried across the re-raise by sim.PanicError.
+	Stack string
 }
 
 func (e *FaultError) Error() string {
@@ -182,6 +202,11 @@ type Machine struct {
 	ckptOn    bool
 	ckptArmed atomic.Bool
 	ckpt      *Checkpoint
+
+	// Lifecycle: cancellation context and wall-clock deadline, both checked
+	// only at watchdog checkpoints (nil/zero = off).
+	ctx          context.Context
+	wallDeadline time.Time
 }
 
 // New builds and wires a machine.
@@ -211,16 +236,26 @@ func New(p Params) (*Machine, error) {
 		}
 	}
 	cfg := p.Cfg
+	global, err := mem.NewGlobal(memBytes)
+	if err != nil {
+		return nil, err
+	}
+	dram, err := mem.NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		Cfg: cfg, Prog: p.Prog, Groups: p.Groups,
-		Global:        mem.NewGlobal(memBytes),
+		Global:        global,
 		Stats:         stats.New(cfg.Cores, cfg.LLCBanks),
-		dram:          mem.NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth),
+		dram:          dram,
 		space:         msg.NodeSpace{Cores: cfg.Cores, Banks: cfg.LLCBanks},
 		formation:     make([]genBarrier, len(p.Groups)),
 		tileGroup:     make([]int, cfg.Cores),
 		meter:         sim.NewMeter(cfg.Cores),
 		traceBarriers: p.TraceBarriers,
+		ctx:           p.Ctx,
+		wallDeadline:  p.WallDeadline,
 	}
 	m.active.Store(int64(cfg.Cores))
 	for i := range m.tileGroup {
@@ -238,7 +273,6 @@ func New(p Params) (*Machine, error) {
 	if m.stallLimit <= 0 {
 		m.stallLimit = DefaultStallLimit
 	}
-	var err error
 	m.meshReq, err = noc.New(cfg.MeshWidth, cfg.MeshHeight, cfg.LLCBanks, cfg.LinkQueue, m.deliver)
 	if err != nil {
 		return nil, err
@@ -258,14 +292,20 @@ func New(p Params) (*Machine, error) {
 	}
 	m.llcs = make([]*mem.LLCBank, cfg.LLCBanks)
 	for b := range m.llcs {
-		m.llcs[b] = mem.NewLLCBank(b, cfg, m.space.LLCNode(b), m.meshResp, m.dram,
+		m.llcs[b], err = mem.NewLLCBank(b, cfg, m.space.LLCNode(b), m.meshResp, m.dram,
 			m.Global, m, &m.Stats.LLCs[b])
+		if err != nil {
+			return nil, err
+		}
 	}
 	m.integrity = p.Faults != nil && !p.NoReplay
 	m.ckptOn = p.Checkpoint
 	m.spads = make([]*mem.Scratchpad, cfg.Cores)
 	for t := range m.spads {
-		m.spads[t] = mem.NewScratchpad(t, cfg.SpadBytes, cfg.FrameCounters, &m.Stats.Cores[t])
+		m.spads[t], err = mem.NewScratchpad(t, cfg.SpadBytes, cfg.FrameCounters, &m.Stats.Cores[t])
+		if err != nil {
+			return nil, err
+		}
 		m.spads[t].SetClock(func() int64 { return m.now })
 		if m.integrity {
 			m.spads[t].SetIntegrity(true)
@@ -278,7 +318,10 @@ func New(p Params) (*Machine, error) {
 	inQs := make([]*inet.Queue, cfg.Cores)
 	for _, g := range p.Groups {
 		for _, t := range g.Tiles() {
-			inQs[t] = inet.NewQueue(cfg.InetQueueEntries)
+			inQs[t], err = inet.NewQueue(cfg.InetQueueEntries)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	m.cores = make([]*cpu.Core, cfg.Cores)
@@ -297,8 +340,11 @@ func New(p Params) (*Machine, error) {
 				outQs = append(outQs, inQs[child])
 			}
 		}
-		m.cores[t] = cpu.New(t, cfg, p.Prog, m, &m.Stats.Cores[t],
+		m.cores[t], err = cpu.New(t, cfg, p.Prog, m, &m.Stats.Cores[t],
 			m.spads[t], group, lane, inQ, outQs)
+		if err != nil {
+			return nil, err
+		}
 		m.cores[t].SetIssueSlot(m.meter.Slot(t))
 	}
 	m.engine = sim.NewEngine(m.buildStages(), p.Workers)
@@ -634,6 +680,12 @@ func (m *Machine) applyFaults(now int64) {
 		switch e.Kind {
 		case fault.KillTile:
 			m.killTile(now, e.Tile)
+		case fault.PanicTile:
+			// The panic itself fires in the parallel core phase (the next
+			// Tick), not here: arming in the serial fault step keeps the
+			// injection deterministic while the crash lands where a real
+			// defect would.
+			m.cores[e.Tile].ArmPanic()
 		case fault.StickInetQueue:
 			if m.cores[e.Tile].StickInet(now + e.Duration) {
 				m.report.StuckQueues++
@@ -822,6 +874,26 @@ func (m *Machine) faultErr(tile int, err error) error {
 	return &FaultError{Cycle: m.now, Tile: tile, Err: err, State: m.debugState()}
 }
 
+// checkLifecycle enforces cancellation and the wall-clock budget. Called
+// only at watchdog checkpoints, so a run that completes is cycle-identical
+// whether or not a context/deadline was attached, and the per-checkpoint
+// cost (one atomic load, one clock read) is amortized over CheckEvery
+// cycles.
+func (m *Machine) checkLifecycle() error {
+	if m.ctx != nil {
+		if cerr := m.ctx.Err(); cerr != nil {
+			return &FaultError{Cycle: m.now, Tile: -1,
+				Err: fmt.Errorf("machine: run canceled: %w", cerr)}
+		}
+	}
+	if !m.wallDeadline.IsZero() && time.Now().After(m.wallDeadline) {
+		return &FaultError{Cycle: m.now, Tile: -1,
+			Err:   fmt.Errorf("machine: %w", lifecycle.ErrWallBudget),
+			State: m.debugState()}
+	}
+	return nil
+}
+
 func (m *Machine) checkComponents() error {
 	if err := m.firstErr(); err != nil {
 		return m.faultErr(-1, err)
@@ -863,19 +935,39 @@ func (m *Machine) checkComponents() error {
 // loop (a simulator bug) is recovered into one rather than taking down the
 // caller.
 func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
+	// The final (partial) telemetry window flushes on every exit path, after
+	// the inline collect() on success so window sums match the aggregates.
+	// Declared before the recover handler so it runs after it (LIFO) and an
+	// interrupted or panicked run flushes truncation-marked outputs.
+	defer func() {
+		if err != nil {
+			if m.sampler != nil {
+				m.sampler.MarkTruncated()
+			}
+			if m.rec != nil {
+				m.rec.MarkTruncated()
+			}
+		}
+		m.sample(true)
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			st = m.Stats
-			err = &FaultError{Cycle: m.now, Tile: -1,
-				Err:   fmt.Errorf("machine: internal panic: %v", r),
-				State: m.debugState()}
+			fe := &FaultError{Cycle: m.now, Tile: -1, State: m.debugState()}
+			if pe, ok := r.(*sim.PanicError); ok {
+				// Engine-worker panic: keep the worker's stack, which points
+				// at the component that died rather than the re-raise site.
+				fe.Err = fmt.Errorf("machine: internal panic: %v", pe.Val)
+				fe.Stack = string(pe.Stack)
+			} else {
+				fe.Err = fmt.Errorf("machine: internal panic: %v", r)
+				fe.Stack = string(debug.Stack())
+			}
+			err = fe
 		}
 	}()
 	m.engine.Start()
 	defer m.engine.Stop()
-	// The final (partial) telemetry window flushes on every exit path, after
-	// the inline collect() on success so window sums match the aggregates.
-	defer m.sample(true)
 	var lastIssued int64 = -1
 	var stalled int64
 	for m.active.Load() > 0 {
@@ -887,6 +979,9 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 			m.sample(false)
 		}
 		if m.now%m.checkEvery == 0 {
+			if err := m.checkLifecycle(); err != nil {
+				return m.Stats, err
+			}
 			if err := m.checkComponents(); err != nil {
 				return m.Stats, err
 			}
@@ -919,6 +1014,11 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 		}
 		if m.now >= drainDeadline {
 			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: memory system failed to drain"))
+		}
+		if m.now%m.checkEvery == 0 {
+			if err := m.checkLifecycle(); err != nil {
+				return m.Stats, err
+			}
 		}
 		if err := m.checkComponents(); err != nil {
 			return m.Stats, err

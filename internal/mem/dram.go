@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -29,12 +30,14 @@ type dramOp struct {
 }
 
 // NewDRAM builds a channel with the given access latency (cycles) and
-// bandwidth (bytes per cycle).
-func NewDRAM(latency, bytesPerCycle int) *DRAM {
+// bandwidth (bytes per cycle). Both come from the user's configuration, so
+// bad values are validated errors, not panics.
+func NewDRAM(latency, bytesPerCycle int) (*DRAM, error) {
 	if latency < 0 || bytesPerCycle <= 0 {
-		panic("mem: invalid DRAM parameters")
+		return nil, fmt.Errorf("mem: invalid DRAM parameters (latency %d, bandwidth %d B/cycle)",
+			latency, bytesPerCycle)
 	}
-	return &DRAM{latency: int64(latency), bytesPerCyc: int64(bytesPerCycle)}
+	return &DRAM{latency: int64(latency), bytesPerCyc: int64(bytesPerCycle)}, nil
 }
 
 func (d *DRAM) schedule(now int64, bytes int) (doneAt int64) {

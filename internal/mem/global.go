@@ -18,12 +18,14 @@ type Global struct {
 	err   error
 }
 
-// NewGlobal allocates a backing store of the given byte size.
-func NewGlobal(bytes int) *Global {
+// NewGlobal allocates a backing store of the given byte size. The size is
+// user input (benchmark image size, -mem style knobs), so a bad value is a
+// validated configuration error, not a panic.
+func NewGlobal(bytes int) (*Global, error) {
 	if bytes%4 != 0 || bytes <= 0 {
-		panic(fmt.Sprintf("mem: global size %d must be a positive word multiple", bytes))
+		return nil, fmt.Errorf("mem: global size %d must be a positive word multiple", bytes)
 	}
-	return &Global{words: make([]uint32, bytes/4)}
+	return &Global{words: make([]uint32, bytes/4)}, nil
 }
 
 // Size returns the store's capacity in bytes.

@@ -99,8 +99,10 @@ type LLCBank struct {
 	err error
 }
 
-// NewLLCBank builds bank id of the configured cache.
-func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, global *Global, groups GroupLanes, st *stats.LLC) *LLCBank {
+// NewLLCBank builds bank id of the configured cache. The geometry derives
+// from the user's configuration, so a bad shape is a validated error, not a
+// panic (config.Manycore.Validate normally rejects it first).
+func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, global *Global, groups GroupLanes, st *stats.LLC) (*LLCBank, error) {
 	perBank := cfg.LLCBytes / cfg.LLCBanks
 	ways := cfg.LLCWays
 	sets := perBank / (cfg.CacheLineBytes * ways)
@@ -108,7 +110,8 @@ func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, g
 		sets = 1
 	}
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("mem: llc sets %d must be a power of two", sets))
+		return nil, fmt.Errorf("mem: llc sets %d must be a power of two (%d B over %d banks, %d-way, %d B lines)",
+			sets, cfg.LLCBytes, cfg.LLCBanks, ways, cfg.CacheLineBytes)
 	}
 	b := &LLCBank{
 		ID: id, node: node, cfg: cfg,
@@ -122,7 +125,7 @@ func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, g
 	for i := range b.lines {
 		b.lines[i].data = make([]uint32, b.lineWords)
 	}
-	return b
+	return b, nil
 }
 
 // SetWatchAddr arms ad-hoc logging of one word address (0 disarms).

@@ -17,11 +17,11 @@ func TestLLCMatchesFlatMemory(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		cfg := config.ManycoreDefault()
-		g := NewGlobal(1 << 20)
-		d := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
+		g, _ := NewGlobal(1 << 20)
+		d, _ := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
 		out := &sink{}
 		st := &stats.LLC{}
-		bank := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
+		bank, _ := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
 
 		// Addresses owned by bank 0: lines at stride banks*lineBytes.
 		addrs := make([]uint32, 64)
@@ -104,11 +104,11 @@ func TestLLCMatchesFlatMemory(t *testing.T) {
 func TestLLCValueOrdering(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	cfg := config.ManycoreDefault()
-	g := NewGlobal(1 << 20)
-	d := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
+	g, _ := NewGlobal(1 << 20)
+	d, _ := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
 	out := &sink{}
 	st := &stats.LLC{}
-	bank := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
+	bank, _ := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
 
 	want := map[int]uint32{} // slot -> value the load must see
 	slot := 0

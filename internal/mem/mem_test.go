@@ -12,7 +12,7 @@ import (
 )
 
 func TestGlobalRoundTrip(t *testing.T) {
-	g := NewGlobal(4096)
+	g, _ := NewGlobal(4096)
 	g.WriteWord(0, 0xdeadbeef)
 	g.WriteWord(4092, 42)
 	if g.ReadWord(0) != 0xdeadbeef || g.ReadWord(4092) != 42 {
@@ -33,14 +33,14 @@ func TestGlobalRoundTrip(t *testing.T) {
 }
 
 func TestGlobalBoundsError(t *testing.T) {
-	g := NewGlobal(4096)
+	g, _ := NewGlobal(4096)
 	if v := g.ReadWord(4096); v != 0 {
 		t.Fatalf("out-of-range read returned %d, want 0", v)
 	}
 	if g.Err() == nil {
 		t.Fatal("out-of-range access did not latch an error")
 	}
-	g2 := NewGlobal(4096)
+	g2, _ := NewGlobal(4096)
 	g2.WriteWord(2, 1) // unaligned
 	if g2.Err() == nil {
 		t.Fatal("unaligned access did not latch an error")
@@ -48,8 +48,8 @@ func TestGlobalBoundsError(t *testing.T) {
 }
 
 func TestDRAMOrdering(t *testing.T) {
-	g := NewGlobal(4096)
-	d := NewDRAM(60, 16)
+	g, _ := NewGlobal(4096)
+	d, _ := NewDRAM(60, 16)
 	// A write then a read of the same line must observe the write: the
 	// shared channel serializes them.
 	data := make([]uint32, 16)
@@ -74,8 +74,8 @@ func TestDRAMOrdering(t *testing.T) {
 }
 
 func TestDRAMBandwidthSerializes(t *testing.T) {
-	g := NewGlobal(1 << 20)
-	d := NewDRAM(60, 16) // 4 cycles per 64B line
+	g, _ := NewGlobal(1 << 20)
+	d, _ := NewDRAM(60, 16) // 4 cycles per 64B line
 	for i := 0; i < 10; i++ {
 		d.Read(0, uint32(i*64), 64, 0)
 	}
@@ -103,7 +103,7 @@ func TestDRAMBandwidthSerializes(t *testing.T) {
 func newSpad(t *testing.T, frameWords, frames int) (*Scratchpad, *stats.Core) {
 	t.Helper()
 	st := &stats.Core{}
-	s := NewScratchpad(0, 4096, 5, st)
+	s, _ := NewScratchpad(0, 4096, 5, st)
 	s.Configure(frameWords, frames)
 	if err := s.Err(); err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestFrameWindowProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		const fw, frames = 4, 3
 		st := &stats.Core{}
-		s := NewScratchpad(0, 4096, 5, st)
+		s, _ := NewScratchpad(0, 4096, 5, st)
 		s.Configure(fw, frames)
 		arrived := make([]int, 64) // per absolute frame seq
 		consumed := 0
@@ -230,11 +230,11 @@ func (nolanes) LaneTile(g, l int) (int, bool) { return 0, false }
 func newBank(t *testing.T) (*LLCBank, *Global, *DRAM, *sink, *stats.LLC) {
 	t.Helper()
 	cfg := config.ManycoreDefault()
-	g := NewGlobal(1 << 20)
-	d := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
+	g, _ := NewGlobal(1 << 20)
+	d, _ := NewDRAM(cfg.DRAMLatency, cfg.DRAMBandwidth)
 	out := &sink{}
 	st := &stats.LLC{}
-	b := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
+	b, _ := NewLLCBank(0, cfg, 64, out, d, g, nolanes{}, st)
 	return b, g, d, out, st
 }
 

@@ -68,13 +68,14 @@ type Scratchpad struct {
 }
 
 // NewScratchpad builds a scratchpad of the given byte size with the given
-// number of hardware frame counters.
-func NewScratchpad(tile, bytes, hwFrames int, st *stats.Core) *Scratchpad {
+// number of hardware frame counters. The size is configuration input, so a
+// bad value is a validated error, not a panic.
+func NewScratchpad(tile, bytes, hwFrames int, st *stats.Core) (*Scratchpad, error) {
 	if bytes%4 != 0 || bytes <= 0 {
-		panic(fmt.Sprintf("mem: scratchpad size %d must be a positive word multiple", bytes))
+		return nil, fmt.Errorf("mem: scratchpad size %d must be a positive word multiple", bytes)
 	}
 	return &Scratchpad{tile: tile, words: make([]uint32, bytes/4), hwFrames: hwFrames, st: st,
-		verifiedSeq: -1, errCycle: -1}
+		verifiedSeq: -1, errCycle: -1}, nil
 }
 
 // SetIntegrity enables per-frame parity accumulation, delivery recording,

@@ -11,7 +11,7 @@ import (
 // newIntegritySpad builds a small integrity-checked scratchpad with a fixed
 // clock for error context.
 func newIntegritySpad(frameWords, frames, hwFrames int, st *stats.Core) *Scratchpad {
-	s := NewScratchpad(3, 4096, hwFrames, st)
+	s, _ := NewScratchpad(3, 4096, hwFrames, st)
 	s.SetIntegrity(true)
 	s.Configure(frameWords, frames)
 	return s

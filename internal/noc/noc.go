@@ -429,7 +429,7 @@ func (m *Mesh) neighbor(tile int, out port) (int, port) {
 	case portW:
 		return tile - 1, portE
 	}
-	panic(fmt.Sprintf("noc: neighbor via non-link port %d", out))
+	panic(fmt.Sprintf("internal/noc: invariant: neighbor via non-link port %d", out))
 }
 
 func opposite(p port) port {
@@ -443,7 +443,7 @@ func opposite(p port) port {
 	case portW:
 		return portE
 	}
-	panic(fmt.Sprintf("noc: opposite of non-link port %d", p))
+	panic(fmt.Sprintf("internal/noc: invariant: opposite of non-link port %d", p))
 }
 
 // Busy reports whether any flit is queued anywhere (quiescence check).

@@ -23,11 +23,24 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError wraps a panic that happened on an engine worker goroutine so it
+// can be re-raised on the driving goroutine without losing the worker's
+// stack. Recover handlers up the call chain (machine.Run) unwrap it to build
+// a structured error whose stack points at the component that died, not at
+// the re-panic site.
+type PanicError struct {
+	Val   any    // the original panic value
+	Stack []byte // the worker goroutine's stack at the panic
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("engine worker panic: %v", p.Val) }
 
 // Never is the "until" value of a component with no self-scheduled future
 // event: it stays quiescent until some other component acts on it.
@@ -257,7 +270,9 @@ func (e *Engine) propose(now int64, shards []Shard) {
 		v := e.panicVal
 		e.panicVal = nil
 		// Re-raise on the driving goroutine so the machine's recover-to-
-		// structured-error path sees worker panics too.
+		// structured-error path sees worker panics too. The value is a
+		// *PanicError carrying the worker's stack; without it the re-panic
+		// would report this line instead of the component that died.
 		panic(v)
 	}
 }
@@ -265,10 +280,11 @@ func (e *Engine) propose(now int64, shards []Shard) {
 func (e *Engine) proposeShard(now int64, sh Shard) {
 	defer func() {
 		if r := recover(); r != nil {
+			pe := &PanicError{Val: r, Stack: debug.Stack()}
 			e.panicMu.Lock()
 			if !e.panicked {
 				e.panicked = true
-				e.panicVal = r
+				e.panicVal = pe
 			}
 			e.panicMu.Unlock()
 		}

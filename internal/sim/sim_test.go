@@ -167,8 +167,15 @@ func TestWorkerPanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("worker panic did not propagate to Tick caller")
 		}
-		if fmt.Sprint(r) != "boom" {
-			t.Fatalf("unexpected panic value %v", r)
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("panic value %T, want *PanicError", r)
+		}
+		if fmt.Sprint(pe.Val) != "boom" {
+			t.Fatalf("unexpected panic value %v", pe.Val)
+		}
+		if !strings.Contains(string(pe.Stack), "panicker") {
+			t.Fatalf("PanicError stack does not point at the panicking component:\n%s", pe.Stack)
 		}
 	}()
 	e.Tick(0)

@@ -25,11 +25,12 @@ type Event struct {
 // the ring fills, the oldest events are overwritten and counted so the tail
 // of a long run is always retained.
 type Recorder struct {
-	mu      sync.Mutex
-	buf     []Event
-	start   int
-	n       int
-	dropped int64
+	mu        sync.Mutex
+	buf       []Event
+	start     int
+	n         int
+	dropped   int64
+	truncated bool
 }
 
 // NewRecorder builds a recorder holding at most capacity events.
@@ -83,6 +84,23 @@ func (r *Recorder) Dropped() int64 {
 	return r.dropped
 }
 
+// MarkTruncated flags the trace as the partial record of a run that did not
+// complete (cancellation, wall-budget abort, simulation error). The flag is
+// carried in the written JSON so readers can distinguish a clean trace from
+// an interrupted one.
+func (r *Recorder) MarkTruncated() {
+	r.mu.Lock()
+	r.truncated = true
+	r.mu.Unlock()
+}
+
+// Truncated reports whether MarkTruncated was called.
+func (r *Recorder) Truncated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.truncated
+}
+
 // Events returns the buffered events in emission order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
@@ -124,10 +142,14 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		}
 		out = append(out, obj)
 	}
+	other := map[string]any{"droppedEvents": r.Dropped()}
+	if r.Truncated() {
+		other["truncated"] = true
+	}
 	doc := map[string]any{
 		"traceEvents":     out,
 		"displayTimeUnit": "ms",
-		"otherData":       map[string]any{"droppedEvents": r.Dropped()},
+		"otherData":       other,
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)

@@ -156,6 +156,10 @@ type Window struct {
 	Start int64 `json:"start"`
 	End   int64 `json:"end"`
 	Final bool  `json:"final,omitempty"`
+	// Truncated marks the final window of a run that did not complete
+	// (cancellation, wall-budget abort, simulation error): the series is a
+	// valid prefix, not the whole run.
+	Truncated bool `json:"truncated,omitempty"`
 
 	Roles  map[string]RoleCounters `json:"roles"`
 	Frames FrameCounters           `json:"frames"`
@@ -187,6 +191,7 @@ type Sampler struct {
 	prevAt     int64
 	linkLabels []string
 	finished   bool
+	truncated  bool
 	err        error
 }
 
@@ -210,7 +215,13 @@ func (s *Sampler) Reset() {
 	s.prevAt = 0
 	s.next = s.every
 	s.finished = false
+	s.truncated = false
 }
+
+// MarkTruncated flags the series as the partial record of a run that did
+// not complete; the final window then carries "truncated": true. Reset
+// clears it, so a later fault-harness attempt starts clean.
+func (s *Sampler) MarkTruncated() { s.truncated = true }
 
 // Due reports whether the run has crossed the next window boundary.
 func (s *Sampler) Due(now int64) bool {
@@ -239,7 +250,9 @@ func (s *Sampler) Finish(now int64, c *Cum, g Gauges) {
 	if s.finished {
 		return
 	}
-	if now > s.prevAt || !s.deltaZero(c) {
+	// A truncated run always emits its final window, even an empty one:
+	// the marker must reach the JSONL tail for readers to see it.
+	if now > s.prevAt || !s.deltaZero(c) || s.truncated {
 		s.emit(now, c, g, true)
 	}
 	s.finished = true
@@ -257,7 +270,7 @@ func (s *Sampler) deltaZero(c *Cum) bool {
 
 func (s *Sampler) emit(now int64, c *Cum, g Gauges, final bool) {
 	w := Window{
-		Start: s.prevAt, End: now, Final: final,
+		Start: s.prevAt, End: now, Final: final, Truncated: final && s.truncated,
 		Roles:  make(map[string]RoleCounters, NumRoles),
 		Frames: c.Frames.sub(s.prev.Frames),
 		LLC:    c.LLC.sub(s.prev.LLC),
