@@ -217,3 +217,28 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(simCycles)/float64(b.Elapsed().Seconds())/1e6, "Msim-cycles/s")
 }
+
+// BenchmarkEngineMIPS measures raw engine throughput: simulated cycles per
+// host second of the run loop alone (stats.WallNs), excluding kernel build
+// and machine construction — the number the engine-overhaul work moves.
+// Run with -benchmem: steady-state allocs/op is part of the contract.
+func BenchmarkEngineMIPS(b *testing.B) {
+	bench, err := kernels.Get("mvt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, _ := config.Preset("NV")
+	b.ReportAllocs()
+	var simCycles, wallNs int64
+	for i := 0; i < b.N; i++ {
+		res, err := kernels.Execute(bench, bench.Defaults(kernels.Small), sw, config.ManycoreDefault(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += res.Stats.Cycles
+		wallNs += res.Stats.WallNs
+	}
+	if wallNs > 0 {
+		b.ReportMetric(float64(simCycles)*1e3/float64(wallNs), "Msim-cycles/s")
+	}
+}

@@ -211,6 +211,7 @@ func main() {
 		if err := fn(); err != nil {
 			fatal(err)
 		}
+		reportThroughput(r)
 		return
 	}
 	if *allFlag {
@@ -226,9 +227,23 @@ func main() {
 			}
 			fmt.Println()
 		}
+		reportThroughput(r)
 		return
 	}
 	flag.Usage()
+}
+
+// reportThroughput prints the sweep's simulated-cycles-per-wall-second
+// meter. It goes to stderr: stdout carries the tables and cycle counts that
+// baselines and golden comparisons consume, and this line is wall-clock
+// dependent by definition.
+func reportThroughput(r *harness.Runner) {
+	cycles, wallNs := r.Throughput()
+	if wallNs <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "# simulated %d cycles in %.2fs host time: %.2f Msim-cycles/s\n",
+		cycles, float64(wallNs)/1e9, float64(cycles)*1e3/float64(wallNs))
 }
 
 func printTable(name string, scale kernels.Scale) error {

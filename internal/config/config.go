@@ -5,7 +5,11 @@
 // group descriptors).
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"rockcress/internal/msg"
+)
 
 // Manycore mirrors Table 1a. Latencies are in cycles at the modelled 1 GHz.
 type Manycore struct {
@@ -103,6 +107,10 @@ func (m Manycore) Validate() error {
 	}
 	if m.LinkQueue < 1 {
 		return fmt.Errorf("noc link queue %d must be at least 1", m.LinkQueue)
+	}
+	if m.NetWidthWords < 1 || m.NetWidthWords > msg.MaxWords {
+		return fmt.Errorf("net width %d words out of range [1, %d] (flit payloads are inline arrays)",
+			m.NetWidthWords, msg.MaxWords)
 	}
 	if m.DRAMLatency < 0 || m.DRAMBandwidth < 1 {
 		return fmt.Errorf("dram latency %d / bandwidth %d out of range", m.DRAMLatency, m.DRAMBandwidth)

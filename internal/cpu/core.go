@@ -86,9 +86,18 @@ type Core struct {
 	ID   int
 	cfg  config.Manycore
 	prog *isa.Program
+	low  *Lowered // shared pre-lowered program (see lower.go)
 	env  Env
 	st   *stats.Core
 	spad *mem.Scratchpad
+
+	// decoded is the core's decode cache: decoded[pc] means the pre-lowered
+	// entry for pc is held decoded, which is valid exactly while the icache
+	// line backing pc stays resident (the eviction hook clears the line's
+	// PCs). It survives mode switches and ForceDisband — decode state is
+	// tied to icache residency, not to the core's role. Purely a model
+	// (timing-neutral): the shared Lowered table itself is immutable.
+	decoded []bool
 
 	// Static group assignment (nil when the tile is not in any group).
 	group   *config.Group
@@ -136,10 +145,34 @@ type Core struct {
 	// Tick (the machine's watchdog meter). The slot is owned by this core.
 	issueSlot *int64
 
+	// parkedKind is the stall kind the engine's shard parking will back-fill
+	// with (recorded by Park, consumed by CatchUp).
+	parkedKind stats.StallKind
+
+	// Issue-stall stash: when the tick at cycle stallAt ended in an issue
+	// stall the park probe can reason about, the tick records it here so
+	// Park needs no re-derivation (the tick already classified the stall).
+	// stallWake is the first cycle the blocker can clear (MaxInt64 when
+	// only a mesh delivery resolves it); stallCheck selects a same-shard
+	// condition Park must re-verify live, because a shard member ticking
+	// after this core may already have cleared it.
+	stallAt    int64 // cycle the stash was recorded; valid for that tick only
+	stallKind  stats.StallKind
+	stallWake  int64
+	stallCheck uint8
+
 	// watchAddr, when nonzero, logs global stores to that address (the old
 	// ROCKTRACE=<addr> debugging aid, now per-instance).
 	watchAddr uint32
 }
+
+// stallCheck values: the same-shard condition Park re-verifies before
+// trusting a stashed backpressure stall (see Core.Park).
+const (
+	checkNone    uint8 = iota // stallWake alone decides
+	checkSend                 // re-verify the expander queue is still full
+	checkForward              // re-verify a child queue is still full
+)
 
 type lqEntry struct {
 	busy bool
@@ -147,23 +180,37 @@ type lqEntry struct {
 	reg  uint8
 }
 
-// New builds a core. group/laneIdx describe the tile's static place in the
-// machine's group layout (lane -1 when the tile is the scalar core or in no
-// group); inQ and outQs are its inet wiring. The only failure is a bad
+// New builds a core around a pre-lowered program (LowerProgram; shared by
+// every core of a machine). group/laneIdx describe the tile's static place
+// in the machine's group layout (lane -1 when the tile is the scalar core or
+// in no group); inQ and outQs are its inet wiring. The only failure is a bad
 // icache geometry, which is configuration input.
-func New(id int, cfg config.Manycore, prog *isa.Program, env Env, st *stats.Core,
+func New(id int, cfg config.Manycore, low *Lowered, env Env, st *stats.Core,
 	spad *mem.Scratchpad, group *config.Group, laneIdx int, inQ *inet.Queue, outQs []*inet.Queue) (*Core, error) {
 	ic, err := NewICache(cfg.ICacheBytes, cfg.ICacheWays, cfg.CacheLineBytes)
 	if err != nil {
 		return nil, err
 	}
 	c := &Core{
-		ID: id, cfg: cfg, prog: prog, env: env, st: st, spad: spad,
+		ID: id, cfg: cfg, prog: low.Prog, low: low, env: env, st: st, spad: spad,
 		group: group, laneIdx: laneIdx, inQ: inQ, outQs: outQs,
-		predOn: true,
-		icache: ic,
-		lq:     make([]lqEntry, cfg.LoadQueueEntries),
+		predOn:  true,
+		icache:  ic,
+		lq:      make([]lqEntry, cfg.LoadQueueEntries),
+		decoded: make([]bool, len(low.Prog.Code)),
+		stallAt: -1,
 	}
+	// Decode-cache coherence: evicting an icache line drops the decoded
+	// entries for the instructions it backed.
+	lineInstrs := cfg.CacheLineBytes / 4
+	ic.SetEvictHook(func(lineAddr uint32) {
+		base := int(lineAddr / 4)
+		for i := 0; i < lineInstrs; i++ {
+			if pc := base + i; pc < len(c.decoded) {
+				c.decoded[pc] = false
+			}
+		}
+	})
 	for i := range c.vecRegs {
 		c.vecRegs[i] = make([]float32, cfg.SIMDWidth)
 	}
@@ -382,7 +429,6 @@ func (c *Core) tickFrontend(now int64) {
 		c.fail("pc out of range")
 		return
 	}
-	in := &c.prog.Code[c.pc]
 	if !c.fetchCharged {
 		c.fetchCharged = true
 		c.st.ICacheAccesses++
@@ -393,7 +439,8 @@ func (c *Core) tickFrontend(now int64) {
 			return
 		}
 	}
-	ok, stall := c.issue(now, in)
+	c.decoded[c.pc] = true
+	ok, stall := c.issueAt(now, c.pc)
 	if !ok {
 		c.st.AddStall(stall)
 		return
@@ -421,6 +468,7 @@ func (c *Core) tickExpander(now int64) {
 			c.st.AddStall(stats.StallOther) // pipeline redirect bubble
 		case inet.ItemDevec:
 			if !c.forwardAll(now, it) {
+				c.noteStall(now, stats.StallBackpressure, math.MaxInt64, checkForward)
 				c.st.AddStall(stats.StallBackpressure)
 				return
 			}
@@ -440,7 +488,6 @@ func (c *Core) tickExpander(now int64) {
 		c.fail("microthread pc %d out of range", c.vpc)
 		return
 	}
-	in := &c.prog.Code[c.vpc]
 	if !c.fetchCharged {
 		c.fetchCharged = true
 		c.st.ICacheAccesses++
@@ -451,35 +498,41 @@ func (c *Core) tickExpander(now int64) {
 			return
 		}
 	}
+	c.decoded[c.vpc] = true
+	e := &c.low.ents[c.vpc]
 	switch {
-	case in.Op == isa.OpVend:
+	case e.vend:
 		c.mtActive = false
 		c.st.CountClass(uint8(isa.ClassVecCtl))
 		c.st.AddStall(stats.StallNone)
-	case isa.IsControlFlow(in.Op):
+	case e.ctl != nil:
 		// Executed locally, never forwarded; the expander pauses fetch
 		// until the branch resolves (§3.2), hence the penalty either way.
-		ok, stall := c.issue(now, in)
+		ok, stall := c.issueAt(now, c.vpc)
 		if !ok {
 			c.st.AddStall(stall)
 			return
 		}
 		c.fetchReadyAt = now + int64(c.cfg.BranchPenalty)
 		c.st.AddStall(stats.StallNone)
-	case !isa.AllowedInMicrothread(in.Op):
-		c.fail("op %s not allowed in a microthread", in.Op)
+	case !e.allowMT:
+		c.fail("op %s not allowed in a microthread", c.prog.Code[c.vpc].Op)
 	default:
 		if !c.canForwardAll() {
+			c.noteStall(now, stats.StallBackpressure, math.MaxInt64, checkForward)
 			c.st.AddStall(stats.StallBackpressure)
 			return
 		}
-		ok, stall := c.issue(now, in)
+		vpc := c.vpc
+		ok, stall := c.issueAt(now, vpc)
 		if !ok {
 			c.st.AddStall(stall)
 			return
 		}
-		c.mustForwardAll(now, inet.Item{Kind: inet.ItemInstr, Instr: *in})
-		c.setVPC(c.vpc + 1)
+		// Lanes re-dispatch the forwarded instruction through the shared
+		// pre-lowered table by PC; the instruction body never travels.
+		c.mustForwardAll(now, inet.Item{Kind: inet.ItemInstr, PC: int32(vpc)})
+		c.setVPC(vpc + 1)
 		c.st.AddStall(stats.StallNone)
 	}
 }
@@ -495,6 +548,7 @@ func (c *Core) tickLane(now int64) {
 	switch it.Kind {
 	case inet.ItemDevec:
 		if !c.forwardAll(now, it) {
+			c.noteStall(now, stats.StallBackpressure, math.MaxInt64, checkForward)
 			c.st.AddStall(stats.StallBackpressure)
 			return
 		}
@@ -503,10 +557,11 @@ func (c *Core) tickLane(now int64) {
 		c.st.AddStall(stats.StallOther)
 	case inet.ItemInstr:
 		if !c.canForwardAll() {
+			c.noteStall(now, stats.StallBackpressure, math.MaxInt64, checkForward)
 			c.st.AddStall(stats.StallBackpressure)
 			return
 		}
-		ok, stall := c.issue(now, &it.Instr)
+		ok, stall := c.issueAt(now, int(it.PC))
 		if !ok {
 			c.st.AddStall(stall)
 			return
@@ -547,7 +602,7 @@ func (c *Core) mustForwardAll(now int64, it inet.Item) {
 }
 
 // OnLoadResp delivers a memory word to the load queue (machine callback).
-func (c *Core) OnLoadResp(now int64, m msg.Message) {
+func (c *Core) OnLoadResp(now int64, m *msg.Message) {
 	if c.dead {
 		return // response raced the tile's death; drop it
 	}
@@ -675,3 +730,46 @@ func (c *Core) Quiescent(now int64) (bool, int64) {
 	quiet, until, _ := c.IdleUntil(now)
 	return quiet, until
 }
+
+// Park implements sim.Sleeper: after ticking at now, the core may drop out
+// of the tick loop when every following cycle is a pure stall. The stall
+// kind is recorded so CatchUp can back-fill the histogram exactly as the
+// skipped ticks would have. Beyond IdleUntil's frontend/inet waits, Park
+// also probes issue stalls: a core blocked on the scoreboard, a DAE frame,
+// or inet backpressure is frozen — nothing in its own tick can unblock it —
+// so it sleeps until the blocker's known ready cycle, or until a mesh
+// delivery or same-shard progress wakes the shard (until = MaxInt64).
+func (c *Core) Park(now int64) (bool, int64) {
+	quiet, until, kind := c.IdleUntil(now + 1)
+	if !quiet {
+		// The tick at now may have stashed a parkable issue stall (see
+		// noteStall): a pure stall whose blocker is frozen core state,
+		// cleared only at a known scoreboard cycle, by a mesh delivery
+		// (which wakes the shard), or by a same-shard neighbor's queue
+		// drain. The neighbor ticks after this core within the shard, so
+		// backpressure stashes re-verify their queue live; everything else
+		// in the stash is untouchable between the tick and this probe.
+		if c.stallAt != now {
+			return false, 0
+		}
+		switch c.stallCheck {
+		case checkSend:
+			if c.outQs[0].CanSend() {
+				return false, 0
+			}
+		case checkForward:
+			if c.canForwardAll() {
+				return false, 0
+			}
+		}
+		until, kind = c.stallWake, c.stallKind
+		if until <= now+1 {
+			return false, 0
+		}
+	}
+	c.parkedKind = kind
+	return true, until
+}
+
+// CatchUp implements sim.Sleeper: replay n skipped parked cycles.
+func (c *Core) CatchUp(n int64) { c.SkipIdle(n, c.parkedKind) }

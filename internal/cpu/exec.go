@@ -1,73 +1,18 @@
 package cpu
 
+// Execution helpers shared by the pre-lowered closures in lower.go: register
+// writeback, global memory and remote-scratchpad traffic, vloads, CSRs, and
+// control-flow target application. The per-op semantics themselves are
+// generated once per program by LowerProgram.
+
 import (
 	"fmt"
 	"math"
 
-	"rockcress/internal/inet"
 	"rockcress/internal/isa"
 	"rockcress/internal/msg"
 	"rockcress/internal/stats"
 )
-
-// checkSources verifies every source register (and the destination, for
-// write-after-write) is ready at cycle now. Stalls caused by outstanding
-// memory responses are classed as frame stalls (the paper's CPI stacks fold
-// load waiting into "frame stall").
-func (c *Core) checkSources(now int64, in *isa.Instr) (bool, stats.StallKind) {
-	stall := func(pending bool) (bool, stats.StallKind) {
-		if pending {
-			return false, stats.StallFrame
-		}
-		return false, stats.StallOther
-	}
-	var irs [3]isa.Reg
-	for i, n := 0, in.IntSrcs(&irs); i < n; i++ {
-		r := irs[i]
-		if c.intReady[r] > now {
-			return stall(c.intPending&(1<<r) != 0)
-		}
-	}
-	var frs [3]isa.FReg
-	for i, n := 0, in.FpSrcs(&frs); i < n; i++ {
-		f := frs[i]
-		if c.fpReady[f] > now {
-			return stall(c.fpPending&(1<<f) != 0)
-		}
-	}
-	switch in.Op {
-	case isa.OpVfadd, isa.OpVfsub, isa.OpVfmul:
-		if c.vecReady[in.Vs1] > now || c.vecReady[in.Vs2] > now {
-			return false, stats.StallOther
-		}
-	case isa.OpVfma:
-		if c.vecReady[in.Vs1] > now || c.vecReady[in.Vs2] > now || c.vecReady[in.Vd] > now {
-			return false, stats.StallOther
-		}
-	case isa.OpVfmaF:
-		if c.vecReady[in.Vs1] > now || c.vecReady[in.Vd] > now {
-			return false, stats.StallOther
-		}
-	case isa.OpVfmulF, isa.OpVswSp, isa.OpVfredsum:
-		if c.vecReady[in.Vs1] > now {
-			return false, stats.StallOther
-		}
-	}
-	// Write-after-write: wait for in-flight writers of the destination.
-	if in.WritesInt() && c.intReady[in.Rd] > now {
-		return stall(c.intPending&(1<<in.Rd) != 0)
-	}
-	if in.WritesFp() && c.fpReady[in.Fd] > now {
-		return stall(c.fpPending&(1<<in.Fd) != 0)
-	}
-	switch in.Op {
-	case isa.OpVlwSp, isa.OpVfadd, isa.OpVfsub, isa.OpVfmul, isa.OpVfmulF, isa.OpVbcastF:
-		if c.vecReady[in.Vd] > now {
-			return false, stats.StallOther
-		}
-	}
-	return true, stats.StallNone
-}
 
 func (c *Core) writeInt(r isa.Reg, v uint32, readyAt int64) {
 	if r == isa.X0 {
@@ -82,282 +27,9 @@ func (c *Core) writeFp(f isa.FReg, v float32, readyAt int64) {
 	c.fpReady[f] = readyAt
 }
 
-// issue attempts to execute one instruction at cycle now, honouring
-// predication, scoreboard, and structural hazards. It returns whether the
-// instruction issued and, if not, the stall class.
-func (c *Core) issue(now int64, in *isa.Instr) (bool, stats.StallKind) {
-	if isa.IsControlFlow(in.Op) {
-		return c.execControl(now, in, c.mode == ModeVector)
-	}
-	// Predicated-off instructions execute as nops but still flow through
-	// the pipeline (and the inet), costing a cycle (§2.4).
-	if !c.predOn && isa.IsPredicatable(in.Op) {
-		c.st.PredNops++
-		c.st.CountClass(uint8(isa.ClassNop))
-		if c.mode != ModeVector {
-			c.setPC(c.pc + 1)
-		}
-		return true, stats.StallNone
-	}
-	if ok, stall := c.checkSources(now, in); !ok {
-		return false, stall
-	}
-	if ok, stall := c.exec(now, in); !ok {
-		return false, stall
-	}
-	c.st.CountClass(uint8(isa.Classify(in.Op)))
-	if c.mode != ModeVector && c.state == stRun && !c.halted {
-		// Sequential PC advance for frontend-driven cores. Instructions
-		// that enter a waiting state (vconfig, barrier) or vector mode
-		// manage the PC themselves.
-		c.setPC(c.pc + 1)
-	}
-	return true, stats.StallNone
-}
-
-// exec performs the instruction's semantics. It may still refuse (resource
-// hazards discovered at execution, e.g. a full load queue or NoC inject).
-func (c *Core) exec(now int64, in *isa.Instr) (bool, stats.StallKind) {
-	r := &c.intRegs
-	f := &c.fpRegs
-	aluDone := now + int64(c.cfg.ALULat)
-	switch in.Op {
-	case isa.OpNop:
-	case isa.OpAdd:
-		c.writeInt(in.Rd, r[in.Rs1]+r[in.Rs2], aluDone)
-	case isa.OpSub:
-		c.writeInt(in.Rd, r[in.Rs1]-r[in.Rs2], aluDone)
-	case isa.OpMul:
-		c.writeInt(in.Rd, uint32(int32(r[in.Rs1])*int32(r[in.Rs2])), now+int64(c.cfg.MulLat))
-	case isa.OpDiv, isa.OpRem:
-		if now < c.divBusyUntil {
-			return false, stats.StallOther
-		}
-		c.divBusyUntil = now + int64(c.cfg.DivLat)
-		a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
-		var q, rem int32
-		switch {
-		case b == 0:
-			q, rem = -1, a
-		case a == math.MinInt32 && b == -1:
-			q, rem = a, 0
-		default:
-			q, rem = a/b, a%b
-		}
-		v := q
-		if in.Op == isa.OpRem {
-			v = rem
-		}
-		c.writeInt(in.Rd, uint32(v), now+int64(c.cfg.DivLat))
-	case isa.OpAnd:
-		c.writeInt(in.Rd, r[in.Rs1]&r[in.Rs2], aluDone)
-	case isa.OpOr:
-		c.writeInt(in.Rd, r[in.Rs1]|r[in.Rs2], aluDone)
-	case isa.OpXor:
-		c.writeInt(in.Rd, r[in.Rs1]^r[in.Rs2], aluDone)
-	case isa.OpSll:
-		c.writeInt(in.Rd, r[in.Rs1]<<(r[in.Rs2]&31), aluDone)
-	case isa.OpSrl:
-		c.writeInt(in.Rd, r[in.Rs1]>>(r[in.Rs2]&31), aluDone)
-	case isa.OpSra:
-		c.writeInt(in.Rd, uint32(int32(r[in.Rs1])>>(r[in.Rs2]&31)), aluDone)
-	case isa.OpSlt:
-		c.writeInt(in.Rd, b2u(int32(r[in.Rs1]) < int32(r[in.Rs2])), aluDone)
-	case isa.OpSltu:
-		c.writeInt(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]), aluDone)
-	case isa.OpAddi:
-		c.writeInt(in.Rd, r[in.Rs1]+uint32(in.Imm), aluDone)
-	case isa.OpAndi:
-		c.writeInt(in.Rd, r[in.Rs1]&uint32(in.Imm), aluDone)
-	case isa.OpOri:
-		c.writeInt(in.Rd, r[in.Rs1]|uint32(in.Imm), aluDone)
-	case isa.OpXori:
-		c.writeInt(in.Rd, r[in.Rs1]^uint32(in.Imm), aluDone)
-	case isa.OpSlli:
-		c.writeInt(in.Rd, r[in.Rs1]<<(uint32(in.Imm)&31), aluDone)
-	case isa.OpSrli:
-		c.writeInt(in.Rd, r[in.Rs1]>>(uint32(in.Imm)&31), aluDone)
-	case isa.OpSrai:
-		c.writeInt(in.Rd, uint32(int32(r[in.Rs1])>>(uint32(in.Imm)&31)), aluDone)
-	case isa.OpSlti:
-		c.writeInt(in.Rd, b2u(int32(r[in.Rs1]) < in.Imm), aluDone)
-	case isa.OpLi:
-		c.writeInt(in.Rd, uint32(in.Imm), aluDone)
-
-	case isa.OpFadd:
-		c.writeFp(in.Fd, f[in.Fs1]+f[in.Fs2], now+int64(c.cfg.FpALULat))
-	case isa.OpFsub:
-		c.writeFp(in.Fd, f[in.Fs1]-f[in.Fs2], now+int64(c.cfg.FpALULat))
-	case isa.OpFmul:
-		c.writeFp(in.Fd, f[in.Fs1]*f[in.Fs2], now+int64(c.cfg.FpMulLat))
-	case isa.OpFmadd:
-		c.writeFp(in.Fd, f[in.Fs1]*f[in.Fs2]+f[in.Fs3], now+int64(c.cfg.FpMulLat))
-	case isa.OpFdiv:
-		if now < c.divBusyUntil {
-			return false, stats.StallOther
-		}
-		c.divBusyUntil = now + int64(c.cfg.FpDivLat)
-		c.writeFp(in.Fd, f[in.Fs1]/f[in.Fs2], now+int64(c.cfg.FpDivLat))
-	case isa.OpFsqrt:
-		if now < c.divBusyUntil {
-			return false, stats.StallOther
-		}
-		c.divBusyUntil = now + int64(c.cfg.FpDivLat)
-		c.writeFp(in.Fd, float32(math.Sqrt(float64(f[in.Fs1]))), now+int64(c.cfg.FpDivLat))
-	case isa.OpFmin:
-		c.writeFp(in.Fd, float32(math.Min(float64(f[in.Fs1]), float64(f[in.Fs2]))), now+int64(c.cfg.FpALULat))
-	case isa.OpFmax:
-		c.writeFp(in.Fd, float32(math.Max(float64(f[in.Fs1]), float64(f[in.Fs2]))), now+int64(c.cfg.FpALULat))
-	case isa.OpFabs:
-		c.writeFp(in.Fd, float32(math.Abs(float64(f[in.Fs1]))), now+int64(c.cfg.FpALULat))
-	case isa.OpFneg:
-		c.writeFp(in.Fd, -f[in.Fs1], now+int64(c.cfg.FpALULat))
-	case isa.OpFmv:
-		c.writeFp(in.Fd, f[in.Fs1], now+int64(c.cfg.FpALULat))
-	case isa.OpFeq:
-		c.writeInt(in.Rd, b2u(f[in.Fs1] == f[in.Fs2]), now+int64(c.cfg.FpALULat))
-	case isa.OpFlt:
-		c.writeInt(in.Rd, b2u(f[in.Fs1] < f[in.Fs2]), now+int64(c.cfg.FpALULat))
-	case isa.OpFle:
-		c.writeInt(in.Rd, b2u(f[in.Fs1] <= f[in.Fs2]), now+int64(c.cfg.FpALULat))
-	case isa.OpFcvtWS:
-		c.writeInt(in.Rd, uint32(int32(f[in.Fs1])), now+int64(c.cfg.FpALULat))
-	case isa.OpFcvtSW:
-		c.writeFp(in.Fd, float32(int32(r[in.Rs1])), now+int64(c.cfg.FpALULat))
-	case isa.OpFmvXW:
-		c.writeInt(in.Rd, math.Float32bits(f[in.Fs1]), now+int64(c.cfg.FpALULat))
-	case isa.OpFmvWX:
-		c.writeFp(in.Fd, math.Float32frombits(r[in.Rs1]), now+int64(c.cfg.FpALULat))
-
-	case isa.OpLw, isa.OpFlw:
-		return c.execGlobalLoad(now, in)
-	case isa.OpSw:
-		return c.execGlobalStore(now, in, r[in.Rs2])
-	case isa.OpFsw:
-		return c.execGlobalStore(now, in, math.Float32bits(f[in.Fs2]))
-
-	case isa.OpLwSp:
-		off := r[in.Rs1] + uint32(in.Imm)
-		c.writeInt(in.Rd, c.spad.ReadWord(off), now+int64(c.cfg.SpadHitLat))
-	case isa.OpFlwSp:
-		off := r[in.Rs1] + uint32(in.Imm)
-		c.writeFp(in.Fd, math.Float32frombits(c.spad.ReadWord(off)), now+int64(c.cfg.SpadHitLat))
-	case isa.OpSwSp:
-		c.spad.WriteWord(r[in.Rs1]+uint32(in.Imm), r[in.Rs2])
-	case isa.OpFswSp:
-		c.spad.WriteWord(r[in.Rs1]+uint32(in.Imm), math.Float32bits(f[in.Fs2]))
-	case isa.OpSwRemote:
-		return c.execRemoteStore(now, in, r[in.Rs2])
-	case isa.OpFswRemote:
-		return c.execRemoteStore(now, in, math.Float32bits(f[in.Fs2]))
-
-	case isa.OpCsrw:
-		return c.execCsrw(now, in)
-	case isa.OpCsrr:
-		c.writeInt(in.Rd, c.readCSR(in.Csr), aluDone)
-
-	case isa.OpVissue:
-		if len(c.outQs) != 1 {
-			c.fail("vissue outside a scalar role")
-			return true, stats.StallNone
-		}
-		if !c.outQs[0].CanSend() {
-			return false, stats.StallBackpressure
-		}
-		c.outQs[0].Send(now, inet.Item{Kind: inet.ItemMTStart, PC: in.Imm})
-		c.st.Microthreads++
-	case isa.OpDevec:
-		if len(c.outQs) != 1 {
-			c.fail("devec outside a scalar role")
-			return true, stats.StallNone
-		}
-		if !c.outQs[0].CanSend() {
-			return false, stats.StallBackpressure
-		}
-		c.outQs[0].Send(now, inet.Item{Kind: inet.ItemDevec, PC: in.Imm})
-		c.mode = ModeIndependent
-	case isa.OpVend:
-		// Handled by the expander's fetch loop; lanes never receive it.
-		c.fail("vend executed outside expander fetch")
-	case isa.OpFrameStart:
-		if !c.spad.FrameReady() {
-			return false, stats.StallFrame
-		}
-		c.writeInt(in.Rd, c.spad.FrameBase(), now+1)
-	case isa.OpRemem:
-		c.spad.FreeFrame()
-	case isa.OpVload:
-		return c.execVload(now, in)
-	case isa.OpPredEq:
-		c.predOn = r[in.Rs1] == r[in.Rs2]
-	case isa.OpPredNeq:
-		c.predOn = r[in.Rs1] != r[in.Rs2]
-
-	case isa.OpVlwSp:
-		off := r[in.Rs1] + uint32(in.Imm)
-		for i := 0; i < c.cfg.SIMDWidth; i++ {
-			c.vecRegs[in.Vd][i] = math.Float32frombits(c.spad.ReadWord(off + uint32(4*i)))
-		}
-		c.vecReady[in.Vd] = now + int64(c.cfg.SpadHitLat)
-	case isa.OpVswSp:
-		off := r[in.Rs1] + uint32(in.Imm)
-		for i := 0; i < c.cfg.SIMDWidth; i++ {
-			c.spad.WriteWord(off+uint32(4*i), math.Float32bits(c.vecRegs[in.Vs1][i]))
-		}
-	case isa.OpVfadd, isa.OpVfsub, isa.OpVfmul, isa.OpVfma:
-		a, b := c.vecRegs[in.Vs1], c.vecRegs[in.Vs2]
-		d := c.vecRegs[in.Vd]
-		for i := range d {
-			switch in.Op {
-			case isa.OpVfadd:
-				d[i] = a[i] + b[i]
-			case isa.OpVfsub:
-				d[i] = a[i] - b[i]
-			case isa.OpVfmul:
-				d[i] = a[i] * b[i]
-			case isa.OpVfma:
-				d[i] += a[i] * b[i]
-			}
-		}
-		c.vecReady[in.Vd] = now + int64(c.cfg.SIMDLat)
-	case isa.OpVfmaF:
-		a, d, s := c.vecRegs[in.Vs1], c.vecRegs[in.Vd], f[in.Fs3]
-		for i := range d {
-			d[i] += a[i] * s
-		}
-		c.vecReady[in.Vd] = now + int64(c.cfg.SIMDLat)
-	case isa.OpVfmulF:
-		a, d, s := c.vecRegs[in.Vs1], c.vecRegs[in.Vd], f[in.Fs3]
-		for i := range d {
-			d[i] = a[i] * s
-		}
-		c.vecReady[in.Vd] = now + int64(c.cfg.SIMDLat)
-	case isa.OpVbcastF:
-		d, s := c.vecRegs[in.Vd], f[in.Fs3]
-		for i := range d {
-			d[i] = s
-		}
-		c.vecReady[in.Vd] = now + int64(c.cfg.SIMDLat)
-	case isa.OpVfredsum:
-		var sum float32
-		for _, v := range c.vecRegs[in.Vs1] {
-			sum += v
-		}
-		c.writeFp(in.Fd, sum, now+int64(c.cfg.SIMDLat)+2)
-
-	case isa.OpBarrier:
-		c.state = stBarrier
-		c.ticket = c.env.BarrierArrive(c.ID)
-	case isa.OpHalt:
-		c.halted = true
-		c.env.NotifyHalt(c.ID)
-	default:
-		c.fail("unimplemented op %s", in.Op)
-	}
-	return true, stats.StallNone
-}
-
-func (c *Core) execGlobalLoad(now int64, in *isa.Instr) (bool, stats.StallKind) {
+// globalLoad issues one word load to the LLC (lw/flw). rd/fd is the
+// destination register number for the int/fp variant respectively.
+func (c *Core) globalLoad(now int64, rs1 isa.Reg, imm uint32, isFp bool, rd, fd uint8) (bool, stats.StallKind) {
 	slot := -1
 	for i := range c.lq {
 		if !c.lq[i].busy {
@@ -368,7 +40,7 @@ func (c *Core) execGlobalLoad(now int64, in *isa.Instr) (bool, stats.StallKind) 
 	if slot < 0 {
 		return false, stats.StallFrame // waiting on memory: LQ full
 	}
-	addr := c.intRegs[in.Rs1] + uint32(in.Imm)
+	addr := c.intRegs[rs1] + imm
 	m := msg.Message{
 		Kind: msg.KindLoadReq, Src: c.ID, Dst: c.env.LLCNodeFor(addr),
 		Addr: addr, Words: 1, LQSlot: slot,
@@ -376,30 +48,31 @@ func (c *Core) execGlobalLoad(now int64, in *isa.Instr) (bool, stats.StallKind) 
 	if !c.env.TrySend(m) {
 		return false, stats.StallOther
 	}
-	if in.Op == isa.OpFlw {
-		c.lq[slot] = lqEntry{busy: true, isFp: true, reg: uint8(in.Fd)}
-		c.fpReady[in.Fd] = pendingLoad
-		c.fpPending |= 1 << in.Fd
+	if isFp {
+		c.lq[slot] = lqEntry{busy: true, isFp: true, reg: fd}
+		c.fpReady[fd] = pendingLoad
+		c.fpPending |= 1 << fd
 	} else {
-		c.lq[slot] = lqEntry{busy: true, reg: uint8(in.Rd)}
-		if in.Rd != isa.X0 {
-			c.intReady[in.Rd] = pendingLoad
-			c.intPending |= 1 << in.Rd
+		c.lq[slot] = lqEntry{busy: true, reg: rd}
+		if isa.Reg(rd) != isa.X0 {
+			c.intReady[rd] = pendingLoad
+			c.intPending |= 1 << rd
 		}
 	}
 	c.st.LoadsIssued++
 	return true, stats.StallNone
 }
 
-func (c *Core) execGlobalStore(now int64, in *isa.Instr, val uint32) (bool, stats.StallKind) {
-	addr := c.intRegs[in.Rs1] + uint32(in.Imm)
+func (c *Core) globalStore(now int64, rs1 isa.Reg, imm, val uint32) (bool, stats.StallKind) {
+	addr := c.intRegs[rs1] + imm
 	if c.watchAddr != 0 && addr == c.watchAddr {
 		fmt.Printf("[%d] core %d ISSUES store %#x = %d\n", now, c.ID, addr, int32(val))
 	}
 	m := msg.Message{
 		Kind: msg.KindStoreReq, Src: c.ID, Dst: c.env.LLCNodeFor(addr),
-		Addr: addr, Vals: []uint32{val}, Words: 1,
+		Addr: addr, Words: 1,
 	}
+	m.Vals[0] = val
 	if !c.env.TrySend(m) {
 		return false, stats.StallOther
 	}
@@ -407,12 +80,13 @@ func (c *Core) execGlobalStore(now int64, in *isa.Instr, val uint32) (bool, stat
 	return true, stats.StallNone
 }
 
-func (c *Core) execRemoteStore(now int64, in *isa.Instr, val uint32) (bool, stats.StallKind) {
-	dst := int(c.intRegs[in.Rs3])
+func (c *Core) remoteStore(now int64, rs3, rs1 isa.Reg, imm, val uint32) (bool, stats.StallKind) {
+	dst := int(c.intRegs[rs3])
 	m := msg.Message{
 		Kind: msg.KindRemoteStore, Src: c.ID, Dst: dst,
-		SpadOff: c.intRegs[in.Rs1] + uint32(in.Imm), Vals: []uint32{val}, Words: 1,
+		SpadOff: c.intRegs[rs1] + imm, Words: 1,
 	}
+	m.Vals[0] = val
 	if !c.env.TrySend(m) {
 		return false, stats.StallOther
 	}
@@ -503,52 +177,9 @@ func (c *Core) readCSR(csr isa.CSR) uint32 {
 	return 0
 }
 
-// execControl resolves branches and jumps. In a microthread (expander) the
-// vpc moves; otherwise the pc moves. Taken control flow pays the branch
+// jumpTo applies a resolved control-flow target. In a microthread (expander)
+// the vpc moves; otherwise the pc moves. Taken control flow pays the branch
 // penalty; the expander's fetch pause is charged by its caller.
-func (c *Core) execControl(now int64, in *isa.Instr, micro bool) (bool, stats.StallKind) {
-	if ok, stall := c.checkSources(now, in); !ok {
-		return false, stall
-	}
-	r := &c.intRegs
-	cur := c.pc
-	if micro {
-		cur = c.vpc
-	}
-	next := cur + 1
-	taken := false
-	switch in.Op {
-	case isa.OpBeq:
-		taken = r[in.Rs1] == r[in.Rs2]
-	case isa.OpBne:
-		taken = r[in.Rs1] != r[in.Rs2]
-	case isa.OpBlt:
-		taken = int32(r[in.Rs1]) < int32(r[in.Rs2])
-	case isa.OpBge:
-		taken = int32(r[in.Rs1]) >= int32(r[in.Rs2])
-	case isa.OpBltu:
-		taken = r[in.Rs1] < r[in.Rs2]
-	case isa.OpBgeu:
-		taken = r[in.Rs1] >= r[in.Rs2]
-	case isa.OpJal:
-		c.writeInt(in.Rd, uint32(next), now+1)
-		taken = true
-	case isa.OpJalr:
-		c.writeInt(in.Rd, uint32(next), now+1)
-		tgt := int(r[in.Rs1]) + int(in.Imm)
-		c.st.CountClass(uint8(isa.Classify(in.Op)))
-		c.jumpTo(now, micro, tgt, true)
-		return true, stats.StallNone
-	}
-	c.st.CountClass(uint8(isa.Classify(in.Op)))
-	if taken {
-		c.jumpTo(now, micro, int(in.Imm), true)
-	} else {
-		c.jumpTo(now, micro, next, false)
-	}
-	return true, stats.StallNone
-}
-
 func (c *Core) jumpTo(now int64, micro bool, target int, taken bool) {
 	if micro {
 		c.setVPC(target)
@@ -566,3 +197,12 @@ func b2u(b bool) uint32 {
 	}
 	return 0
 }
+
+// Float helpers preserving the old interpreter's exact semantics (promotion
+// through float64 for min/max/abs/sqrt, IEEE bit moves for fmv.x.w/fmv.w.x).
+func sqrt32(x float32) float32     { return float32(math.Sqrt(float64(x))) }
+func min64f(a, b float32) float32  { return float32(math.Min(float64(a), float64(b))) }
+func max64f(a, b float32) float32  { return float32(math.Max(float64(a), float64(b))) }
+func abs32(x float32) float32      { return float32(math.Abs(float64(x))) }
+func f32bits(x float32) uint32     { return math.Float32bits(x) }
+func f32frombits(x uint32) float32 { return math.Float32frombits(x) }

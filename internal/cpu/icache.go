@@ -13,7 +13,15 @@ type ICache struct {
 	tags      []uint32
 	valid     []bool
 	mru       []uint8 // last-used way per set (LRU for 2-way; approx beyond)
+
+	// evict, when set, is called with the byte address of each line a miss
+	// fill displaces (decode-cache coherence: the core drops the displaced
+	// line's pre-decoded entries).
+	evict func(lineAddr uint32)
 }
+
+// SetEvictHook registers the eviction callback (nil disables it).
+func (c *ICache) SetEvictHook(fn func(lineAddr uint32)) { c.evict = fn }
 
 // NewICache builds a cache of the given geometry. Sets must come out a
 // power of two; the geometry is configuration input, so a bad shape is a
@@ -57,6 +65,9 @@ func (c *ICache) Access(byteAddr uint32) bool {
 	}
 	if victim < 0 {
 		victim = (int(c.mru[set]) + 1) % c.ways
+	}
+	if c.valid[base+victim] && c.evict != nil {
+		c.evict(c.tags[base+victim] * uint32(c.lineBytes))
 	}
 	c.valid[base+victim] = true
 	c.tags[base+victim] = tag

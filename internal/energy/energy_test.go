@@ -16,7 +16,7 @@ func TestVectorModeSavesFetch(t *testing.T) {
 		st := stats.New(4, 1)
 		for i := range st.Cores {
 			c := &st.Cores[i]
-			c.InstrsByClass = map[uint8]int64{uint8(isa.ClassIntAlu): 1000}
+			c.InstrsByClass[uint8(isa.ClassIntAlu)] = 1000
 			c.Instrs = 1000
 		}
 		st.Cores[0].ICacheAccesses = icache

@@ -81,6 +81,10 @@ type Runner struct {
 	// journaled marks keys already present in the journal (seeded from a
 	// previous run), so resumed cells are not appended a second time.
 	journaled map[string]bool
+	// Simulated-throughput meter: total simulated cycles and host run-loop
+	// time across this runner's executed (not seeded) cells. Guarded by mu.
+	simCycles int64
+	simWallNs int64
 }
 
 // New creates a runner.
@@ -202,10 +206,25 @@ func (r *Runner) store(key string, res *kernels.Result) *kernels.Result {
 }
 
 func (r *Runner) progress(name string, sw config.Software, modName string, res *kernels.Result, secs float64) {
+	if res != nil && res.Stats != nil {
+		r.mu.Lock()
+		r.simCycles += res.Stats.Cycles
+		r.simWallNs += res.Stats.WallNs
+		r.mu.Unlock()
+	}
 	if r.opts.Verbose {
 		fmt.Fprintf(r.opts.Out, "# %-10s %-12s %-14s %10d cycles  (%.1fs)\n",
 			name, sw.Name, modName, res.Cycles(), secs)
 	}
+}
+
+// Throughput reports the total simulated cycles this runner executed and
+// the host wall time the underlying run loops took (machine build and
+// harness bookkeeping excluded). Zero wall time means nothing ran.
+func (r *Runner) Throughput() (simCycles, wallNs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simCycles, r.simWallNs
 }
 
 // sanitizeKey maps a cache key to a filesystem-safe telemetry file stem.

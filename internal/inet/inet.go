@@ -49,10 +49,12 @@ type entry struct {
 	readyAt int64 // link latency: visible one cycle after the send
 }
 
-// Queue is one core's inet input queue.
+// Queue is one core's inet input queue: a fixed ring sized at construction,
+// so steady-state sends and pops never allocate.
 type Queue struct {
-	entries    []entry
-	cap        int
+	buf        []entry
+	head       int
+	n          int
 	stuckUntil int64 // fault injection: head is frozen before this cycle
 	hw         int   // deepest occupancy ever observed (telemetry gauge)
 }
@@ -64,11 +66,11 @@ func NewQueue(capacity int) (*Queue, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("inet: queue capacity %d must be at least 1", capacity)
 	}
-	return &Queue{cap: capacity}, nil
+	return &Queue{buf: make([]entry, capacity)}, nil
 }
 
 // CanSend reports whether the queue has room for another item.
-func (q *Queue) CanSend() bool { return len(q.entries) < q.cap }
+func (q *Queue) CanSend() bool { return q.n < len(q.buf) }
 
 // Send enqueues an item at cycle now; it becomes visible at now+1.
 // The caller must check CanSend first.
@@ -78,9 +80,10 @@ func (q *Queue) Send(now int64, it Item) {
 		// simulator bug, not bad user input.
 		panic("internal/inet: invariant: send on full queue")
 	}
-	q.entries = append(q.entries, entry{item: it, readyAt: now + 1})
-	if len(q.entries) > q.hw {
-		q.hw = len(q.entries)
+	q.buf[(q.head+q.n)%len(q.buf)] = entry{item: it, readyAt: now + 1}
+	q.n++
+	if q.n > q.hw {
+		q.hw = q.n
 	}
 }
 
@@ -89,7 +92,7 @@ func (q *Queue) HighWater() int { return q.hw }
 
 // Ready reports whether an item is poppable at cycle now.
 func (q *Queue) Ready(now int64) bool {
-	return now >= q.stuckUntil && len(q.entries) > 0 && q.entries[0].readyAt <= now
+	return now >= q.stuckUntil && q.n > 0 && q.buf[q.head].readyAt <= now
 }
 
 // ReadyAt returns the cycle the head item becomes poppable. ok is false
@@ -97,10 +100,10 @@ func (q *Queue) Ready(now int64) bool {
 // on a future Send). It feeds the machine's idle fast-forward horizon: a
 // core waiting on its inet queue is quiescent exactly until this cycle.
 func (q *Queue) ReadyAt() (at int64, ok bool) {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return 0, false
 	}
-	at = q.entries[0].readyAt
+	at = q.buf[q.head].readyAt
 	if q.stuckUntil > at {
 		at = q.stuckUntil
 	}
@@ -112,17 +115,18 @@ func (q *Queue) ReadyAt() (at int64, ok bool) {
 func (q *Queue) StickUntil(until int64) { q.stuckUntil = until }
 
 // Peek returns the head item without consuming it. Check Ready first.
-func (q *Queue) Peek() Item { return q.entries[0].item }
+func (q *Queue) Peek() Item { return q.buf[q.head].item }
 
 // Pop consumes the head item. Check Ready first.
 func (q *Queue) Pop() Item {
-	it := q.entries[0].item
-	q.entries = q.entries[1:]
+	it := q.buf[q.head].item
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
 	return it
 }
 
 // Len returns the number of queued items (ready or in flight).
-func (q *Queue) Len() int { return len(q.entries) }
+func (q *Queue) Len() int { return q.n }
 
 // Reset drops all queued items (group disband).
-func (q *Queue) Reset() { q.entries = q.entries[:0] }
+func (q *Queue) Reset() { q.head, q.n = 0, 0 }

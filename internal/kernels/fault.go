@@ -179,6 +179,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		}
 		if runErr == nil {
 			if err := img.Check(m.Global); err == nil {
+				m.Global.Recycle()
 				fr.Result = &Result{
 					Bench: name, Config: sw.Name, Params: p, HW: hw,
 					Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,

@@ -143,6 +143,7 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 	if err := img.Check(m.Global); err != nil {
 		return nil, fmt.Errorf("%s/%s: wrong result: %w", name, sw.Name, err)
 	}
+	m.Global.Recycle()
 	return &Result{
 		Bench: name, Config: sw.Name, Params: p, HW: hw,
 		Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,

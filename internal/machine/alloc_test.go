@@ -1,0 +1,75 @@
+package machine_test
+
+import (
+	"testing"
+
+	"rockcress/internal/config"
+	"rockcress/internal/kernels"
+	"rockcress/internal/machine"
+)
+
+// buildForAllocTest assembles a ready-to-run machine for one kernel and
+// software preset, mirroring kernels.Execute up to (but excluding) Run.
+func buildForAllocTest(t *testing.T, benchName, cfgName string) *machine.Machine {
+	t.Helper()
+	bench, err := kernels.Get(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Defaults(kernels.Tiny)
+	sw, err := config.Preset(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := sw.Apply(config.ManycoreDefault())
+	groups, err := kernels.GroupsFor(sw, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bench.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := kernels.NewCtx(p, img, sw, hw, groups)
+	if err := bench.Build(ctx); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ctx.B.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	memBytes := img.SizeBytes()
+	if memBytes < machine.DefaultMemBytes {
+		memBytes = machine.DefaultMemBytes
+	}
+	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Apply(m.Global)
+	return m
+}
+
+// TestSteadyStateAllocs single-steps busy machines and asserts the steady
+// state allocates nothing per cycle: pre-lowered dispatch, arena-backed
+// flits, and pooled frames mean a warm machine's tick path never touches
+// the heap. The warm-up grows every lazily sized buffer (LLC job rings,
+// mesh move scratch, expander queues) before the measured window.
+func TestSteadyStateAllocs(t *testing.T) {
+	cases := []struct{ bench, cfg string }{
+		{"mvt", "NV"},  // scalar MIMD: heavy request/response mesh traffic
+		{"gemm", "V4"}, // vector groups: expanders, frames, wide responses
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench+"/"+tc.cfg, func(t *testing.T) {
+			m := buildForAllocTest(t, tc.bench, tc.cfg)
+			for i := 0; i < 3000; i++ {
+				m.Step()
+			}
+			avg := testing.AllocsPerRun(1000, func() { m.Step() })
+			if avg != 0 {
+				t.Errorf("steady-state tick allocates: %.3f allocs/cycle", avg)
+			}
+		})
+	}
+}

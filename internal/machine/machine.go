@@ -161,6 +161,11 @@ type Machine struct {
 	// watchdog's incrementally-maintained issued-instruction counter.
 	engine *sim.Engine
 	meter  *sim.Meter
+	// Shard wakers for the engine's event parking: injections wake the mesh
+	// shard, deliveries and fills wake the owning bank's shard.
+	meshWaker  *sim.Waker
+	bankWakers []*sim.Waker
+	coreWakers []*sim.Waker // tile -> waker, fired on any mesh delivery to it
 
 	now int64
 	// active and barrier.arrived are atomics: cores in different engine
@@ -325,6 +330,9 @@ func New(p Params) (*Machine, error) {
 		}
 	}
 	m.cores = make([]*cpu.Core, cfg.Cores)
+	// Lower the program once; the dispatch table is immutable and shared by
+	// every core (per-core decode-cache state lives in each core).
+	lowered := cpu.LowerProgram(p.Prog, cfg)
 	for t := range m.cores {
 		var (
 			group *config.Group
@@ -340,7 +348,7 @@ func New(p Params) (*Machine, error) {
 				outQs = append(outQs, inQs[child])
 			}
 		}
-		m.cores[t], err = cpu.New(t, cfg, p.Prog, m, &m.Stats.Cores[t],
+		m.cores[t], err = cpu.New(t, cfg, lowered, m, &m.Stats.Cores[t],
 			m.spads[t], group, lane, inQ, outQs)
 		if err != nil {
 			return nil, err
@@ -348,6 +356,23 @@ func New(p Params) (*Machine, error) {
 		m.cores[t].SetIssueSlot(m.meter.Slot(t))
 	}
 	m.engine = sim.NewEngine(m.buildStages(), p.Workers)
+	// Event-parking wake wiring: a parked (empty) mesh shard must wake when
+	// anything injects; a parked (idle) bank must wake on a delivered
+	// request or a DRAM fill. Core shards wake through broadcast events
+	// (barrier release) or their own self-scheduled wake cycles.
+	m.meshWaker = m.engine.WakerFor(m.meshReq)
+	m.meshReq.SetWaker(m.meshWaker.Wake)
+	m.meshResp.SetWaker(m.meshWaker.Wake)
+	m.bankWakers = make([]*sim.Waker, len(m.llcs))
+	for b := range m.llcs {
+		m.bankWakers[b] = m.engine.WakerFor(m.llcs[b])
+	}
+	// Cores park on issue stalls too (scoreboard pending, frame waits);
+	// the resolving event is always a mesh delivery to the tile.
+	m.coreWakers = make([]*sim.Waker, len(m.cores))
+	for t := range m.cores {
+		m.coreWakers[t] = m.engine.WakerFor(m.cores[t])
+	}
 	m.buildRoles()
 	if p.WatchAddr != 0 {
 		for _, b := range m.llcs {
@@ -466,10 +491,16 @@ func (m *Machine) buildStages() []sim.Stage {
 // identical for every engine worker count.
 func (m *Machine) preMem(now int64) {
 	if m.inj != nil && now >= m.inj.NextDiscrete() {
+		// Faults mutate cores and queues out of band (kill, armed panic,
+		// stuck inet): unpark everything first so parked shards' stall
+		// back-fill happens against pre-fault state and an armed panic
+		// cannot sleep through its own cycle.
+		m.engine.Sync(now)
 		m.applyFaults(now)
 	}
 	for _, f := range m.dram.Completed(now, m.Global) {
 		m.llcs[f.Bank].Install(now, f.LineAddr)
+		m.bankWakers[f.Bank].Wake()
 	}
 	if m.integrity {
 		m.tickReplays(now)
@@ -483,6 +514,9 @@ func (m *Machine) preCores(now int64) {
 		m.barPending = false
 		m.barrier.gen++
 		m.barrier.arrived.Store(0)
+		// Cores waiting at the barrier are parked with no self-scheduled
+		// wake; the release is the broadcast event that makes them runnable.
+		m.engine.WakeAll()
 		if m.traceBarriers {
 			fmt.Printf("[%d] barrier gen %d released\n", m.now, m.barrier.gen)
 		}
@@ -631,24 +665,38 @@ func (m *Machine) LaneTile(group, lane int) (int, bool) {
 }
 
 // deliver hands a flit that reached its destination to the endpoint.
-func (m *Machine) deliver(node int, f msg.Message) bool {
+func (m *Machine) deliver(node int, f *msg.Message) bool {
 	if bank, ok := m.space.IsLLC(node); ok {
 		if !m.llcs[bank].CanAccept() {
 			return false
 		}
 		m.llcs[bank].Accept(f)
+		m.bankWakers[bank].Wake()
 		if m.rec != nil && f.Kind == msg.KindVloadReq {
 			m.rec.Instant("llc.fanout", "vload", m.now, m.tidLLC(bank),
 				map[string]int64{"addr": int64(f.Addr), "words": int64(f.Words), "src": int64(f.Src)})
 		}
 		return true
 	}
+	// Deliveries are the external resolvers for MaxInt64 core parks, but
+	// only two events can actually unblock one: a load response clearing a
+	// pending scoreboard register, and a spad word completing a DAE frame
+	// (flipping FrameReady). Remote stores and mid-frame words change
+	// nothing a park probe reads, so they skip the wake — a frame fill
+	// wakes the shard once, not once per word.
 	switch f.Kind {
 	case msg.KindLoadResp:
 		m.cores[node].OnLoadResp(m.now, f)
+		m.coreWakers[node].Wake()
 	case msg.KindSpadWord:
-		for i, v := range f.Vals {
-			m.spads[node].ArriveWord(f.SpadOff+uint32(4*i), f.Addr+uint32(4*i), v)
+		filled := false
+		for i := 0; i < f.Words; i++ {
+			if m.spads[node].ArriveWord(f.SpadOff+uint32(4*i), f.Addr+uint32(4*i), f.Vals[i]) {
+				filled = true
+			}
+		}
+		if filled {
+			m.coreWakers[node].Wake()
 		}
 	case msg.KindRemoteStore:
 		m.spads[node].WriteWord(f.SpadOff, f.Vals[0])
@@ -750,6 +798,10 @@ func (m *Machine) breakGroup(now int64, gid int) {
 	if m.brokenGroups[gid] {
 		return
 	}
+	// Members may be parked (a lane waiting on its inet queue, a core in
+	// the barrier): back-fill their skipped stalls against the pre-disband
+	// state before ForceDisband/ForceHalt rewrite it.
+	m.engine.Sync(now)
 	m.brokenGroups[gid] = true
 	m.report.BrokenGroups = append(m.report.BrokenGroups, gid)
 	if m.rec != nil {
@@ -797,6 +849,14 @@ func (m *Machine) step() {
 	m.engine.Tick(m.now)
 	m.now++
 }
+
+// Step advances the machine exactly one cycle with no idle fast-forward,
+// watchdog, or budget checks — the single-step hook for debuggers and for
+// tests that assert per-cycle properties (e.g. steady-state allocation).
+// Run and a Step loop produce identical architectural state cycle for
+// cycle; only Run's bookkeeping (checkpoints, deadlock watchdog, final
+// stats collection) is skipped.
+func (m *Machine) Step() { m.step() }
 
 // fastForward skips the machine straight to the next scheduled event when
 // nothing can make progress before it: the mesh is empty, every LLC bank is
@@ -849,6 +909,9 @@ func (m *Machine) fastForward(limit int64) bool {
 	if horizon <= m.now {
 		return false
 	}
+	// Parked shards carry un-back-filled cycles; settle them before the
+	// global skip layers its own back-fill on top.
+	m.engine.Sync(m.now)
 	n := horizon - m.now
 	for t, c := range m.cores {
 		c.SkipIdle(n, m.ffKinds[t])
@@ -935,6 +998,10 @@ func (m *Machine) checkComponents() error {
 // loop (a simulator bug) is recovered into one rather than taking down the
 // caller.
 func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
+	// The simulated-throughput meter times the run loop alone; the deferred
+	// add runs on every exit path, including panics turned into errors.
+	runStart := time.Now()
+	defer func() { m.Stats.WallNs += int64(time.Since(runStart)) }()
 	// The final (partial) telemetry window flushes on every exit path, after
 	// the inline collect() on success so window sums match the aggregates.
 	// Declared before the recover handler so it runs after it (LIFO) and an
@@ -1030,6 +1097,7 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 	for _, b := range m.llcs {
 		b.FlushTo(m.Global)
 	}
+	m.engine.Sync(m.now)
 	m.collect()
 	return m.Stats, nil
 }

@@ -117,6 +117,9 @@ func (m *Machine) sample(final bool) {
 	if m.sampler == nil {
 		return
 	}
+	// Parked shards defer their stall accounting; settle it so the window's
+	// counters match what strict per-cycle ticking would have recorded.
+	m.engine.Sync(m.now)
 	var c trace.Cum
 	m.snapshotCum(&c)
 	if final {

@@ -3,7 +3,6 @@ package mem
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // DRAM models the paper's fixed-latency, fixed-bandwidth main memory: one
@@ -15,6 +14,13 @@ type DRAM struct {
 	bytesPerCyc int64
 	channelFree int64
 	inFlight    []dramOp
+
+	// Reusable scratch (steady state allocates nothing): done collects the
+	// ops retired this call, fills backs Completed's return value, dataPool
+	// recycles writeback payload buffers.
+	done     []dramOp
+	fills    []Fill
+	dataPool [][]uint32
 
 	// Stats.
 	Reads, Writes int64
@@ -64,8 +70,13 @@ func (d *DRAM) Read(now int64, lineAddr uint32, lineBytes, bank int) {
 func (d *DRAM) Write(now int64, lineAddr uint32, data []uint32, bank int) {
 	done := d.schedule(now, len(data)*4)
 	d.Writes++
-	cp := make([]uint32, len(data))
-	copy(cp, data)
+	var cp []uint32
+	if n := len(d.dataPool); n > 0 {
+		cp = d.dataPool[n-1][:0]
+		d.dataPool[n-1] = nil
+		d.dataPool = d.dataPool[:n-1]
+	}
+	cp = append(cp, data...)
 	d.inFlight = append(d.inFlight, dramOp{doneAt: done, lineAddr: lineAddr, bank: bank, write: true, data: cp})
 }
 
@@ -78,9 +89,10 @@ type Fill struct {
 // Completed drains operations that finish at or before now. Write
 // completions are applied to g; read completions are returned so the owning
 // bank can install the line. Results are ordered by completion time then
-// address for determinism.
+// address for determinism. The returned slice is owned by the DRAM and
+// valid only until the next call.
 func (d *DRAM) Completed(now int64, g *Global) []Fill {
-	var done []dramOp
+	done := d.done[:0]
 	rest := d.inFlight[:0]
 	for _, op := range d.inFlight {
 		if op.doneAt <= now {
@@ -89,21 +101,37 @@ func (d *DRAM) Completed(now int64, g *Global) []Fill {
 			rest = append(rest, op)
 		}
 	}
+	// Scrub the tail so retired writeback payloads don't linger in the
+	// inFlight backing array (done aliases its head region only transiently).
+	for i := len(rest); i < len(d.inFlight); i++ {
+		d.inFlight[i].data = nil
+	}
 	d.inFlight = rest
-	sort.Slice(done, func(i, j int) bool {
-		if done[i].doneAt != done[j].doneAt {
-			return done[i].doneAt < done[j].doneAt
+	d.done = done[:0]
+	// Insertion sort: completion batches are tiny and nearly ordered, and
+	// unlike sort.Slice this never allocates.
+	for i := 1; i < len(done); i++ {
+		op := done[i]
+		j := i - 1
+		for j >= 0 && (done[j].doneAt > op.doneAt ||
+			(done[j].doneAt == op.doneAt && done[j].lineAddr > op.lineAddr)) {
+			done[j+1] = done[j]
+			j--
 		}
-		return done[i].lineAddr < done[j].lineAddr
-	})
-	var fills []Fill
-	for _, op := range done {
+		done[j+1] = op
+	}
+	fills := d.fills[:0]
+	for i := range done {
+		op := &done[i]
 		if op.write {
 			g.WriteLine(op.lineAddr, op.data)
+			d.dataPool = append(d.dataPool, op.data)
+			op.data = nil
 		} else {
 			fills = append(fills, Fill{LineAddr: op.lineAddr, Bank: op.bank})
 		}
 	}
+	d.fills = fills
 	return fills
 }
 

@@ -4,7 +4,11 @@
 // per-tile scratchpads with the frame counters of §3.3.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // Global is the word-addressed backing store behind the LLCs. The harness
 // initializes benchmark inputs here and reads results back after the LLCs
@@ -13,19 +17,88 @@ import "fmt"
 // Out-of-range and unaligned accesses latch an error (surfaced through the
 // machine's component check) instead of panicking: a wild address computed
 // by a simulated program is a simulation failure, not a simulator bug.
+//
+// Stores are pooled: a default-sized store is 32 MiB of zeroed memory, and
+// sweep-style runs build one machine per configuration, so allocating fresh
+// costs more in memclr than the run itself touches. Every write marks a
+// page-granular dirty bit; Recycle scrubs only dirty pages and parks the
+// store for the next NewGlobal of the same size.
 type Global struct {
 	words []uint32
+	dirty []uint64 // one bit per pageWords-word page, set on any write
 	err   error
 }
 
-// NewGlobal allocates a backing store of the given byte size. The size is
-// user input (benchmark image size, -mem style knobs), so a bad value is a
+// pageWords is the dirty-tracking granule (4 KiB pages).
+const pageWords = 1024
+
+// poolPerSize bounds how many recycled stores are kept per distinct size.
+const poolPerSize = 8
+
+var globalPool struct {
+	sync.Mutex
+	bySize map[int][]*Global
+}
+
+// NewGlobal allocates a backing store of the given byte size, reusing a
+// recycled store of the same size when one is available. The size is user
+// input (benchmark image size, -mem style knobs), so a bad value is a
 // validated configuration error, not a panic.
 func NewGlobal(bytes int) (*Global, error) {
 	if bytes%4 != 0 || bytes <= 0 {
 		return nil, fmt.Errorf("mem: global size %d must be a positive word multiple", bytes)
 	}
-	return &Global{words: make([]uint32, bytes/4)}, nil
+	nw := bytes / 4
+	globalPool.Lock()
+	if list := globalPool.bySize[nw]; len(list) > 0 {
+		g := list[len(list)-1]
+		globalPool.bySize[nw] = list[:len(list)-1]
+		globalPool.Unlock()
+		return g, nil
+	}
+	globalPool.Unlock()
+	pages := (nw + pageWords - 1) / pageWords
+	return &Global{
+		words: make([]uint32, nw),
+		dirty: make([]uint64, (pages+63)/64),
+	}, nil
+}
+
+// Recycle zeroes the store's dirty pages and returns it to the pool. The
+// caller must be completely done with the store: the next NewGlobal of the
+// same size may hand it to an unrelated machine.
+func (g *Global) Recycle() {
+	for wi, bm := range g.dirty {
+		for ; bm != 0; bm &= bm - 1 {
+			page := wi*64 + bits.TrailingZeros64(bm)
+			lo := page * pageWords
+			hi := lo + pageWords
+			if hi > len(g.words) {
+				hi = len(g.words)
+			}
+			clear(g.words[lo:hi])
+		}
+		g.dirty[wi] = 0
+	}
+	g.err = nil
+	globalPool.Lock()
+	if globalPool.bySize == nil {
+		globalPool.bySize = make(map[int][]*Global)
+	}
+	if list := globalPool.bySize[len(g.words)]; len(list) < poolPerSize {
+		globalPool.bySize[len(g.words)] = append(list, g)
+	}
+	globalPool.Unlock()
+}
+
+// markDirty records that words [lo, hi) were written.
+func (g *Global) markDirty(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	for p := lo / pageWords; p <= (hi-1)/pageWords; p++ {
+		g.dirty[p/64] |= 1 << (p % 64)
+	}
 }
 
 // Size returns the store's capacity in bytes.
@@ -67,6 +140,7 @@ func (g *Global) WriteWord(addr uint32, v uint32) {
 		return
 	}
 	g.words[addr/4] = v
+	g.dirty[int(addr/4)/pageWords/64] |= 1 << (int(addr/4) / pageWords % 64)
 }
 
 // Snapshot returns a copy of the whole store. The machine overlays dirty
@@ -83,6 +157,7 @@ func (g *Global) Restore(words []uint32) {
 		return
 	}
 	copy(g.words, words)
+	g.markDirty(0, len(g.words))
 }
 
 // ReadLine copies the line at lineAddr into dst (len(dst) words).
@@ -109,4 +184,5 @@ func (g *Global) WriteLine(lineAddr uint32, src []uint32) {
 		return
 	}
 	copy(g.words[lineAddr/4:end], src)
+	g.markDirty(int(lineAddr/4), end)
 }

@@ -76,9 +76,27 @@ type LLCBank struct {
 	lines []llcLine // sets*ways
 	plru  []uint8   // tree-PLRU state per set
 
-	reqQ []msg.Message
+	// reqQ is a fixed-capacity ring (LLCReqQueue entries): the queue bound
+	// is architectural, so steady state never reallocates it.
+	reqQ     []msg.Message
+	reqHead  int
+	reqCount int
+
 	mshr []llcMSHR
-	jobs []respJob
+
+	// jobs is a growable ring: the hit path is capped at LLCRespJobs, but
+	// Install may queue the waiters of a whole MSHR past the cap (bounding
+	// only the hit path keeps the bank deadlock-free), so the ring grows on
+	// demand and then stays at its high-water capacity.
+	jobs     []respJob
+	jobHead  int
+	jobCount int
+
+	// dataPool recycles respJob word buffers (lineWords capacity each): a
+	// popped job's buffer is returned here and reused by the next makeJob,
+	// so streaming allocates nothing once warm. Buffers are bank-owned; a
+	// job's data is never referenced after its pop.
+	dataPool [][]uint32
 
 	// pendingReads buffers DRAM line-fill requests issued during Propose.
 	// The DRAM channel serializes on occupancy, so the issue order is
@@ -120,6 +138,8 @@ func NewLLCBank(id int, cfg config.Manycore, node int, out Sender, dram *DRAM, g
 		lines: make([]llcLine, sets*ways),
 		plru:  make([]uint8, sets),
 		mshr:  make([]llcMSHR, cfg.LLCMSHRs),
+		reqQ:  make([]msg.Message, cfg.LLCReqQueue),
+		jobs:  make([]respJob, cfg.LLCRespJobs),
 		out:   out, dram: dram, global: global, groups: groups, st: st,
 	}
 	for i := range b.lines {
@@ -141,20 +161,62 @@ func (b *LLCBank) fail(format string, args ...any) {
 }
 
 // CanAccept reports whether the request queue has room.
-func (b *LLCBank) CanAccept() bool { return len(b.reqQ) < b.cfg.LLCReqQueue }
+func (b *LLCBank) CanAccept() bool { return b.reqCount < len(b.reqQ) }
 
 // Accept enqueues an incoming request (the machine delivers NoC arrivals).
-func (b *LLCBank) Accept(m msg.Message) {
+func (b *LLCBank) Accept(m *msg.Message) {
 	if !b.CanAccept() {
 		b.fail("accept on full request queue")
 		return
 	}
-	b.reqQ = append(b.reqQ, m)
+	b.reqQ[(b.reqHead+b.reqCount)%len(b.reqQ)] = *m
+	b.reqCount++
+}
+
+// popReq consumes the head request.
+func (b *LLCBank) popReq() {
+	b.reqHead = (b.reqHead + 1) % len(b.reqQ)
+	b.reqCount--
+}
+
+// pushJob appends a response job, growing the ring if full (Install may
+// burst past the hit-path cap).
+func (b *LLCBank) pushJob(j respJob) {
+	if b.jobCount == len(b.jobs) {
+		grown := make([]respJob, 2*len(b.jobs)+1)
+		for i := 0; i < b.jobCount; i++ {
+			grown[i] = b.jobs[(b.jobHead+i)%len(b.jobs)]
+		}
+		b.jobs = grown
+		b.jobHead = 0
+	}
+	b.jobs[(b.jobHead+b.jobCount)%len(b.jobs)] = j
+	b.jobCount++
+}
+
+// popJob retires the head job, returning its word buffer to the pool.
+func (b *LLCBank) popJob() {
+	j := &b.jobs[b.jobHead]
+	b.dataPool = append(b.dataPool, j.data[:0])
+	j.data = nil
+	b.jobHead = (b.jobHead + 1) % len(b.jobs)
+	b.jobCount--
+}
+
+// getData takes an n-word buffer from the pool (n never exceeds lineWords).
+func (b *LLCBank) getData(n int) []uint32 {
+	if last := len(b.dataPool) - 1; last >= 0 {
+		d := b.dataPool[last]
+		b.dataPool = b.dataPool[:last]
+		return d[:n]
+	}
+	d := make([]uint32, b.lineWords)
+	return d[:n]
 }
 
 // Busy reports whether the bank has buffered work (quiescence check).
 func (b *LLCBank) Busy() bool {
-	if len(b.reqQ) > 0 || len(b.jobs) > 0 {
+	if b.reqCount > 0 || b.jobCount > 0 {
 		return true
 	}
 	for i := range b.mshr {
@@ -313,7 +375,7 @@ func (b *LLCBank) Commit(now int64) {
 // is waiting on a DRAM completion, which the machine tracks through the
 // DRAM's own event horizon.
 func (b *LLCBank) Idle() bool {
-	return len(b.reqQ) == 0 && len(b.jobs) == 0
+	return b.reqCount == 0 && b.jobCount == 0
 }
 
 // Quiescent implements the sim.Component hint. The bank self-schedules
@@ -325,11 +387,24 @@ func (b *LLCBank) Quiescent(now int64) (bool, int64) {
 	return true, math.MaxInt64
 }
 
+// Park implements sim.Sleeper: an idle bank's tick is a pure no-op (a busy
+// MSHR only waits on a DRAM fill, which arrives through Install — a wake
+// site). Nothing to replay, so CatchUp is empty.
+func (b *LLCBank) Park(now int64) (bool, int64) {
+	if !b.Idle() {
+		return false, 0
+	}
+	return true, math.MaxInt64
+}
+
+// CatchUp implements sim.Sleeper: an idle bank accrues no bookkeeping.
+func (b *LLCBank) CatchUp(n int64) {}
+
 func (b *LLCBank) processRequest(now int64) {
-	if len(b.reqQ) == 0 || b.err != nil {
+	if b.reqCount == 0 || b.err != nil {
 		return
 	}
-	m := b.reqQ[0]
+	m := b.reqQ[b.reqHead]
 	switch m.Kind {
 	case msg.KindStoreReq:
 		if !b.handleStore(now, m) {
@@ -343,7 +418,7 @@ func (b *LLCBank) processRequest(now int64) {
 		b.fail("unexpected message kind %s", m.Kind)
 		return
 	}
-	b.reqQ = b.reqQ[1:]
+	b.popReq()
 }
 
 func (b *LLCBank) handleStore(now int64, m msg.Message) bool {
@@ -397,7 +472,7 @@ func (b *LLCBank) handleLoad(now int64, m msg.Message) bool {
 		return true // empty prefix portion: nothing to serve
 	}
 	if w := b.lookup(lineAddr); w >= 0 {
-		if len(b.jobs) >= b.cfg.LLCRespJobs {
+		if b.jobCount >= b.cfg.LLCRespJobs {
 			return false // response queue full
 		}
 		set := b.setOf(lineAddr)
@@ -406,7 +481,7 @@ func (b *LLCBank) handleLoad(now int64, m msg.Message) bool {
 		if m.Kind == msg.KindVloadReq {
 			b.st.WideReqs++
 		}
-		b.jobs = append(b.jobs, b.makeJob(m, &b.lines[set*b.ways+w], lineAddr, kStart, kEnd))
+		b.pushJob(b.makeJob(m, &b.lines[set*b.ways+w], lineAddr, kStart, kEnd))
 		return true
 	}
 	mi, isNew := b.mshrFor(lineAddr)
@@ -440,7 +515,10 @@ func (b *LLCBank) mshrFor(lineAddr uint32) (int, bool) {
 	if free < 0 {
 		return -1, false
 	}
-	b.mshr[free] = llcMSHR{busy: true, lineAddr: lineAddr}
+	// Field-wise reset keeps the events slice's capacity across reuses.
+	b.mshr[free].busy = true
+	b.mshr[free].lineAddr = lineAddr
+	b.mshr[free].events = b.mshr[free].events[:0]
 	return free, true
 }
 
@@ -453,7 +531,7 @@ func (b *LLCBank) makeJob(m msg.Message, l *llcLine, lineAddr uint32, kStart, kE
 		firstWordInLine = 0 // prefix: starts at the head of the next line
 	}
 	n := kEnd - kStart
-	data := make([]uint32, n)
+	data := b.getData(n)
 	copy(data, l.data[firstWordInLine:firstWordInLine+n])
 	return respJob{req: m, kStart: kStart, data: data}
 }
@@ -503,27 +581,30 @@ func (b *LLCBank) Install(now int64, lineAddr uint32) {
 		}
 		// Fills may exceed the hit-path job cap transiently; bounding only
 		// the hit path keeps the bank deadlock-free.
-		b.jobs = append(b.jobs, b.makeJob(m, l, lineAddr, kStart, kEnd))
+		b.pushJob(b.makeJob(m, l, lineAddr, kStart, kEnd))
 	}
-	b.mshr[mi] = llcMSHR{}
+	b.mshr[mi].busy = false
+	b.mshr[mi].lineAddr = 0
+	b.mshr[mi].events = b.mshr[mi].events[:0]
 }
 
 // streamResponses emits at most one flit per cycle from the head job,
 // carrying up to NetWidthWords consecutive words for a single destination.
 func (b *LLCBank) streamResponses(now int64) {
-	if len(b.jobs) == 0 {
+	if b.jobCount == 0 {
 		return
 	}
-	j := &b.jobs[0]
+	j := &b.jobs[b.jobHead]
 	m := j.req
 	if m.Kind == msg.KindLoadReq {
 		resp := msg.Message{
 			Kind: msg.KindLoadResp, Src: b.node, Dst: m.Src,
-			Vals: []uint32{j.data[0]}, Words: 1, LQSlot: m.LQSlot, Addr: m.Addr,
+			Words: 1, LQSlot: m.LQSlot, Addr: m.Addr,
 		}
+		resp.Vals[0] = j.data[0]
 		if b.out.TrySend(resp) {
 			b.st.RespWords++
-			b.jobs = b.jobs[1:]
+			b.popJob()
 		}
 		return
 	}
@@ -531,33 +612,35 @@ func (b *LLCBank) streamResponses(now int64) {
 	k := j.kStart + j.sent
 	tile, off, ok := b.destOf(m, k)
 	if !ok {
-		b.jobs = b.jobs[1:]
+		b.popJob()
 		return
 	}
 	maxW := b.cfg.NetWidthWords
-	vals := []uint32{j.data[j.sent]}
-	for len(vals) < maxW && j.sent+len(vals) < len(j.data) {
-		nk := j.kStart + j.sent + len(vals)
-		nt, noff, ok2 := b.destOf(m, nk)
-		if !ok2 || nt != tile || noff != off+uint32(4*len(vals)) {
-			break
-		}
-		vals = append(vals, j.data[j.sent+len(vals)])
-	}
 	// Addr carries the global address of the first bundled word so the
 	// receiving scratchpad can record the frame's data provenance (replay).
 	resp := msg.Message{
 		Kind: msg.KindSpadWord, Src: b.node, Dst: tile,
-		Vals: vals, Words: len(vals), SpadOff: off,
-		Addr: m.Addr + uint32(4*k),
+		SpadOff: off, Addr: m.Addr + uint32(4*k),
 	}
+	resp.Vals[0] = j.data[j.sent]
+	n := 1
+	for n < maxW && j.sent+n < len(j.data) {
+		nk := j.kStart + j.sent + n
+		nt, noff, ok2 := b.destOf(m, nk)
+		if !ok2 || nt != tile || noff != off+uint32(4*n) {
+			break
+		}
+		resp.Vals[n] = j.data[j.sent+n]
+		n++
+	}
+	resp.Words = n
 	if !b.out.TrySend(resp) {
 		return
 	}
-	b.st.RespWords += int64(len(vals))
-	j.sent += len(vals)
+	b.st.RespWords += int64(n)
+	j.sent += n
 	if j.sent == len(j.data) {
-		b.jobs = b.jobs[1:]
+		b.popJob()
 	}
 }
 

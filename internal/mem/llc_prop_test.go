@@ -49,13 +49,13 @@ func TestLLCMatchesFlatMemory(t *testing.T) {
 				a := addrs[r.Intn(len(addrs))]
 				if r.Intn(3) == 0 { // store
 					v := r.Uint32()
-					bank.Accept(msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64,
-						Addr: a, Vals: []uint32{v}, Words: 1})
+					bank.Accept(&msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64,
+						Addr: a, Vals: [msg.MaxWords]uint32{v}, Words: 1})
 					ref[a] = v
 				} else { // load
 					slot := nextSlot
 					nextSlot++
-					bank.Accept(msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64,
+					bank.Accept(&msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64,
 						Addr: a, Words: 1, LQSlot: slot})
 					pending[slot] = expect{addr: a}
 				}
@@ -122,10 +122,10 @@ func TestLLCValueOrdering(t *testing.T) {
 		if rounds < 150 && bank.CanAccept() {
 			a := uint32(r.Intn(64)) * uint32(cfg.LLCBanks*cfg.CacheLineBytes)
 			v := r.Uint32()
-			bank.Accept(msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64,
-				Addr: a, Vals: []uint32{v}, Words: 1})
+			bank.Accept(&msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64,
+				Addr: a, Vals: [msg.MaxWords]uint32{v}, Words: 1})
 			if bank.CanAccept() {
-				bank.Accept(msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64,
+				bank.Accept(&msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64,
 					Addr: a, Words: 1, LQSlot: slot})
 				want[slot] = v
 				slot++

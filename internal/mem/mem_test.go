@@ -252,7 +252,7 @@ func TestLLCLoadMissThenHit(t *testing.T) {
 	b, g, d, out, st := newBank(t)
 	g.WriteWord(0x1000, 77)
 	req := msg.Message{Kind: msg.KindLoadReq, Src: 3, Dst: 64, Addr: 0x1000, Words: 1, LQSlot: 1}
-	b.Accept(req)
+	b.Accept(&req)
 	runBank(b, d, g, 200)
 	if len(out.msgs) != 1 || out.msgs[0].Vals[0] != 77 || out.msgs[0].Dst != 3 {
 		t.Fatalf("bad response: %+v", out.msgs)
@@ -260,7 +260,7 @@ func TestLLCLoadMissThenHit(t *testing.T) {
 	if st.Misses != 1 {
 		t.Fatalf("misses %d, want 1", st.Misses)
 	}
-	b.Accept(req)
+	b.Accept(&req)
 	runBank(b, d, g, 10)
 	if len(out.msgs) != 2 {
 		t.Fatal("hit not served quickly")
@@ -273,8 +273,8 @@ func TestLLCLoadMissThenHit(t *testing.T) {
 func TestLLCStoreCoalescesIntoMiss(t *testing.T) {
 	b, g, d, out, _ := newBank(t)
 	g.WriteWord(0x2000, 5)
-	b.Accept(msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64, Addr: 0x2000, Vals: []uint32{9}, Words: 1})
-	b.Accept(msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64, Addr: 0x2000, Words: 1, LQSlot: 0})
+	b.Accept(&msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64, Addr: 0x2000, Vals: [msg.MaxWords]uint32{9}, Words: 1})
+	b.Accept(&msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64, Addr: 0x2000, Words: 1, LQSlot: 0})
 	runBank(b, d, g, 200)
 	if len(out.msgs) != 1 || out.msgs[0].Vals[0] != 9 {
 		t.Fatalf("load did not observe coalesced store: %+v", out.msgs)
@@ -288,7 +288,7 @@ func TestLLCWritebackOnEviction(t *testing.T) {
 	b, g, d, _, st := newBank(t)
 	// Dirty one line, then stream enough distinct lines through its set to
 	// evict it; its value must land back in the global store.
-	b.Accept(msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64, Addr: 0x0, Vals: []uint32{123}, Words: 1})
+	b.Accept(&msg.Message{Kind: msg.KindStoreReq, Src: 1, Dst: 64, Addr: 0x0, Vals: [msg.MaxWords]uint32{123}, Words: 1})
 	runBank(b, d, g, 200)
 	// Same set: bank 0 owns lines at stride banks*lineBytes = 1024; the
 	// set repeats every sets*1024 bytes.
@@ -296,7 +296,7 @@ func TestLLCWritebackOnEviction(t *testing.T) {
 	sets := cfg.LLCBytes / cfg.LLCBanks / (cfg.CacheLineBytes * cfg.LLCWays)
 	stride := uint32(sets * cfg.LLCBanks * cfg.CacheLineBytes)
 	for w := 1; w <= cfg.LLCWays+1; w++ {
-		b.Accept(msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64, Addr: uint32(w) * stride, Words: 1, LQSlot: 0})
+		b.Accept(&msg.Message{Kind: msg.KindLoadReq, Src: 1, Dst: 64, Addr: uint32(w) * stride, Words: 1, LQSlot: 0})
 		runBank(b, d, g, 200)
 	}
 	if st.Writebacks == 0 {
@@ -323,7 +323,7 @@ func TestLLCUnalignedPairCoversBlock(t *testing.T) {
 	suffix := msg.Message{Kind: msg.KindVloadReq, Src: 2, Dst: 64, Addr: addr, Words: 16,
 		SpadOff: 0, Vload: vl, Group: -1, ReqCore: 2}
 	suffix.Vload.Part = isa.VloadSuffix
-	b.Accept(suffix)
+	b.Accept(&suffix)
 	runBank(b, d, g, 300)
 	words := 0
 	for _, m := range out.msgs {
@@ -347,7 +347,7 @@ func TestLLCRefusesWhenFull(t *testing.T) {
 		if !b.CanAccept() {
 			t.Fatal("queue full early")
 		}
-		b.Accept(msg.Message{Kind: msg.KindLoadReq, Addr: uint32(i * 64), Words: 1})
+		b.Accept(&msg.Message{Kind: msg.KindLoadReq, Addr: uint32(i * 64), Words: 1})
 	}
 	if b.CanAccept() {
 		t.Fatal("queue should be full")

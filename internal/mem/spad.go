@@ -261,15 +261,19 @@ func (s *Scratchpad) WriteWord(off uint32, v uint32) {
 // arrival order within a frame does not matter (§3.3). gaddr is the global
 // byte address the word was read from (the LLC stamps responses with it);
 // it feeds the delivery record replay reconstructs a frame from.
-func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) {
+//
+// It reports whether this word completed a frame slot — the only spad-side
+// event that can flip FrameReady, and hence the only arrival a core parked
+// on a frame stall needs a wake for.
+func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) bool {
 	if s.dead || !s.checkOff(off) {
-		return
+		return false
 	}
 	region := uint32(s.FrameRegionBytes())
 	if s.numFrames == 0 || off >= region {
 		s.st.SpadWrites++
 		s.words[off/4] = v
-		return
+		return false
 	}
 	slot := int(off) / (s.frameWords * 4)
 	if s.counters[slot] >= s.frameWords {
@@ -279,11 +283,11 @@ func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) {
 			// from a timed-out replay attempt re-issued in full. Drop them;
 			// the parity check at frame-open catches any torn interleave.
 			s.st.ReplayStaleDrops++
-			return
+			return false
 		}
 		s.fail("frame slot %d overflow: data arrived for a frame more than %d ahead of the head (paper Fig. 9)",
 			slot, s.numFrames)
-		return
+		return false
 	}
 	s.st.SpadWrites++
 	s.words[off/4] = v
@@ -302,6 +306,7 @@ func (s *Scratchpad) ArriveWord(off, gaddr uint32, v uint32) {
 		s.parity[slot] ^= v
 		s.recordSeg(slot, off, gaddr)
 	}
+	return s.counters[slot] == s.frameWords
 }
 
 // recordSeg appends one delivered word to the slot's delivery record,

@@ -47,14 +47,22 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// MaxWords bounds how many data words one flit can carry: the widest legal
+// NetWidthWords (config.Validate enforces NetWidthWords <= MaxWords). Vals
+// is an inline array rather than a slice so messages never allocate — the
+// steady-state simulation sends millions of them, and a flit's payload is a
+// value, copied with the message as it moves through queues.
+const MaxWords = 8
+
 // Message is one NoC payload. A message occupies one flit; a KindSpadWord
 // or KindLoadResp flit may carry up to the network width in consecutive
-// words for a single destination (Words > 1).
+// words for a single destination (Words > 1). Only Vals[:Words] is
+// meaningful.
 type Message struct {
 	Kind     Kind
 	Src, Dst int    // NoC node ids
 	Addr     uint32 // global byte address (requests)
-	Vals     []uint32
+	Vals     [MaxWords]uint32
 	Words    int // request: words wanted; response: words carried
 
 	// Load responses.

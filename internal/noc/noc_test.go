@@ -14,11 +14,11 @@ type collector struct {
 
 func newCollector() *collector { return &collector{got: map[int][]msg.Message{}} }
 
-func (c *collector) deliver(node int, m msg.Message) bool {
+func (c *collector) deliver(node int, m *msg.Message) bool {
 	if c.refuse != nil && c.refuse(node) {
 		return false
 	}
-	c.got[node] = append(c.got[node], m)
+	c.got[node] = append(c.got[node], *m)
 	return true
 }
 
@@ -40,7 +40,7 @@ func newMesh(t *testing.T, w, h, banks, queueCap int, deliver Deliver) *Mesh {
 func TestDelivery(t *testing.T) {
 	c := newCollector()
 	m := newMesh(t, 8, 8, 16, 4, c.deliver)
-	f := msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: []uint32{42}, Words: 1}
+	f := msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: [msg.MaxWords]uint32{42}, Words: 1}
 	if !m.TrySend(f) {
 		t.Fatal("inject failed")
 	}
@@ -81,7 +81,7 @@ func TestBackpressure(t *testing.T) {
 	// Flood toward one refusing node: queues fill, injection eventually fails.
 	sent := 0
 	for i := 0; i < 100; i++ {
-		if m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 4, Dst: 5, Vals: []uint32{1}, Words: 1}) {
+		if m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 4, Dst: 5, Vals: [msg.MaxWords]uint32{1}, Words: 1}) {
 			sent++
 		}
 		m.Tick()
@@ -110,7 +110,7 @@ func TestPairwiseFIFO(t *testing.T) {
 		if tick < 2000 {
 			p := pairs[r.Intn(len(pairs))]
 			f := msg.Message{Kind: msg.KindRemoteStore, Src: p.src, Dst: p.dst,
-				Vals: []uint32{next[p]}, Words: 1, SpadOff: uint32(p.src)}
+				Vals: [msg.MaxWords]uint32{next[p]}, Words: 1, SpadOff: uint32(p.src)}
 			if m.TrySend(f) {
 				sent[p] = append(sent[p], next[p])
 				next[p]++
@@ -152,7 +152,7 @@ func TestAllToAllDelivery(t *testing.T) {
 				continue
 			}
 			if m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: src, Dst: dst,
-				Vals: []uint32{uint32(injected)}, Words: 1}) {
+				Vals: [msg.MaxWords]uint32{uint32(injected)}, Words: 1}) {
 				injected++
 			}
 		}
@@ -188,7 +188,7 @@ func TestLinkRetry(t *testing.T) {
 		}
 		return LinkOK
 	})
-	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 3, Vals: []uint32{7}, Words: 1}) {
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 3, Vals: [msg.MaxWords]uint32{7}, Words: 1}) {
 		t.Fatal("inject failed")
 	}
 	drain(m, 500)
@@ -216,7 +216,7 @@ func TestLinkCorruptRetry(t *testing.T) {
 		}
 		return LinkOK
 	})
-	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: []uint32{9}, Words: 1}) {
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: [msg.MaxWords]uint32{9}, Words: 1}) {
 		t.Fatal("inject failed")
 	}
 	drain(m, 200)
@@ -239,7 +239,7 @@ func TestLinkDead(t *testing.T) {
 		}
 		return LinkOK
 	})
-	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: []uint32{1}, Words: 1}) {
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 1, Vals: [msg.MaxWords]uint32{1}, Words: 1}) {
 		t.Fatal("inject failed")
 	}
 	for i := 0; i < 2000 && m.Err() == nil; i++ {
@@ -259,7 +259,7 @@ func TestNilJudgeZeroCost(t *testing.T) {
 	c := newCollector()
 	m := newMesh(t, 8, 8, 16, 4, c.deliver)
 	m.SetLinkJudge(nil)
-	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: []uint32{5}, Words: 1}) {
+	if !m.TrySend(msg.Message{Kind: msg.KindRemoteStore, Src: 0, Dst: 63, Vals: [msg.MaxWords]uint32{5}, Words: 1}) {
 		t.Fatal("inject failed")
 	}
 	drain(m, 100)

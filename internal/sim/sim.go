@@ -62,9 +62,69 @@ type Component interface {
 	Quiescent(now int64) (bool, int64)
 }
 
+// Sleeper is an optional Component extension that lets the engine park a
+// whole shard out of the tick loop. Park is asked after the shard commits:
+// ok means ticking the component at every cycle after now is a pure no-op
+// (or a fixed-kind stall it can replay) until wakeAt arrives or another
+// component acts on it — the acting side must Wake the shard through the
+// Waker the machine wired. CatchUp(n) then replays the n skipped ticks'
+// bookkeeping (stall accounting, internal clocks) so parking is
+// bit-invisible: every counter ends exactly as n real ticks would have
+// left it. A shard parks only when every component in it agrees.
+type Sleeper interface {
+	Component
+	Park(now int64) (ok bool, wakeAt int64)
+	CatchUp(n int64)
+}
+
 // Shard is an ordered list of components that must tick serially relative
 // to each other (they share state within a cycle).
 type Shard []Component
+
+// shardCtl is the engine's parking state for one shard. parked and woken
+// are atomics: wakers run on engine workers (a core injecting into a
+// parked mesh) while the driving goroutine owns the rest between barriers.
+type shardCtl struct {
+	sleepers []Sleeper // non-nil only when every component can park
+	parked   atomic.Bool
+	// parkedHint mirrors parked for the driving goroutine, which is the
+	// only writer of both: the per-cycle shard scan reads the plain bool
+	// instead of paying an atomic load per shard.
+	parkedHint bool
+	parkedAt   int64 // last cycle the shard actually ticked
+	wakeAt     int64
+	woken      atomic.Bool
+}
+
+// stageCtl aggregates one stage's parking state so a fully parked stage
+// costs O(1) per cycle instead of a scan over its shards. nParked and
+// minWake are maintained by the driving goroutine's slow path; woken
+// latches any Waker firing on a shard of the stage and is cleared only by
+// the slow path.
+type stageCtl struct {
+	woken   atomic.Bool
+	nParked int
+	minWake int64
+}
+
+// Waker wakes one parked shard. Safe to call from any engine worker or the
+// driving goroutine; wakes latch until the shard next ticks, and waking an
+// unparked shard is a no-op.
+type Waker struct {
+	ctl *shardCtl
+	grp *stageCtl
+}
+
+// Wake marks the shard runnable at its stage's next tick.
+func (w *Waker) Wake() {
+	if w == nil || w.ctl == nil {
+		return
+	}
+	if w.ctl.parked.Load() {
+		w.ctl.woken.Store(true)
+		w.grp.woken.Store(true)
+	}
+}
 
 // Stage is one step of the cycle: an optional serial prologue, a parallel
 // shard tick, and an optional serial epilogue. Stages run in declared
@@ -137,8 +197,26 @@ type Engine struct {
 	workers int
 	prof    *Prof
 
+	// Per-stage, per-shard parking state, the per-stage aggregates, plus
+	// the reusable active-shard index scratch the tick loop fills each
+	// stage.
+	ctls   [][]shardCtl
+	groups []stageCtl
+	act    []int
+
 	tasks   chan func()
 	started bool
+
+	// Persistent propose task: one closure created at Start and sent for
+	// every parallel phase, so steady-state ticking allocates nothing. The
+	// closure reads the current phase through cur*; the task channel send
+	// and wg.Wait bracket every access with happens-before edges.
+	taskFn    func()
+	curShards []Shard
+	curAct    []int
+	curNow    int64
+	next      atomic.Int64
+	wg        sync.WaitGroup
 
 	panicMu  sync.Mutex
 	panicVal any
@@ -152,7 +230,119 @@ func NewEngine(stages []Stage, workers int) *Engine {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Engine{stages: stages, workers: workers}
+	e := &Engine{stages: stages, workers: workers}
+	e.ctls = make([][]shardCtl, len(stages))
+	e.groups = make([]stageCtl, len(stages))
+	maxShards := 0
+	for si := range stages {
+		shards := stages[si].Shards
+		e.ctls[si] = make([]shardCtl, len(shards))
+		if len(shards) > maxShards {
+			maxShards = len(shards)
+		}
+		for j, sh := range shards {
+			sleepers := make([]Sleeper, 0, len(sh))
+			for _, c := range sh {
+				s, ok := c.(Sleeper)
+				if !ok {
+					sleepers = nil
+					break
+				}
+				sleepers = append(sleepers, s)
+			}
+			if len(sleepers) > 0 {
+				e.ctls[si][j].sleepers = sleepers
+			}
+		}
+	}
+	e.act = make([]int, 0, maxShards)
+	return e
+}
+
+// WakerFor returns the Waker of the shard containing c, or nil when c is
+// not an engine component. The machine wires these to the events that make
+// a parked component runnable again (a mesh injection, an LLC delivery).
+func (e *Engine) WakerFor(c Component) *Waker {
+	for si := range e.stages {
+		for j, sh := range e.stages[si].Shards {
+			for _, sc := range sh {
+				if sc == c {
+					return &Waker{ctl: &e.ctls[si][j], grp: &e.groups[si]}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WakeAll marks every parked shard runnable at its next stage tick. Used
+// for broadcast events (a global barrier release) that can unblock many
+// components at once; rare, so the sweep cost does not matter.
+func (e *Engine) WakeAll() {
+	for si := range e.ctls {
+		for j := range e.ctls[si] {
+			ctl := &e.ctls[si][j]
+			if ctl.parked.Load() {
+				ctl.woken.Store(true)
+				e.groups[si].woken.Store(true)
+			}
+		}
+	}
+}
+
+// Sync unparks every shard and replays the skipped bookkeeping, leaving
+// every component's state and statistics exactly as if it had ticked every
+// cycle up to (but excluding) now — the next cycle to execute. The machine
+// calls it before anything that reads or mutates component state out of
+// band: fault application, telemetry sampling, idle fast-forward, final
+// collection.
+func (e *Engine) Sync(now int64) {
+	for si := range e.ctls {
+		for j := range e.ctls[si] {
+			ctl := &e.ctls[si][j]
+			if ctl.parkedHint {
+				e.unpark(ctl, now)
+			}
+		}
+		e.groups[si].nParked = 0
+	}
+}
+
+// unpark wakes one shard that will next tick at now, back-filling the
+// cycles it skipped while parked.
+func (e *Engine) unpark(ctl *shardCtl, now int64) {
+	ctl.parked.Store(false)
+	ctl.parkedHint = false
+	ctl.woken.Store(false)
+	if n := now - ctl.parkedAt - 1; n > 0 {
+		for _, s := range ctl.sleepers {
+			s.CatchUp(n)
+		}
+	}
+}
+
+// tryPark asks a shard that just committed at now whether all its
+// components are inert; if every wake lies beyond the next cycle, the
+// shard drops out of the tick loop.
+func (e *Engine) tryPark(ctl *shardCtl, now int64) {
+	wake := int64(Never)
+	for _, s := range ctl.sleepers {
+		ok, w := s.Park(now)
+		if !ok {
+			return
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if wake <= now+1 {
+		return
+	}
+	ctl.parkedAt = now
+	ctl.wakeAt = wake
+	ctl.woken.Store(false)
+	ctl.parked.Store(true)
+	ctl.parkedHint = true
 }
 
 // Workers returns the configured worker count.
@@ -190,6 +380,17 @@ func (e *Engine) Start() {
 			}
 		}()
 	}
+	// The one closure every parallel phase reuses (see the cur* fields).
+	e.taskFn = func() {
+		defer e.wg.Done()
+		for {
+			k := int(e.next.Add(1)) - 1
+			if k >= len(e.curAct) {
+				return
+			}
+			e.proposeShard(e.curNow, e.curShards[e.curAct[k]])
+		}
+	}
 	e.started = true
 }
 
@@ -208,63 +409,101 @@ func (e *Engine) Tick(now int64) {
 	if e.prof != nil {
 		for i := range e.stages {
 			t0 := time.Now()
-			e.tickStage(now, &e.stages[i])
+			e.tickStage(now, &e.stages[i], e.ctls[i], &e.groups[i])
 			e.prof.Stages[i].add(time.Since(t0))
 		}
 		return
 	}
 	for i := range e.stages {
-		e.tickStage(now, &e.stages[i])
+		e.tickStage(now, &e.stages[i], e.ctls[i], &e.groups[i])
 	}
 }
 
-func (e *Engine) tickStage(now int64, st *Stage) {
+// tickStage runs one stage at cycle now. Parked shards are skipped unless
+// their wake cycle arrived or a Waker fired; shards whose components all
+// report a no-op future park afterwards. The serial prologue/epilogue
+// always run — they carry machine-level events (fault schedules, barrier
+// releases) whose cycle alignment parking must never disturb.
+func (e *Engine) tickStage(now int64, st *Stage, ctls []shardCtl, grp *stageCtl) {
 	if st.Pre != nil {
 		st.Pre(now)
 	}
-	e.propose(now, st.Shards)
-	for _, sh := range st.Shards {
-		for _, c := range sh {
+	if grp.nParked == len(ctls) && now < grp.minWake && !grp.woken.Load() {
+		// Every shard is parked past this cycle and no Waker fired: only
+		// the serial hooks run. The shard scan (and its per-shard atomic
+		// loads) is skipped entirely — the common state for a stage whose
+		// components all wait on another stage's events.
+		if st.Post != nil {
+			st.Post(now)
+		}
+		return
+	}
+	grp.woken.Store(false)
+	minWake := int64(Never)
+	parked := 0
+	act := e.act[:0]
+	for i := range st.Shards {
+		ctl := &ctls[i]
+		if ctl.parkedHint {
+			if now < ctl.wakeAt && !ctl.woken.Load() {
+				parked++
+				if ctl.wakeAt < minWake {
+					minWake = ctl.wakeAt
+				}
+				continue
+			}
+			e.unpark(ctl, now)
+		}
+		act = append(act, i)
+	}
+	e.act = act[:0]
+	e.propose(now, st.Shards, act)
+	for _, i := range act {
+		for _, c := range st.Shards[i] {
 			c.Commit(now)
 		}
 	}
+	for _, i := range act {
+		if ctls[i].sleepers != nil {
+			e.tryPark(&ctls[i], now)
+			if ctls[i].parkedHint {
+				parked++
+				if ctls[i].wakeAt < minWake {
+					minWake = ctls[i].wakeAt
+				}
+			}
+		}
+	}
+	grp.nParked = parked
+	grp.minWake = minWake
 	if st.Post != nil {
 		st.Post(now)
 	}
 }
 
-// propose runs the Propose phase of one stage, parallel across shards when
-// the pool is up. Shard-to-worker assignment is dynamic; determinism comes
-// from shard independence, not scheduling.
-func (e *Engine) propose(now int64, shards []Shard) {
-	if !e.started || len(shards) <= 1 {
-		for _, sh := range shards {
-			for _, c := range sh {
+// propose runs the Propose phase of one stage over the active shards,
+// parallel when the pool is up. Shard-to-worker assignment is dynamic;
+// determinism comes from shard independence, not scheduling.
+func (e *Engine) propose(now int64, shards []Shard, act []int) {
+	if !e.started || len(act) <= 1 {
+		for _, i := range act {
+			for _, c := range shards[i] {
 				c.Propose(now)
 			}
 		}
 		return
 	}
 	n := e.workers
-	if n > len(shards) {
-		n = len(shards)
+	if n > len(act) {
+		n = len(act)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(n)
+	e.curShards, e.curAct, e.curNow = shards, act, now
+	e.next.Store(0)
+	e.wg.Add(n)
 	for i := 0; i < n; i++ {
-		e.tasks <- func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(shards) {
-					return
-				}
-				e.proposeShard(now, shards[k])
-			}
-		}
+		e.tasks <- e.taskFn
 	}
-	wg.Wait()
+	e.wg.Wait()
 	if e.panicked {
 		e.panicked = false
 		v := e.panicVal

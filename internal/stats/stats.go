@@ -45,7 +45,7 @@ type Core struct {
 	StallCycles [numStallKinds]int64
 
 	Instrs        int64 // instructions executed (committed)
-	InstrsByClass map[uint8]int64
+	InstrsByClass [MaxInstrClasses]int64 // indexed by isa.Class
 
 	ICacheAccesses int64
 	ICacheMisses   int64
@@ -89,11 +89,13 @@ func (c *Core) AddStall(k StallKind) { c.StallCycles[int(k)]++ }
 // cycles so counts stay bit-identical to stepping every cycle.
 func (c *Core) AddStallN(k StallKind, n int64) { c.StallCycles[int(k)] += n }
 
+// MaxInstrClasses bounds the isa.Class enum (17 classes today); a fixed
+// array keeps CountClass — one call per issued instruction — off the map
+// hash path.
+const MaxInstrClasses = 32
+
 // CountClass records execution of one instruction of class cl.
 func (c *Core) CountClass(cl uint8) {
-	if c.InstrsByClass == nil {
-		c.InstrsByClass = make(map[uint8]int64)
-	}
 	c.InstrsByClass[cl]++
 	c.Instrs++
 }
@@ -120,6 +122,11 @@ func (l *LLC) MissRate() float64 {
 // Machine aggregates everything for one simulation run.
 type Machine struct {
 	Cycles int64
+	// WallNs is the host wall-clock time machine.Run spent producing these
+	// statistics (build and teardown excluded). It is the denominator of
+	// the simulated-throughput meter and the one nondeterministic field
+	// here: determinism tests must zero it before comparing runs.
+	WallNs int64
 	Cores  []Core
 	LLCs   []LLC
 
@@ -297,6 +304,10 @@ func (m *Machine) StallFractionByHop(kind StallKind) map[int]float64 {
 func (m *Machine) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles: %d\n", m.Cycles)
+	if m.WallNs > 0 {
+		fmt.Fprintf(&b, "simulated throughput: %.2f Msim-cycles/s (%.3fs host time)\n",
+			float64(m.Cycles)*1e3/float64(m.WallNs), float64(m.WallNs)/1e9)
+	}
 	fmt.Fprintf(&b, "instructions: %d\n", m.TotalInstrs())
 	fmt.Fprintf(&b, "icache accesses: %d\n", m.TotalICacheAccesses())
 	fmt.Fprintf(&b, "llc miss rate: %.3f\n", m.LLCMissRate())
