@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rockbench -table 1a|1b|2|3
-//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault|replay [-scale small|full] [-bench name,...]
+//	rockbench -fig 10|11|12|13|14|15|16|17a|17b|17c|bfs|fault|replay|netfault [-scale small|full] [-bench name,...]
 //	rockbench -all [-scale small|full]
 //	rockbench -check bench/baseline.json
 //	rockbench -update-baseline bench/baseline.json [-scale tiny]
@@ -58,7 +58,7 @@ var journalHint string
 func main() {
 	var (
 		tableName  = flag.String("table", "", "table to print: 1a, 1b, 2, 3")
-		figName    = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault, replay")
+		figName    = flag.String("fig", "", "figure to regenerate: 10, 11, 12, 13, 14, 15, 16, 17a, 17b, 17c, bfs, fault, replay, netfault")
 		allFlag    = flag.Bool("all", false, "regenerate every table and figure")
 		scaleName  = flag.String("scale", "small", "input scale: tiny, small, full")
 		benchCSV   = flag.String("bench", "", "comma-separated benchmark subset")
@@ -200,8 +200,9 @@ func main() {
 		// Not part of the paper: the fault-injection degradation curve and
 		// the recovery-ladder comparison (ROADMAP robustness extensions).
 		// Excluded from -all.
-		"fault":  func() error { return r.FigFault(out) },
-		"replay": func() error { return r.FigReplay(out) },
+		"fault":    func() error { return r.FigFault(out) },
+		"replay":   func() error { return r.FigReplay(out) },
+		"netfault": func() error { return r.FigNetFault(out) },
 	}
 	if *figName != "" {
 		fn, ok := figs[*figName]

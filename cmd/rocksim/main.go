@@ -23,7 +23,10 @@
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
 // V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
 // schedule syntax is documented in internal/fault (kill, drop, corrupt,
-// stick, flip events); the run degrades gracefully and reports what died.
+// stick, flip, panic events, plus the permanent-topology verbs cutlink,
+// killrouter, killbank, and dramdegrade); the run degrades gracefully —
+// rerouting around cut links and dead routers, failing LLC slices over to
+// surviving banks — and reports what died.
 package main
 
 import (
@@ -56,7 +59,7 @@ func main() {
 		maxCycles = flag.Int64("max-cycles", kernels.DefaultMaxCycles, "simulation budget")
 		verbose   = flag.Bool("v", false, "print per-core CPI stack and energy split")
 		dumpAsm   = flag.Bool("dump-asm", false, "print the built program's disassembly and exit")
-		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;drop@1000-9000:12>13:p0.05:req"`)
+		faultSpec = flag.String("faults", "", `fault schedule, e.g. "seed=42;kill@3000:t12;cutlink@2000:5>6;killbank@4000:b3"`)
 		workers   = flag.Int("j", 1, "engine worker goroutines for one simulation (0 or 1 = serial; cycle counts are identical for any value)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON event trace to this file")
 		traceBuf  = flag.Int("trace-buf", trace.DefaultEventCap, "event-trace ring capacity; oldest events drop (with a warning) when exceeded")

@@ -32,6 +32,16 @@ const (
 	// LabelBarrierBound: the "other" bucket (barriers, fetch, hazards)
 	// dominates — synchronization and serial sections, not memory.
 	LabelBarrierBound Label = "barrier-bound"
+	// LabelDegradedNetwork: the run finished on a mesh with cut links or
+	// dead routers — the topology, not the workload, shaped the cycle
+	// count. Outranks every workload verdict (and degraded-llc: a dead
+	// router also decommissions its banks, and the network loss is the
+	// root cause).
+	LabelDegradedNetwork Label = "degraded-network"
+	// LabelDegradedLLC: the run finished with LLC banks decommissioned and
+	// their address slices failed over — reduced cache capacity plus
+	// longer average bank distance shaped the cycle count.
+	LabelDegradedLLC Label = "degraded-llc"
 )
 
 // Classification thresholds. The tree is deliberately coarse: it must
@@ -183,7 +193,10 @@ func ClassifyFeatures(f Features) Verdict {
 // Classify builds the feature vector for a whole run and classifies it.
 // CPI-stack fractions come from the pacing role (expander cores for vector
 // configurations, per the paper's Figure 13 methodology; MIMD cores
-// otherwise); DRAM, LLC, and mesh saturation are machine-global.
+// otherwise); DRAM, LLC, and mesh saturation are machine-global. Permanent
+// topology degradation outranks every workload verdict: a run that routed
+// around dead fabric is explained by the fabric first, with the workload
+// verdict it would otherwise get kept as evidence.
 func Classify(r *Report) Verdict {
 	hot := r.Noc.HotReqHops
 	if r.Noc.HotRespHops > hot {
@@ -203,7 +216,23 @@ func Classify(r *Report) Verdict {
 		f.Backpressure = rc.Backpressure
 		f.Other = rc.Other
 	}
-	return ClassifyFeatures(f)
+	v := ClassifyFeatures(f)
+	if r.Faults.CutLinks > 0 || r.Faults.DeadRouters > 0 {
+		return Verdict{Label: LabelDegradedNetwork, Evidence: []string{
+			fmt.Sprintf("%d links cut, %d routers dead (%d rebuilds, %d flits rerouted, %d detour hops)",
+				r.Faults.CutLinks, r.Faults.DeadRouters,
+				r.Faults.RouteRebuilds, r.Faults.ReroutedFlits, r.Faults.DetourHops),
+			"underlying workload verdict: " + string(v.Label),
+		}}
+	}
+	if r.Faults.DeadBanks > 0 {
+		return Verdict{Label: LabelDegradedLLC, Evidence: []string{
+			fmt.Sprintf("%d LLC banks decommissioned, %d requests failed over",
+				r.Faults.DeadBanks, r.Faults.BankFailovers),
+			"underlying workload verdict: " + string(v.Label),
+		}}
+	}
+	return v
 }
 
 // ClassifyWindow classifies one telemetry window. Role counters are

@@ -104,6 +104,57 @@ func TestClassifyFeatures(t *testing.T) {
 	}
 }
 
+// TestClassifyDegradedTopology pins the run-level override: permanent
+// topology loss outranks every workload verdict, network loss outranks
+// LLC loss, and the workload verdict survives as evidence.
+func TestClassifyDegradedTopology(t *testing.T) {
+	base := func() *Report {
+		r := &Report{
+			Cycles:  1000,
+			Roles:   map[string]trace.RoleCounters{"mimd": {Issued: 700, Frame: 300}},
+			RolePop: map[string]int{"mimd": 4},
+		}
+		return r
+	}
+	clean := base()
+	if v := Classify(clean); v.Label != LabelIssueBound {
+		t.Fatalf("clean run classified %q, want %q", v.Label, LabelIssueBound)
+	}
+	net := base()
+	net.Faults.CutLinks = 2
+	net.Faults.DeadBanks = 1 // network loss must outrank the bank loss
+	v := Classify(net)
+	if v.Label != LabelDegradedNetwork {
+		t.Fatalf("cut-link run classified %q, want %q", v.Label, LabelDegradedNetwork)
+	}
+	found := false
+	for _, e := range v.Evidence {
+		if e == "underlying workload verdict: "+string(LabelIssueBound) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("workload verdict missing from evidence: %v", v.Evidence)
+	}
+	router := base()
+	router.Faults.DeadRouters = 1
+	if v := Classify(router); v.Label != LabelDegradedNetwork {
+		t.Fatalf("dead-router run classified %q, want %q", v.Label, LabelDegradedNetwork)
+	}
+	llc := base()
+	llc.Faults.DeadBanks = 1
+	if v := Classify(llc); v.Label != LabelDegradedLLC {
+		t.Fatalf("dead-bank run classified %q, want %q", v.Label, LabelDegradedLLC)
+	}
+	// DRAM degradation alone does not change the topology; the workload
+	// verdict stands.
+	dram := base()
+	dram.Faults.DramDegradedOps = 500
+	if v := Classify(dram); v.Label != LabelIssueBound {
+		t.Fatalf("dram-degraded run classified %q, want %q", v.Label, LabelIssueBound)
+	}
+}
+
 // TestClassifyWindow checks the window path: role counters sum over every
 // role and the hottest link comes from the per-link deltas.
 func TestClassifyWindow(t *testing.T) {

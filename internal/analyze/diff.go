@@ -98,6 +98,17 @@ func Diff(a, b *Report) *DiffReport {
 		{"frames.consumed", a.Frames.Consumed, b.Frames.Consumed},
 		{"frames.replays", a.Frames.Replays, b.Frames.Replays},
 		{"engine.checkpoints", a.Engine.Checkpoints, b.Engine.Checkpoints},
+		// Topology-degradation counters: zero on clean runs, so they only
+		// surface in a diff when one side routed around lost fabric — the
+		// cycle delta's root cause, listed alongside the symptoms above.
+		{"faults.cut_links", a.Faults.CutLinks, b.Faults.CutLinks},
+		{"faults.dead_routers", a.Faults.DeadRouters, b.Faults.DeadRouters},
+		{"faults.dead_banks", a.Faults.DeadBanks, b.Faults.DeadBanks},
+		{"noc.route_rebuilds", a.Faults.RouteRebuilds, b.Faults.RouteRebuilds},
+		{"noc.rerouted_flits", a.Faults.ReroutedFlits, b.Faults.ReroutedFlits},
+		{"noc.detour_hops", a.Faults.DetourHops, b.Faults.DetourHops},
+		{"llc.bank_failovers", a.Faults.BankFailovers, b.Faults.BankFailovers},
+		{"dram.degraded_ops", a.Faults.DramDegradedOps, b.Faults.DramDegradedOps},
 	}
 	for _, c := range counters {
 		if c.A != c.B {

@@ -78,9 +78,23 @@ type NocReport struct {
 }
 
 // FaultReport is the injected-fault footprint (all zero on clean runs).
+// The permanent-topology fields are omitempty so clean reports — and every
+// report written before topology faults existed — keep byte-identical
+// serialized forms under schema 1.
 type FaultReport struct {
 	SpadFlipsFrame int64 `json:"spad_flips_frame"`
 	SpadFlipsData  int64 `json:"spad_flips_data"`
+
+	// Permanent topology loss and the degradation work it forced.
+	CutLinks        int64 `json:"cut_links,omitempty"`
+	DeadRouters     int64 `json:"dead_routers,omitempty"`
+	DeadBanks       int64 `json:"dead_banks,omitempty"`
+	RouteRebuilds   int64 `json:"route_rebuilds,omitempty"`
+	ReroutedFlits   int64 `json:"rerouted_flits,omitempty"`
+	DetourHops      int64 `json:"detour_hops,omitempty"`
+	DroppedDead     int64 `json:"dropped_dead,omitempty"`
+	BankFailovers   int64 `json:"bank_failovers,omitempty"`
+	DramDegradedOps int64 `json:"dram_degraded_ops,omitempty"`
 }
 
 // Report is the canonical per-run report.json. Counter groups reuse the
@@ -218,6 +232,15 @@ func New(meta Meta, st *stats.Machine, groups []*config.Group, hw config.Manycor
 
 	r.Faults.SpadFlipsFrame = st.SpadFlipsFrame
 	r.Faults.SpadFlipsData = st.SpadFlipsData
+	r.Faults.CutLinks = st.CutLinks
+	r.Faults.DeadRouters = st.DeadRouters
+	r.Faults.DeadBanks = st.DeadBanks
+	r.Faults.RouteRebuilds = st.NocRouteRebuilds
+	r.Faults.ReroutedFlits = st.NocReroutedFlits
+	r.Faults.DetourHops = st.NocDetourHops
+	r.Faults.DroppedDead = st.NocDroppedDead
+	r.Faults.BankFailovers = st.LLCBankFailovers
+	r.Faults.DramDegradedOps = st.DramDegradedOps
 
 	r.Bottleneck = Classify(r)
 	return r

@@ -47,6 +47,26 @@ const (
 	// preservation, RunError attribution); the chaos-soak harness is its
 	// main consumer.
 	PanicTile
+	// CutLink permanently severs the physical mesh link between adjacent
+	// routers From and To at cycle C (both directions — a cut wire has no
+	// good side). The NoC recomputes a deadlock-free route table around
+	// the gap and re-injects in-flight flits; a cut that partitions the
+	// mesh fails structured instead of hanging. Plane selects req, resp,
+	// or both planes (default both).
+	CutLink
+	// KillRouter powers router T off at cycle C: all four of its mesh
+	// links are cut on both planes, its attached core dies (as KillTile),
+	// and any LLC bank attached to it fails over to the survivors.
+	KillRouter
+	// KillBank decommissions LLC bank B at cycle C: dirty lines flush to
+	// global memory, queued work drains back into the network, and the
+	// bank's address slice remaps to the surviving banks (reduced LLC
+	// capacity, not data loss). Killing the last live bank is fatal.
+	KillBank
+	// DramDegrade multiplies DRAM access latency by Factor during
+	// [Cycle, Until) — a thermally throttled or half-dead memory channel.
+	// Until 0 means the degradation is permanent.
+	DramDegrade
 )
 
 func (k Kind) String() string {
@@ -63,6 +83,14 @@ func (k Kind) String() string {
 		return "flip"
 	case PanicTile:
 		return "panic"
+	case CutLink:
+		return "cutlink"
+	case KillRouter:
+		return "killrouter"
+	case KillBank:
+		return "killbank"
+	case DramDegrade:
+		return "dramdegrade"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -92,13 +120,15 @@ type Event struct {
 	Cycle int64 // activation cycle (window start for link faults)
 	Until int64 // window end, exclusive; 0 = open-ended (link faults only)
 
-	Tile     int     // KillTile, StickInetQueue, FlipSpadWord
+	Tile     int     // KillTile, StickInetQueue, FlipSpadWord, KillRouter
 	From, To int     // link endpoints (mesh-adjacent tiles) for link faults
 	Plane    Plane   // which mesh plane a link fault hits
 	Prob     float64 // per-traversal drop/corrupt probability
 	Duration int64   // StickInetQueue: cycles the queue stays frozen
 	Offset   uint32  // FlipSpadWord: byte offset
 	Bit      uint8   // FlipSpadWord: bit index (0..31)
+	Bank     int     // KillBank: LLC bank index
+	Factor   float64 // DramDegrade: latency multiplier (>= 1)
 }
 
 func (e Event) String() string {
@@ -117,6 +147,18 @@ func (e Event) String() string {
 		return fmt.Sprintf("stick@%d:t%d:d%d", e.Cycle, e.Tile, e.Duration)
 	case FlipSpadWord:
 		return fmt.Sprintf("flip@%d:t%d:o%d:b%d", e.Cycle, e.Tile, e.Offset, e.Bit)
+	case CutLink:
+		return fmt.Sprintf("cutlink@%d:%d>%d:%s", e.Cycle, e.From, e.To, e.Plane)
+	case KillRouter:
+		return fmt.Sprintf("killrouter@%d:t%d", e.Cycle, e.Tile)
+	case KillBank:
+		return fmt.Sprintf("killbank@%d:b%d", e.Cycle, e.Bank)
+	case DramDegrade:
+		window := strconv.FormatInt(e.Cycle, 10)
+		if e.Until > 0 {
+			window += "-" + strconv.FormatInt(e.Until, 10)
+		}
+		return fmt.Sprintf("dramdegrade@%s:x%g", window, e.Factor)
 	}
 	return e.Kind.String()
 }
@@ -128,11 +170,13 @@ type Plan struct {
 	Events []Event
 }
 
-// Validate checks every event against a fabric of the given size.
+// Validate checks every event against a fabric of the given size. It only
+// knows the core count; ValidateGeometry adds the mesh- and bank-shape
+// checks the topology verbs need.
 func (p *Plan) Validate(cores int) error {
 	for i, e := range p.Events {
 		switch e.Kind {
-		case KillTile, StickInetQueue, FlipSpadWord, PanicTile:
+		case KillTile, StickInetQueue, FlipSpadWord, PanicTile, KillRouter:
 			if e.Tile < 0 || e.Tile >= cores {
 				return fmt.Errorf("fault: event %d (%s): tile %d out of range [0,%d)", i, e, e.Tile, cores)
 			}
@@ -146,6 +190,24 @@ func (p *Plan) Validate(cores int) error {
 			if e.Until != 0 && e.Until <= e.Cycle {
 				return fmt.Errorf("fault: event %d (%s): window ends before it starts", i, e)
 			}
+		case CutLink:
+			if e.From < 0 || e.From >= cores || e.To < 0 || e.To >= cores {
+				return fmt.Errorf("fault: event %d (%s): link endpoint out of range [0,%d)", i, e, cores)
+			}
+			if e.From == e.To {
+				return fmt.Errorf("fault: event %d (%s): link endpoints must differ", i, e)
+			}
+		case KillBank:
+			if e.Bank < 0 {
+				return fmt.Errorf("fault: event %d (%s): negative bank index", i, e)
+			}
+		case DramDegrade:
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: event %d (%s): degrade factor %g must be >= 1", i, e, e.Factor)
+			}
+			if e.Until != 0 && e.Until <= e.Cycle {
+				return fmt.Errorf("fault: event %d (%s): window ends before it starts", i, e)
+			}
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, e.Kind)
 		}
@@ -154,6 +216,53 @@ func (p *Plan) Validate(cores int) error {
 		}
 		if e.Kind == StickInetQueue && e.Duration <= 0 {
 			return fmt.Errorf("fault: event %d (%s): stick duration must be positive", i, e)
+		}
+	}
+	return nil
+}
+
+// Geometry describes the fabric shape the topology verbs are validated
+// against: the core count, the mesh dimensions (routers are tile ids in a
+// MeshW x MeshH grid), and the LLC bank count.
+type Geometry struct {
+	Cores, MeshW, MeshH, Banks int
+}
+
+// ValidateGeometry runs Validate plus the shape checks only the machine can
+// make: cut links must join mesh-adjacent routers, bank kills must name a
+// real bank, and routers must sit inside the mesh.
+func (p *Plan) ValidateGeometry(g Geometry) error {
+	if err := p.Validate(g.Cores); err != nil {
+		return err
+	}
+	routers := g.MeshW * g.MeshH
+	for i, e := range p.Events {
+		switch e.Kind {
+		case CutLink:
+			if e.From >= routers || e.To >= routers {
+				return fmt.Errorf("fault: event %d (%s): router outside %dx%d mesh", i, e, g.MeshW, g.MeshH)
+			}
+			ax, ay := e.From%g.MeshW, e.From/g.MeshW
+			bx, by := e.To%g.MeshW, e.To/g.MeshW
+			dx, dy := ax-bx, ay-by
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if dx+dy != 1 {
+				return fmt.Errorf("fault: event %d (%s): routers %d and %d are not mesh-adjacent in a %dx%d mesh",
+					i, e, e.From, e.To, g.MeshW, g.MeshH)
+			}
+		case KillRouter:
+			if e.Tile >= routers {
+				return fmt.Errorf("fault: event %d (%s): router %d outside %dx%d mesh", i, e, e.Tile, g.MeshW, g.MeshH)
+			}
+		case KillBank:
+			if e.Bank >= g.Banks {
+				return fmt.Errorf("fault: event %d (%s): bank %d out of range [0,%d)", i, e, e.Bank, g.Banks)
+			}
 		}
 	}
 	return nil
@@ -219,6 +328,77 @@ func KillPlan(seed uint64, n, cores int, start, stride int64) *Plan {
 		p.Events = append(p.Events, Event{Kind: KillTile, Cycle: start + int64(i)*stride, Tile: t})
 	}
 	return p
+}
+
+// LinkPlan builds a plan that permanently cuts n distinct pseudo-randomly
+// chosen mesh links (both planes) at staggered cycles (start, start+stride,
+// ...). Links are drawn from the full undirected edge set of a w x h mesh —
+// h*(w-1) horizontal plus w*(h-1) vertical — with collisions resolved by
+// linear probe, mirroring KillPlan so the same seed cuts the same wires
+// under every configuration.
+func LinkPlan(seed uint64, n, w, h int, start, stride int64) *Plan {
+	edges := h*(w-1) + w*(h-1)
+	if n > edges {
+		n = edges
+	}
+	r := rng{state: seed}
+	p := &Plan{Seed: seed}
+	seen := make(map[int]bool, n)
+	horiz := h * (w - 1)
+	for i := 0; i < n; i++ {
+		idx := int(r.next() % uint64(edges))
+		for seen[idx] {
+			idx = (idx + 1) % edges
+		}
+		seen[idx] = true
+		var a, b int
+		if idx < horiz {
+			row, col := idx/(w-1), idx%(w-1)
+			a = row*w + col
+			b = a + 1
+		} else {
+			v := idx - horiz
+			row, col := v/w, v%w
+			a = row*w + col
+			b = a + w
+		}
+		p.Events = append(p.Events, Event{Kind: CutLink, Cycle: start + int64(i)*stride, From: a, To: b})
+	}
+	return p
+}
+
+// BankPlan builds a plan that decommissions n distinct pseudo-randomly
+// chosen LLC banks at staggered cycles (start, start+stride, ...), capped
+// at banks-1 so at least one bank survives (killing the last bank is a
+// fatal, not degraded, condition).
+func BankPlan(seed uint64, n, banks int, start, stride int64) *Plan {
+	if n > banks-1 {
+		n = banks - 1
+	}
+	r := rng{state: seed}
+	p := &Plan{Seed: seed}
+	if n <= 0 {
+		return p
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		b := int(r.next() % uint64(banks))
+		for seen[b] {
+			b = (b + 1) % banks
+		}
+		seen[b] = true
+		p.Events = append(p.Events, Event{Kind: KillBank, Cycle: start + int64(i)*stride, Bank: b})
+	}
+	return p
+}
+
+// Merge returns a new plan holding a's events followed by b's, keeping a's
+// seed (campaign helpers compose: LinkPlan + BankPlan = one schedule).
+func Merge(a, b *Plan) *Plan {
+	out := &Plan{Seed: a.Seed}
+	out.Events = append(out.Events, a.Events...)
+	out.Events = append(out.Events, b.Events...)
+	return out
 }
 
 // FlipPlan builds a plan of n single-bit scratchpad flips on pseudo-randomly
@@ -388,10 +568,28 @@ type Report struct {
 
 	// Checkpoints published during the run.
 	Checkpoints int64
+
+	// Permanent topology loss: links cut ("a>b"), routers and LLC banks
+	// powered off, in the order the events landed.
+	CutLinks    []string
+	DeadRouters []int
+	DeadBanks   []int
+
+	// Degraded-fabric accounting: route-table rebuilds, flits harvested
+	// and re-injected across a topology transition, extra hops taken
+	// versus the fault-free XY path, and requests redirected from a dead
+	// bank to its failover target.
+	RouteRebuilds int64
+	ReroutedFlits int64
+	DetourHops    int64
+	BankFailovers int64
 }
 
 // Degraded reports whether the fabric lost capacity during the run.
-func (r *Report) Degraded() bool { return r != nil && len(r.DeadTiles) > 0 }
+func (r *Report) Degraded() bool {
+	return r != nil && (len(r.DeadTiles) > 0 || len(r.CutLinks) > 0 ||
+		len(r.DeadRouters) > 0 || len(r.DeadBanks) > 0)
+}
 
 func (r *Report) String() string {
 	if r == nil {
@@ -409,6 +607,13 @@ func (r *Report) String() string {
 	}
 	if r.Checkpoints > 0 {
 		s += fmt.Sprintf(" checkpoints=%d", r.Checkpoints)
+	}
+	if len(r.CutLinks) > 0 || len(r.DeadRouters) > 0 {
+		s += fmt.Sprintf(" cutLinks=%v deadRouters=%v rebuilds=%d rerouted=%d detourHops=%d",
+			r.CutLinks, r.DeadRouters, r.RouteRebuilds, r.ReroutedFlits, r.DetourHops)
+	}
+	if len(r.DeadBanks) > 0 {
+		s += fmt.Sprintf(" deadBanks=%v failovers=%d", r.DeadBanks, r.BankFailovers)
 	}
 	return s
 }

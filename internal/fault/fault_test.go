@@ -179,6 +179,179 @@ func TestInjectorJudge(t *testing.T) {
 	}
 }
 
+func TestParseTopologyRoundTrip(t *testing.T) {
+	spec := "cutlink@100:3>4;cutlink@200:5>6:req;killrouter@50:t9;killbank@10:b2;dramdegrade@100-900:x2.5;dramdegrade@400:x3"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: CutLink, Cycle: 100, From: 3, To: 4, Plane: PlaneBoth},
+		{Kind: CutLink, Cycle: 200, From: 5, To: 6, Plane: PlaneReq},
+		{Kind: KillRouter, Cycle: 50, Tile: 9},
+		{Kind: KillBank, Cycle: 10, Bank: 2},
+		{Kind: DramDegrade, Cycle: 100, Until: 900, Factor: 2.5},
+		{Kind: DramDegrade, Cycle: 400, Factor: 3},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("events %+v\nwant %+v", p.Events, want)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip changed the plan:\n%v\n%v", p, p2)
+	}
+	if err := p.ValidateGeometry(Geometry{Cores: 64, MeshW: 8, MeshH: 8, Banks: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"cutlink@100:3",        // malformed link
+		"cutlink@100:3>x",      // bad endpoint
+		"cutlink@100:3>4:up",   // unknown plane
+		"killrouter@50:9",      // missing t prefix
+		"killbank@10:2",        // missing b prefix
+		"killbank@10:b",        // empty bank
+		"dramdegrade@100:2.5",  // missing x prefix
+		"dramdegrade@100:x0.5", // factor below 1 (rejected at validate or parse)
+		"dramdegrade@100",      // missing factor
+	} {
+		p, err := Parse(spec)
+		if err == nil {
+			// A parse that slips through must at least fail validation.
+			if verr := p.Validate(64); verr == nil {
+				t.Errorf("Parse(%q) accepted and validated", spec)
+			}
+		}
+	}
+}
+
+func TestValidateGeometry(t *testing.T) {
+	g := Geometry{Cores: 64, MeshW: 8, MeshH: 8, Banks: 16}
+	bad := []Plan{
+		// Same row but not adjacent.
+		{Events: []Event{{Kind: CutLink, From: 3, To: 5}}},
+		// Row wrap: 7 and 8 are id-adjacent but sit on different rows.
+		{Events: []Event{{Kind: CutLink, From: 7, To: 8}}},
+		// Diagonal.
+		{Events: []Event{{Kind: CutLink, From: 0, To: 9}}},
+		{Events: []Event{{Kind: KillBank, Bank: 16}}},
+		{Events: []Event{{Kind: KillBank, Bank: -1}}},
+		{Events: []Event{{Kind: DramDegrade, Factor: 0.5}}},
+		{Events: []Event{{Kind: DramDegrade, Factor: 2, Cycle: 100, Until: 50}}},
+	}
+	for i := range bad {
+		if err := bad[i].ValidateGeometry(g); err == nil {
+			t.Errorf("plan %d (%v) validated", i, &bad[i])
+		}
+	}
+	ok := Plan{Events: []Event{
+		{Kind: CutLink, From: 3, To: 4, Cycle: 1},
+		{Kind: CutLink, From: 0, To: 8, Cycle: 1}, // vertical neighbor
+		{Kind: KillRouter, Tile: 63, Cycle: 1},
+		{Kind: KillBank, Bank: 15, Cycle: 1},
+		{Kind: DramDegrade, Factor: 1.5, Cycle: 1},
+	}}
+	if err := ok.ValidateGeometry(g); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	// KillRouter outside a smaller mesh than the core count implies.
+	small := Geometry{Cores: 64, MeshW: 4, MeshH: 4, Banks: 8}
+	p := Plan{Events: []Event{{Kind: KillRouter, Tile: 20, Cycle: 1}}}
+	if err := p.ValidateGeometry(small); err == nil {
+		t.Error("router outside the mesh validated")
+	}
+}
+
+func TestLinkPlanDeterministic(t *testing.T) {
+	a := LinkPlan(7, 6, 8, 8, 1000, 500)
+	b := LinkPlan(7, 6, 8, 8, 1000, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different plans")
+	}
+	if len(a.Events) != 6 {
+		t.Fatalf("%d events, want 6", len(a.Events))
+	}
+	g := Geometry{Cores: 64, MeshW: 8, MeshH: 8, Banks: 16}
+	if err := a.ValidateGeometry(g); err != nil {
+		t.Fatalf("link plan fails its own geometry: %v", err)
+	}
+	seen := map[[2]int]bool{}
+	for i, e := range a.Events {
+		if e.Kind != CutLink {
+			t.Fatalf("event %d kind %v", i, e.Kind)
+		}
+		key := [2]int{e.From, e.To}
+		if seen[key] {
+			t.Fatalf("link %d>%d cut twice", e.From, e.To)
+		}
+		seen[key] = true
+		if e.Cycle != 1000+int64(i)*500 {
+			t.Errorf("event %d at cycle %d, want %d", i, e.Cycle, 1000+int64(i)*500)
+		}
+	}
+	// A different seed draws a different cut set.
+	if reflect.DeepEqual(LinkPlan(8, 6, 8, 8, 1000, 500).Events, a.Events) {
+		t.Error("different seeds produced identical cut sets")
+	}
+	// n is clamped to the edge count: a 2x2 mesh has 4 edges.
+	if got := len(LinkPlan(7, 100, 2, 2, 0, 1).Events); got != 4 {
+		t.Errorf("overfull link plan has %d events, want 4", got)
+	}
+}
+
+func TestBankPlanDeterministic(t *testing.T) {
+	a := BankPlan(7, 4, 16, 1000, 500)
+	b := BankPlan(7, 4, 16, 1000, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different plans")
+	}
+	if len(a.Events) != 4 {
+		t.Fatalf("%d events, want 4", len(a.Events))
+	}
+	seen := map[int]bool{}
+	for i, e := range a.Events {
+		if e.Kind != KillBank {
+			t.Fatalf("event %d kind %v", i, e.Kind)
+		}
+		if seen[e.Bank] {
+			t.Fatalf("bank %d killed twice", e.Bank)
+		}
+		seen[e.Bank] = true
+		if e.Cycle != 1000+int64(i)*500 {
+			t.Errorf("event %d at cycle %d, want %d", i, e.Cycle, 1000+int64(i)*500)
+		}
+	}
+	// n is clamped to banks-1: at least one bank must survive.
+	if got := len(BankPlan(7, 100, 16, 0, 1).Events); got != 15 {
+		t.Errorf("overfull bank plan has %d events, want 15", got)
+	}
+	if got := len(BankPlan(7, 3, 1, 0, 1).Events); got != 0 {
+		t.Errorf("single-bank plan has %d events, want 0", got)
+	}
+}
+
+func TestMergeComposesPlans(t *testing.T) {
+	a := LinkPlan(7, 2, 8, 8, 100, 10)
+	b := BankPlan(7, 1, 16, 300, 10)
+	m := Merge(a, b)
+	if m.Seed != a.Seed || len(m.Events) != 3 {
+		t.Fatalf("merge seed %d, %d events", m.Seed, len(m.Events))
+	}
+	if !reflect.DeepEqual(m.Events[:2], a.Events) || !reflect.DeepEqual(m.Events[2:], b.Events) {
+		t.Fatal("merge reordered events")
+	}
+	// Merge copies: growing the merged plan must not alias the inputs.
+	m.Events = append(m.Events, Event{Kind: KillTile, Tile: 1, Cycle: 1})
+	if len(a.Events) != 2 || len(b.Events) != 1 {
+		t.Fatal("merge aliased its inputs")
+	}
+}
+
 func TestWithoutKeepsUnfired(t *testing.T) {
 	p := &Plan{Seed: 3, Events: []Event{
 		{Kind: KillTile, Cycle: 10, Tile: 1},

@@ -19,9 +19,13 @@ import (
 //	stick@C:tT:dD        freeze tile T's inet queue for D cycles
 //	flip@C:tT:oOFF:bBIT  flip bit BIT of spad word at byte offset OFF
 //	panic@C:tT           tile T's core panics at cycle C (crash containment)
+//	cutlink@C:A>B[:plane]  permanently cut the mesh link A-B at cycle C
+//	killrouter@C:tT      power router T off (links, core, attached bank)
+//	killbank@C:bB        decommission LLC bank B; slice remaps to survivors
+//	dramdegrade@C-U:xM   multiply DRAM latency by M during [C,U)
 //
-// For link faults U may be omitted (drop@C:A>B:pP) for an open-ended
-// window; plane is req, resp, or both (default both).
+// For windowed faults U may be omitted (drop@C:A>B:pP, dramdegrade@C:x2)
+// for an open-ended window; plane is req, resp, or both (default both).
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, raw := range strings.Split(spec, ";") {
@@ -54,13 +58,13 @@ func Parse(spec string) (*Plan, error) {
 func parseEvent(kind string, fields []string) (Event, error) {
 	var e Event
 	switch kind {
-	case "kill", "stick", "flip", "panic":
+	case "kill", "stick", "flip", "panic", "cutlink", "killrouter", "killbank":
 		c, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
 			return e, fmt.Errorf("bad cycle %q", fields[0])
 		}
 		e.Cycle = c
-	case "drop", "corrupt":
+	case "drop", "corrupt", "dramdegrade":
 		start, until, windowed := strings.Cut(fields[0], "-")
 		c, err := strconv.ParseInt(start, 10, 64)
 		if err != nil {
@@ -173,17 +177,76 @@ func parseEvent(kind string, fields []string) (Event, error) {
 			e.Kind = CorruptFlit
 		}
 		if len(args) >= 3 {
-			switch args[2] {
-			case "req":
-				e.Plane = PlaneReq
-			case "resp":
-				e.Plane = PlaneResp
-			case "both":
-				e.Plane = PlaneBoth
-			default:
-				return e, fmt.Errorf("unknown plane %q", args[2])
+			pl, err := planeArg(args[2])
+			if err != nil {
+				return e, err
 			}
+			e.Plane = pl
 		}
+	case "cutlink":
+		if err := need(1); err != nil {
+			return e, err
+		}
+		from, to, ok := strings.Cut(args[0], ">")
+		if !ok {
+			return e, fmt.Errorf("want A>B link, got %q", args[0])
+		}
+		a, errA := strconv.Atoi(from)
+		b, errB := strconv.Atoi(to)
+		if errA != nil || errB != nil {
+			return e, fmt.Errorf("bad link %q", args[0])
+		}
+		e.Kind, e.From, e.To = CutLink, a, b
+		if len(args) >= 2 {
+			pl, err := planeArg(args[1])
+			if err != nil {
+				return e, err
+			}
+			e.Plane = pl
+		}
+	case "killrouter":
+		if err := need(1); err != nil {
+			return e, err
+		}
+		t, err := intArg(args[0], "t")
+		if err != nil {
+			return e, err
+		}
+		e.Kind, e.Tile = KillRouter, int(t)
+	case "killbank":
+		if err := need(1); err != nil {
+			return e, err
+		}
+		b, err := intArg(args[0], "b")
+		if err != nil {
+			return e, err
+		}
+		e.Kind, e.Bank = KillBank, int(b)
+	case "dramdegrade":
+		if err := need(1); err != nil {
+			return e, err
+		}
+		fv, ok := strings.CutPrefix(args[0], "x")
+		if !ok {
+			return e, fmt.Errorf("want x<factor>, got %q", args[0])
+		}
+		factor, err := strconv.ParseFloat(fv, 64)
+		if err != nil {
+			return e, fmt.Errorf("bad factor %q", args[0])
+		}
+		e.Kind, e.Factor = DramDegrade, factor
 	}
 	return e, nil
+}
+
+func planeArg(s string) (Plane, error) {
+	switch s {
+	case "req":
+		return PlaneReq, nil
+	case "resp":
+		return PlaneResp, nil
+	case "both":
+		return PlaneBoth, nil
+	}
+	return PlaneBoth, fmt.Errorf("unknown plane %q", s)
 }

@@ -19,6 +19,14 @@ func FuzzParse(f *testing.F) {
 		"kill@-1:t-2",
 		"drop@5-:1>2:p1e-3",
 		"flip@0:t0:o4294967292:b0",
+		"cutlink@100:3>4",
+		"cutlink@100:3>4:req",
+		"cutlink@0:63>62:resp",
+		"killrouter@50:t9",
+		"killbank@10:b2",
+		"dramdegrade@100-900:x2.5",
+		"dramdegrade@400:x3",
+		"seed=5;cutlink@1:0>1;killbank@2:b0;dramdegrade@3:x1",
 	} {
 		f.Add(seed)
 	}

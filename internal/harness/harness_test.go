@@ -112,6 +112,38 @@ func TestFig10TinySubset(t *testing.T) {
 	}
 }
 
+// TestFigNetFaultTinySubset drives the permanent-topology sweep on two
+// kernels: every cell must complete (each is output-checked on the
+// degraded fabric inside the executor), the fault-free column must be
+// exactly 1.00, and two sweeps must render byte-identically (the
+// determinism the figure's golden use depends on).
+func TestFigNetFaultTinySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	run := func() string {
+		r := New(Options{Scale: kernels.Tiny, Out: io.Discard, Benches: []string{"gemm", "mvt"}})
+		var b bytes.Buffer
+		if err := r.FigNetFault(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := run()
+	if !strings.Contains(out, "Figure N (NV)") || !strings.Contains(out, "Figure N (V16)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 4 && (f[0] == "gemm" || f[0] == "mvt") && f[1] != "1.00" {
+			t.Errorf("fault-free column not 1.00: %q", line)
+		}
+	}
+	if again := run(); again != out {
+		t.Fatalf("netfault sweep not deterministic:\n%s\n---\n%s", out, again)
+	}
+}
+
 // stripTimings drops the wall-clock suffix from progress lines — the only
 // part of the output allowed to vary between runs.
 func stripTimings(out string) string {

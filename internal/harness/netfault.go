@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"rockcress/internal/config"
+	"rockcress/internal/fault"
+	"rockcress/internal/kernels"
+)
+
+// netfaultCuts is the x axis of the topology-degradation sweep: how many
+// mesh links are cut. Every point with at least one cut also decommissions
+// one LLC bank, so each degraded cell exercises rerouting and bank
+// failover together.
+var netfaultCuts = []int{0, 1, 2}
+
+// netfaultConfigs mirrors the kill-curve's Table 3 rows: scalar MIMD and
+// both vector lengths route the same traffic patterns around the same
+// holes.
+var netfaultConfigs = []string{"NV", "V4", "V16"}
+
+// FigNetFault prints the permanent-topology degradation sweep: relative
+// throughput (fault-free cycles / total cycles across every attempt) for
+// all kernels as c mesh links are cut mid-run — plus, for c > 0, one LLC
+// bank decommissioned. The seed fixes the cut set and the victim bank, so
+// every kernel and configuration routes around the same holes. Each run is
+// output-checked against the serial reference, so every printed cell is a
+// correct completion on the degraded fabric.
+func (r *Runner) FigNetFault(w io.Writer) error {
+	hw := config.ManycoreDefault()
+	if err := r.prewarm(sweepReqs(r.benches(), netfaultConfigs, nil)); err != nil {
+		return err
+	}
+	header := []string{"bench"}
+	for _, c := range netfaultCuts {
+		header = append(header, fmt.Sprintf("cuts=%d", c))
+	}
+	for _, cfgName := range netfaultConfigs {
+		sw, err := config.Preset(cfgName)
+		if err != nil {
+			return err
+		}
+		tbl := &table{header: header}
+		var means [][]float64
+		for _, b := range r.benches() {
+			base, err := r.Run(b, sw, nil)
+			if err != nil {
+				return err
+			}
+			baseCycles := base.Cycles()
+			// Faults land mid-run: the first quarter of the fault-free
+			// runtime, then staggered so later cuts hit a mesh already
+			// routing around earlier ones.
+			start := baseCycles / 4
+			if start < 1 {
+				start = 1
+			}
+			row := []string{b.Info().Name}
+			for i, c := range netfaultCuts {
+				var plan *fault.Plan
+				if c > 0 {
+					plan = fault.Merge(
+						fault.LinkPlan(faultSeed, c, hw.MeshWidth, hw.MeshHeight, start, 101),
+						fault.BankPlan(faultSeed, 1, hw.LLCBanks, start+int64(c)*101, 101))
+				}
+				fr, err := kernels.ExecuteWithFaultsOpts(b, b.Defaults(r.opts.Scale), sw, hw,
+					plan, kernels.ExecOpts{MaxCycles: r.opts.MaxCycles,
+						Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
+				if err != nil {
+					return fmt.Errorf("netfault %s/%s cuts=%d: %w", b.Info().Name, cfgName, c, err)
+				}
+				rel := float64(baseCycles) / float64(fr.TotalCycles)
+				cell := f2(rel)
+				if fr.MIMDFallback {
+					cell += "*"
+				}
+				row = append(row, cell)
+				for len(means) <= i {
+					means = append(means, nil)
+				}
+				means[i] = append(means[i], rel)
+				if r.opts.Verbose && fr.Report != nil {
+					fmt.Fprintf(w, "# %-10s %-4s cuts=%d: %s (%d attempts, %d cycles)\n",
+						b.Info().Name, cfgName, c, fr.Report, fr.Attempts, fr.TotalCycles)
+				}
+			}
+			tbl.add(row...)
+		}
+		gm := []string{"GeoMean"}
+		for _, vals := range means {
+			gm = append(gm, f2(geomean(vals)))
+		}
+		tbl.add(gm...)
+		fmt.Fprintf(w, "Figure N (%s): throughput relative to fault-free run, c links cut (+1 LLC bank dead for c>0)\n", cfgName)
+		tbl.write(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(* = vector groups could not re-form; finished in MIMD fallback)")
+	return nil
+}

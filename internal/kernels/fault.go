@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"rockcress/internal/config"
@@ -192,10 +193,19 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		}
 		// Restart only makes progress when the fabric shrank or the plan did
 		// (fired events — kills, flips, exhausted link windows — are stripped
-		// so the replay cannot hit them again).
+		// so the replay cannot hit them again). Permanent topology events are
+		// the exception: a restarted machine is built fresh, so stripping a
+		// fired cutlink/killrouter/killbank would HEAL the fabric the previous
+		// attempt lost. Those carry over at cycle 0 (idempotent machine-side),
+		// and because they re-fire and re-carry every attempt they never count
+		// as consumed plan work in the progress check below.
 		nBefore := len(cur.Events)
 		if rep != nil {
+			carried := carryTopology(cur, rep.Fired)
 			cur = cur.Without(rep.Fired)
+			if len(carried) > 0 {
+				cur = &fault.Plan{Seed: cur.Seed, Events: append(carried, cur.Events...)}
+			}
 		}
 		if len(fr.DeadTiles) == prevDead && len(cur.Events) == nBefore {
 			if restored {
@@ -232,20 +242,42 @@ func degradedLayout(sw config.Software, hw config.Manycore, avoid []int, mimd bo
 	return g, nil, err
 }
 
+// carryTopology extracts the fired permanent-topology events — cut links,
+// dead routers, dead banks, and unbounded DRAM degradation — rescheduled to
+// cycle 0 so the next attempt's fresh machine re-applies them before any
+// work issues. Windowed DRAM degradation is transient and is not carried.
+func carryTopology(p *fault.Plan, fired []int) []fault.Event {
+	var out []fault.Event
+	for _, i := range fired {
+		if i < 0 || i >= len(p.Events) {
+			continue
+		}
+		e := p.Events[i]
+		switch e.Kind {
+		case fault.CutLink, fault.KillRouter, fault.KillBank:
+		case fault.DramDegrade:
+			if e.Until != 0 {
+				continue
+			}
+		default:
+			continue
+		}
+		e.Cycle = 0
+		out = append(out, e)
+	}
+	return out
+}
+
 // mergeReport folds one attempt's fault report into the running totals.
+// Topology losses (tiles, links, routers, banks) dedupe across attempts —
+// carried-over events re-fire on every restart — while the degradation
+// counters sum, since each attempt genuinely paid them.
 func mergeReport(fr *FaultResult, rep *fault.Report) {
 	if rep == nil {
 		return
 	}
 	for _, t := range rep.DeadTiles {
-		dup := false
-		for _, d := range fr.DeadTiles {
-			if d == t {
-				dup = true
-				break
-			}
-		}
-		if !dup {
+		if !slices.Contains(fr.DeadTiles, t) {
 			fr.DeadTiles = append(fr.DeadTiles, t)
 		}
 	}
@@ -253,6 +285,25 @@ func mergeReport(fr *FaultResult, rep *fault.Report) {
 		fr.Report = &fault.Report{}
 	}
 	fr.Report.DeadTiles = fr.DeadTiles
+	for _, l := range rep.CutLinks {
+		if !slices.Contains(fr.Report.CutLinks, l) {
+			fr.Report.CutLinks = append(fr.Report.CutLinks, l)
+		}
+	}
+	for _, r := range rep.DeadRouters {
+		if !slices.Contains(fr.Report.DeadRouters, r) {
+			fr.Report.DeadRouters = append(fr.Report.DeadRouters, r)
+		}
+	}
+	for _, b := range rep.DeadBanks {
+		if !slices.Contains(fr.Report.DeadBanks, b) {
+			fr.Report.DeadBanks = append(fr.Report.DeadBanks, b)
+		}
+	}
+	fr.Report.RouteRebuilds += rep.RouteRebuilds
+	fr.Report.ReroutedFlits += rep.ReroutedFlits
+	fr.Report.DetourHops += rep.DetourHops
+	fr.Report.BankFailovers += rep.BankFailovers
 	fr.Report.BrokenGroups = append(fr.Report.BrokenGroups, rep.BrokenGroups...)
 	fr.Report.StuckQueues += rep.StuckQueues
 	fr.Report.FlippedWords += rep.FlippedWords

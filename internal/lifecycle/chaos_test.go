@@ -146,6 +146,99 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosTopologySoak is the permanent-fault variant of the soak: random
+// campaigns of link cuts, router kills, bank decommissions and DRAM
+// degradation crossed with random cancel points, wall budgets and engine
+// widths. A campaign may partition the mesh or bury a tile a group needed —
+// the contract is the same either way: a correct result, or a structured
+// (or interrupt-classified) error with no torn result, never a hang.
+func TestChaosTopologySoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70B0))
+	scale := chaosScale(t)
+	hw := config.ManycoreDefault()
+	benchNames := []string{"gemm", "mvt"}
+	cfgNames := []string{"NV", "V4"}
+
+	const iters = 12
+	for i := 0; i < iters; i++ {
+		bench, err := kernels.Get(benchNames[rng.Intn(len(benchNames))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := config.Preset(cfgNames[rng.Intn(len(cfgNames))])
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Campaign: seeded cut/kill plans so a failing iteration replays
+		// from the logged label alone.
+		seed := rng.Uint64()
+		start := 100 + rng.Int63n(5_000)
+		plan := fault.LinkPlan(seed, 1+rng.Intn(3), hw.MeshWidth, hw.MeshHeight, start, 101)
+		if rng.Intn(2) == 0 {
+			plan = fault.Merge(plan, fault.BankPlan(seed, 1+rng.Intn(2), hw.LLCBanks, start+50, 101))
+		}
+		if rng.Intn(3) == 0 {
+			plan = fault.Merge(plan, &fault.Plan{Events: []fault.Event{
+				{Kind: fault.KillRouter, Cycle: start + 200, Tile: rng.Intn(hw.Cores)}}})
+		}
+		if rng.Intn(3) == 0 {
+			plan = fault.Merge(plan, &fault.Plan{Events: []fault.Event{
+				{Kind: fault.DramDegrade, Cycle: start, Factor: 1.5 + rng.Float64()}}})
+		}
+
+		opts := kernels.ExecOpts{Ctx: context.Background(), Workers: 1 + rng.Intn(4)}
+		var cleanup func()
+		switch rng.Intn(3) {
+		case 1:
+			ctx, cancel := context.WithCancel(context.Background())
+			opts.Ctx = ctx
+			timer := time.AfterFunc(time.Duration(rng.Intn(10_000))*time.Microsecond, cancel)
+			cleanup = func() { timer.Stop(); cancel() }
+		case 2:
+			opts.WallBudget = time.Duration(1+rng.Intn(10)) * time.Millisecond
+		}
+
+		label := fmt.Sprintf("iter %d: %s/%s plan=%v budget=%v",
+			i, bench.Info().Name, sw.Name, plan, opts.WallBudget)
+
+		type outcome struct {
+			fr  *kernels.FaultResult
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			fr, err := kernels.ExecuteWithFaultsOpts(bench, bench.Defaults(scale), sw, hw, plan, opts)
+			done <- outcome{fr, err}
+		}()
+		var out outcome
+		select {
+		case out = <-done:
+		case <-time.After(soakTimeout):
+			t.Fatalf("%s: hang past %v", label, soakTimeout)
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+
+		if out.err == nil {
+			if out.fr == nil || out.fr.Result == nil {
+				t.Fatalf("%s: nil result without error", label)
+			}
+			continue
+		}
+		if out.fr != nil {
+			t.Fatalf("%s: partial result alongside error %v", label, out.err)
+		}
+		var re *lifecycle.RunError
+		structured := errors.As(out.err, &re)
+		interrupted := lifecycle.Interrupted(out.err) || lifecycle.WallBudget(out.err)
+		if !structured && !interrupted {
+			t.Fatalf("%s: unclassifiable failure %T: %v", label, out.err, out.err)
+		}
+	}
+}
+
 // TestChaosPanicRecovered pins the containment story end to end: an injected
 // panic mid-run is contained (process survives), attributed, and the
 // recovery ladder restarts around it to a correct result.

@@ -198,6 +198,19 @@ type Machine struct {
 	checkEvery   int64
 	stallLimit   int64
 
+	// Permanent-topology fault state (nil/zero until the first cutlink,
+	// killrouter, or killbank event; see topology.go). bankMap is the LLC
+	// address-slice indirection (bank -> live owner); reinjectQ holds flits
+	// harvested across a topology transition until the network re-accepts
+	// them. bankFailovers is atomic: the dead-destination policy counts
+	// from concurrent core shards.
+	deadBanks     []bool
+	bankMap       []int
+	liveBanks     int
+	reinjectQ     []reinjectFlit
+	reroutedFlits int64
+	bankFailovers atomic.Int64
+
 	// Integrity layer (fault-injection runs with replay enabled).
 	integrity bool
 	replays   []*replayState // per tile; nil = no replay in flight
@@ -236,7 +249,10 @@ func New(p Params) (*Machine, error) {
 		return nil, fmt.Errorf("machine: memory size %d must be a positive word multiple", memBytes)
 	}
 	if p.Faults != nil {
-		if err := p.Faults.Validate(p.Cfg.Cores); err != nil {
+		if err := p.Faults.ValidateGeometry(fault.Geometry{
+			Cores: p.Cfg.Cores, MeshW: p.Cfg.MeshWidth, MeshH: p.Cfg.MeshHeight,
+			Banks: p.Cfg.LLCBanks,
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -294,6 +310,11 @@ func New(p Params) (*Machine, error) {
 			m.meshReq.SetLinkJudge(m.linkJudge(fault.PlaneReq))
 			m.meshResp.SetLinkJudge(m.linkJudge(fault.PlaneResp))
 		}
+		// Unreachable-destination policy for degraded topologies: only
+		// consulted once a mesh runs its fault-aware table, so the
+		// fault-free hot path never sees it.
+		m.meshReq.SetDeadDstHandler(m.deadDstPolicy)
+		m.meshResp.SetDeadDstHandler(m.deadDstPolicy)
 	}
 	m.llcs = make([]*mem.LLCBank, cfg.LLCBanks)
 	for b := range m.llcs {
@@ -499,8 +520,14 @@ func (m *Machine) preMem(now int64) {
 		m.applyFaults(now)
 	}
 	for _, f := range m.dram.Completed(now, m.Global) {
+		if m.deadBanks != nil && m.deadBanks[f.Bank] {
+			continue // fill for a decommissioned bank: the owner re-fetches
+		}
 		m.llcs[f.Bank].Install(now, f.LineAddr)
 		m.bankWakers[f.Bank].Wake()
+	}
+	if len(m.reinjectQ) > 0 {
+		m.drainReinject()
 	}
 	if m.integrity {
 		m.tickReplays(now)
@@ -564,10 +591,16 @@ func (m *Machine) TrySend(f msg.Message) bool {
 	return ok
 }
 
-// LLCNodeFor returns the node id of the bank owning addr's line (striped).
+// LLCNodeFor returns the node id of the bank owning addr's line: the
+// modulo stripe, redirected through the failover indirection once any bank
+// has been decommissioned (reduced capacity, same address space).
 func (m *Machine) LLCNodeFor(addr uint32) int {
 	lineNum := int(addr) / m.Cfg.CacheLineBytes
-	return m.space.LLCNode(lineNum % m.Cfg.LLCBanks)
+	b := lineNum % m.Cfg.LLCBanks
+	if m.bankMap != nil {
+		b = m.bankMap[b]
+	}
+	return m.space.LLCNode(b)
 }
 
 // GroupArrive registers a tile at its group's formation rendezvous. The
@@ -623,7 +656,8 @@ func (m *Machine) checkBarrier() {
 }
 
 func (m *Machine) memQuiescent() bool {
-	return !m.meshReq.Busy() && !m.meshResp.Busy() && m.dram.Pending() == 0 && !m.llcsBusy()
+	return len(m.reinjectQ) == 0 && !m.meshReq.Busy() && !m.meshResp.Busy() &&
+		m.dram.Pending() == 0 && !m.llcsBusy()
 }
 
 // NotifyHalt records that a core has finished; cores that halted no longer
@@ -667,6 +701,12 @@ func (m *Machine) LaneTile(group, lane int) (int, bool) {
 // deliver hands a flit that reached its destination to the endpoint.
 func (m *Machine) deliver(node int, f *msg.Message) bool {
 	if bank, ok := m.space.IsLLC(node); ok {
+		if m.deadBanks != nil && m.deadBanks[bank] {
+			// In-flight flit addressed before the bank decommissioned: the
+			// failover owner absorbs it (its lines now own the slice).
+			bank = m.bankMap[bank]
+			m.bankFailovers.Add(1)
+		}
 		if !m.llcs[bank].CanAccept() {
 			return false
 		}
@@ -741,6 +781,14 @@ func (m *Machine) applyFaults(now int64) {
 					m.rec.Span("fault.stick", "fault", now, e.Duration, int64(e.Tile), nil)
 				}
 			}
+		case fault.CutLink:
+			m.cutLink(now, e)
+		case fault.KillRouter:
+			m.killRouter(now, e.Tile)
+		case fault.KillBank:
+			m.killBank(now, e.Bank)
+		case fault.DramDegrade:
+			m.dramDegrade(now, e)
 		case fault.FlipSpadWord:
 			if landed, inFrame := m.spads[e.Tile].FlipBit(e.Offset, e.Bit); landed {
 				if m.rec != nil {
@@ -841,6 +889,10 @@ func (m *Machine) FaultReport() *fault.Report {
 	for i := range m.Stats.Cores {
 		m.report.FramePoisons += m.Stats.Cores[i].FramePoisons
 	}
+	m.report.RouteRebuilds = m.meshReq.RouteRebuilds + m.meshResp.RouteRebuilds
+	m.report.ReroutedFlits = m.reroutedFlits
+	m.report.DetourHops = m.meshReq.DetourHops + m.meshResp.DetourHops
+	m.report.BankFailovers = m.bankFailovers.Load()
 	return m.report
 }
 
@@ -867,7 +919,7 @@ func (m *Machine) Step() { m.step() }
 // budget aborts fire at the same cycle the stepping engine aborts at.
 // Returns false when the machine must step normally.
 func (m *Machine) fastForward(limit int64) bool {
-	if m.meshReq.QueuedFlits() > 0 || m.meshResp.QueuedFlits() > 0 {
+	if m.meshReq.QueuedFlits() > 0 || m.meshResp.QueuedFlits() > 0 || len(m.reinjectQ) > 0 {
 		return false
 	}
 	for _, b := range m.llcs {
@@ -1074,7 +1126,7 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 	}
 	// Drain in-flight stores and responses so the flush below is complete.
 	drainDeadline := m.now + maxCycles
-	for m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
+	for len(m.reinjectQ) > 0 || m.meshReq.Busy() || m.meshResp.Busy() || m.dram.Pending() > 0 || m.llcsBusy() {
 		m.stepOrSkip(drainDeadline)
 		if m.sampler != nil && m.sampler.Due(m.now) {
 			m.sample(false)
@@ -1128,6 +1180,17 @@ func (m *Machine) collect() {
 	st.NocCorrupt = m.meshReq.Corrupt + m.meshResp.Corrupt
 	st.NocReqHotHops = maxOf(m.meshReq.LinkHops())
 	st.NocRespHotHops = maxOf(m.meshResp.LinkHops())
+	st.NocRouteRebuilds = m.meshReq.RouteRebuilds + m.meshResp.RouteRebuilds
+	st.NocReroutedFlits = m.reroutedFlits
+	st.NocDetourHops = m.meshReq.DetourHops + m.meshResp.DetourHops
+	st.NocDroppedDead = m.meshReq.DroppedDead + m.meshResp.DroppedDead
+	st.LLCBankFailovers = m.bankFailovers.Load()
+	st.DramDegradedOps = m.dram.DegradedOps
+	if m.report != nil {
+		st.CutLinks = int64(len(m.report.CutLinks))
+		st.DeadRouters = int64(len(m.report.DeadRouters))
+		st.DeadBanks = int64(len(m.report.DeadBanks))
+	}
 }
 
 func maxOf(vs []int64) int64 {

@@ -22,9 +22,17 @@ type DRAM struct {
 	fills    []Fill
 	dataPool [][]uint32
 
+	// Degradation window (a dramdegrade fault): accesses scheduled in
+	// [degradeFrom, degradeUntil) pay latency scaled by degradeFactor.
+	// degradeUntil 0 with a factor set means the degradation is permanent.
+	degradeFrom   int64
+	degradeUntil  int64
+	degradeFactor float64
+
 	// Stats.
 	Reads, Writes int64
 	BusyCycles    int64
+	DegradedOps   int64 // accesses scheduled at degraded latency
 }
 
 type dramOp struct {
@@ -54,7 +62,21 @@ func (d *DRAM) schedule(now int64, bytes int) (doneAt int64) {
 	transfer := (int64(bytes) + d.bytesPerCyc - 1) / d.bytesPerCyc
 	d.channelFree = start + transfer
 	d.BusyCycles += transfer
-	return start + d.latency + transfer
+	latency := d.latency
+	if d.degradeFactor > 1 && now >= d.degradeFrom &&
+		(d.degradeUntil == 0 || now < d.degradeUntil) {
+		latency = int64(float64(latency) * d.degradeFactor)
+		d.DegradedOps++
+	}
+	return start + latency + transfer
+}
+
+// Degrade arms a latency-degradation window (the dramdegrade fault):
+// accesses scheduled in [from, until) pay factor times the configured
+// latency; until 0 makes it permanent. A later call replaces the window —
+// the model is one sick channel, not a stack of afflictions.
+func (d *DRAM) Degrade(from, until int64, factor float64) {
+	d.degradeFrom, d.degradeUntil, d.degradeFactor = from, until, factor
 }
 
 // Read schedules a line fill for bank and returns nothing; the completion

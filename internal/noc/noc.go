@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"rockcress/internal/msg"
@@ -29,6 +30,10 @@ const (
 	portLLC   // edge routers only: the column's LLC bank
 	numPorts
 )
+
+// portDead marks a destination unreachable in the fault-aware route table
+// (the mesh is partitioned, or the destination's router is powered off).
+const portDead port = -1
 
 // Deliver receives a flit that has reached its destination node. It returns
 // false if the destination cannot accept it this cycle (e.g. an LLC request
@@ -149,6 +154,18 @@ type Mesh struct {
 	nbrTab   []int32 // tile*4 + linkPort -> neighbor router (-1 off-mesh)
 	nodes    int     // space.Nodes(), routeTab row stride
 
+	// Permanent-fault topology state (nil until the first cut link or dead
+	// router, so the fault-free hot path pays one nil check per route
+	// lookup and nothing else). ftab replaces routeTab once topology is
+	// degraded: it is phase-aware (up*/down* routing needs the input port
+	// a flit arrived on), indexed (tile*numPorts+inPort)*nodes + dst.
+	ftab       []port
+	detourTab  []int32 // tile*nodes + dst -> extra hops vs the XY path
+	linkDead   []bool  // tile*4 + out: directional link permanently cut
+	routerDead []bool  // router powered off
+	deadDst    DeadDstHandler
+	failMu     sync.Mutex
+
 	incoming []int8 // per (router,port) reservation scratch
 	moves    []move
 	queued   int64 // flits buffered anywhere (O(1) Busy); atomic: senders
@@ -171,6 +188,11 @@ type Mesh struct {
 	Retransmits int64 // transfers repeated by the link retry protocol
 	Dropped     int64 // flits lost in transit (then retransmitted)
 	Corrupt     int64 // flits CRC-rejected at the receiver (then retransmitted)
+
+	// Degraded-topology stats (zero on a fault-free mesh).
+	RouteRebuilds int64 // fault-aware route-table recomputations
+	DetourHops    int64 // extra hops vs the XY path, summed over injections
+	DroppedDead   int64 // flits dropped at injection: destination node dead
 
 	linkHops []int64 // per-link traversals (router*4 + out), telemetry only
 }
@@ -276,13 +298,22 @@ func (m *Mesh) SetLinkJudge(j LinkJudge) {
 }
 
 // Err returns the first latched network error (a link exceeding the
-// retransmit bound), if any.
-func (m *Mesh) Err() error { return m.err }
+// retransmit bound, or a partitioned mesh), if any.
+func (m *Mesh) Err() error {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	return m.err
+}
 
+// fail latches the first network error. The mutex covers concurrent
+// TrySend callers on the partition path; the serial tick path shares it
+// for uniformity (uncontended there).
 func (m *Mesh) fail(format string, args ...any) {
+	m.failMu.Lock()
 	if m.err == nil {
 		m.err = fmt.Errorf("noc: %s", fmt.Sprintf(format, args...))
 	}
+	m.failMu.Unlock()
 }
 
 // Space returns the node-id layout.
@@ -311,9 +342,25 @@ func (m *Mesh) TrySend(f msg.Message) bool {
 	if int(m.queues[qi].n) == m.cap {
 		return false
 	}
+	out := m.routeTab[tile*m.nodes+f.Dst]
+	if m.ftab != nil {
+		out = m.ftab[(tile*int(numPorts)+int(p))*m.nodes+f.Dst]
+		if out == portDead {
+			// Cold path in its own function so taking f's address there
+			// doesn't make every TrySend heap-allocate the message.
+			var accepted bool
+			out, f, accepted = m.resolveDeadDst(f, tile, p)
+			if out == portDead {
+				return accepted
+			}
+		}
+		if d := m.detourTab[tile*m.nodes+f.Dst]; d > 0 {
+			atomic.AddInt64(&m.DetourHops, int64(d))
+		}
+	}
 	idx := m.alloc()
 	m.flits[idx] = f
-	m.pushQ(qi, entry{idx: idx, dst: int32(f.Dst), out: m.routeTab[tile*m.nodes+f.Dst]})
+	m.pushQ(qi, entry{idx: idx, dst: int32(f.Dst), out: out})
 	m.occMask[tile] |= 1 << uint(p)
 	for bp := &m.busy[tile>>6]; ; {
 		old := atomic.LoadUint64(bp)
@@ -469,7 +516,13 @@ func (m *Mesh) Tick() {
 			np := oppTab[mv.out]
 			key := mv.toTile*int(numPorts) + int(np)
 			e := *m.headEntry(qi)
-			e.out = m.routeTab[mv.toTile*m.nodes+int(e.dst)]
+			if m.ftab == nil {
+				e.out = m.routeTab[mv.toTile*m.nodes+int(e.dst)]
+			} else {
+				// Phase-aware lookup: the input port the flit lands on at
+				// the next router decides whether it may still climb.
+				e.out = m.ftab[(mv.toTile*int(numPorts)+int(np))*m.nodes+int(e.dst)]
+			}
 			m.pushQ(key, e)
 			m.occMask[mv.toTile] |= 1 << uint(np)
 			m.busy[mv.toTile>>6] |= 1 << uint(mv.toTile&63)

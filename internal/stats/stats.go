@@ -156,6 +156,22 @@ type Machine struct {
 	NocDropped int64 // flits lost in transit and retransmitted
 	NocCorrupt int64 // flits CRC-rejected and retransmitted
 
+	// Permanent-topology degradation (all zero on a healthy fabric):
+	// links/routers/banks lost, route-table recomputations, flits harvested
+	// and re-injected across topology transitions, extra hops paid versus
+	// the fault-free XY paths, flits dropped because their destination node
+	// died, requests redirected to a failover LLC bank, and DRAM accesses
+	// scheduled at degraded latency.
+	CutLinks         int64
+	DeadRouters      int64
+	DeadBanks        int64
+	NocRouteRebuilds int64
+	NocReroutedFlits int64
+	NocDetourHops    int64
+	NocDroppedDead   int64
+	LLCBankFailovers int64
+	DramDegradedOps  int64
+
 	// Silent-corruption accounting: injected scratchpad bit flips by landing
 	// site. Frame-region flips are repairable by frame replay; program-data
 	// flips are only caught by the end-of-run output compare.
@@ -321,6 +337,17 @@ func (m *Machine) Summary() string {
 	if m.NocRetrans > 0 {
 		fmt.Fprintf(&b, "noc retransmits: %d (dropped %d, corrupt %d)\n",
 			m.NocRetrans, m.NocDropped, m.NocCorrupt)
+	}
+	if m.CutLinks > 0 || m.DeadRouters > 0 {
+		fmt.Fprintf(&b, "degraded mesh: %d links cut, %d routers dead (%d rebuilds, %d flits rerouted, %d detour hops, %d dropped to dead nodes)\n",
+			m.CutLinks, m.DeadRouters, m.NocRouteRebuilds, m.NocReroutedFlits, m.NocDetourHops, m.NocDroppedDead)
+	}
+	if m.DeadBanks > 0 {
+		fmt.Fprintf(&b, "degraded llc: %d banks decommissioned, %d requests failed over\n",
+			m.DeadBanks, m.LLCBankFailovers)
+	}
+	if m.DramDegradedOps > 0 {
+		fmt.Fprintf(&b, "dram degraded: %d accesses at scaled latency\n", m.DramDegradedOps)
 	}
 	if m.SpadFlipsFrame > 0 || m.SpadFlipsData > 0 {
 		fmt.Fprintf(&b, "spad flips: %d in frame region, %d in program data\n",
