@@ -19,6 +19,7 @@ import (
 	"rockcress/internal/config"
 	"rockcress/internal/lifecycle"
 	"rockcress/internal/machine"
+	"rockcress/internal/metrics"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		runFlag = flag.Bool("run", false, "run the program on a default fabric")
 		budget  = flag.Int64("max-cycles", 50_000_000, "simulation budget for -run")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for -run (0 = unlimited)")
+		listen  = flag.String("listen", "", "serve live introspection for -run on this address (/metrics, /debug/machine, /debug/pprof/)")
 	)
 	flag.Parse()
 	if *inPath == "" {
@@ -54,8 +56,18 @@ func main() {
 		if *timeout > 0 {
 			deadline = time.Now().Add(*timeout)
 		}
+		var plane *metrics.Plane
+		if *listen != "" {
+			plane = metrics.NewPlane("")
+			srv, err := metrics.Serve(*listen, plane)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "# observability: http://%s\n", srv.Addr())
+		}
 		m, err := machine.New(machine.Params{Cfg: config.ManycoreDefault(), Prog: prog,
-			Ctx: ctx, WallDeadline: deadline})
+			Ctx: ctx, WallDeadline: deadline, Obs: plane})
 		if err != nil {
 			fatal(err)
 		}

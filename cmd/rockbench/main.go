@@ -21,6 +21,18 @@
 // report (rockdoctor's input) per run, neither changing any cycle count;
 // -pprof FILE writes a CPU profile of the whole sweep.
 //
+// -listen ADDR serves the live observability plane over HTTP while the
+// sweep runs: Prometheus metrics on /metrics, sweep progress and the
+// simulated-MIPS meter on /debug/run (rockdoctor watch renders it), a
+// per-tile stall heatmap and per-link NoC hop rates on /debug/machine, the
+// flight recorder's rings on /debug/flight, and live pprof (CPU, heap,
+// block, mutex, goroutine) under /debug/pprof/. -flight DIR arms the flight
+// recorder's automatic forensic dumps: when a run trips the deadlock
+// watchdog, exhausts its wall budget, or crashes (contained), a bundle of
+// the most recent telemetry windows and rare-event notes is written there;
+// SIGQUIT dumps one on demand without stopping the sweep. Neither flag
+// changes any simulated cycle count.
+//
 // -check is the perf-regression gate: it re-runs every kernel x config the
 // baseline file pins (at the baseline's own scale, ignoring -scale) and
 // fails with per-run diff attribution unless every cycle count is
@@ -48,6 +60,7 @@ import (
 	"rockcress/internal/harness"
 	"rockcress/internal/kernels"
 	"rockcress/internal/lifecycle"
+	"rockcress/internal/metrics"
 	"rockcress/internal/trace"
 )
 
@@ -73,6 +86,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited); a run exceeding it fails its sweep cell")
 		jrnlPath   = flag.String("journal", "", "record completed sweep cells crash-safely into this file")
 		resume     = flag.Bool("resume", false, "reload -journal and skip its completed cells (final tables are byte-identical to an uninterrupted run)")
+		listenAddr = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/pprof/); cycle counts are unchanged")
+		flightDir  = flag.String("flight", "", "write flight-recorder bundles into this directory when a run dies badly (watchdog, wall budget, crash) or on SIGQUIT")
 	)
 	flag.Parse()
 
@@ -80,6 +95,27 @@ func main() {
 	// checkpoints; a second signal kills the process the OS way.
 	ctx, stop := lifecycle.WithSignals(context.Background())
 	defer stop()
+
+	// The observability plane is opt-in: without -listen/-flight the sweep
+	// carries no registry, no flight recorder, and no retain sampler.
+	var plane *metrics.Plane
+	if *listenAddr != "" || *flightDir != "" {
+		plane = metrics.NewPlane(*flightDir)
+		plane.OnDump(func(path string) {
+			fmt.Fprintln(os.Stderr, "rockbench: flight bundle written:", path)
+		})
+		// SIGQUIT dumps a flight bundle and keeps the sweep running.
+		stopQuit := metrics.DumpOnQuit(plane)
+		defer stopQuit()
+		if *listenAddr != "" {
+			srv, err := metrics.Serve(*listenAddr, plane)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/pprof/)\n", srv.Addr())
+		}
+	}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -139,7 +175,7 @@ func main() {
 		r := harness.New(harness.Options{
 			Scale: s, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
 			TelemetryDir: *telemDir, SampleEvery: *sampleN, ReportDir: *reportDir,
-			Ctx: ctx, WallBudget: *timeout, Journal: journal,
+			Ctx: ctx, WallBudget: *timeout, Journal: journal, Obs: plane,
 		})
 		if len(seed) > 0 {
 			n, err := r.SeedJournal(seed)

@@ -9,6 +9,8 @@
 //	rockdoctor diff a.json b.json         # attribute the cycle delta
 //	rockdoctor trace trace.json           # vload-pipeline latencies, frame occupancy
 //	rockdoctor timeline telem.jsonl       # per-window bottleneck phases
+//	rockdoctor watch http://HOST:PORT     # live sweep progress (rockbench -listen)
+//	rockdoctor flight flight-*.json       # render a flight-recorder bundle
 //
 // explain prints the run's bottleneck classification (frame-limited,
 // noc/inet-limited, dram-bandwidth-saturated, llc-miss-bound,
@@ -18,6 +20,11 @@
 // -trace event file for issue→fanout→frame-open→consume latency
 // percentiles. timeline classifies every telemetry window and merges
 // consecutive labels into phases, showing where the bottleneck moved.
+// watch polls a live rocksim/rockbench -listen process's /debug/run view
+// and renders sweep progress, the simulated-MIPS meter, and the ETA as a
+// refreshing status line. flight renders the forensic bundle the flight
+// recorder dumps when a run trips the watchdog, exhausts its wall budget,
+// crashes, or receives SIGQUIT.
 package main
 
 import (
@@ -50,6 +57,10 @@ func main() {
 		err = traceCmd(args)
 	case "timeline":
 		err = timeline(args)
+	case "watch":
+		err = watch(ctx, args)
+	case "flight":
+		err = flightCmd(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -77,9 +88,12 @@ func usage() {
   rockdoctor diff a.json b.json         attribute the cycle delta between two runs
   rockdoctor trace trace.json           vload-pipeline latencies and frame occupancy
   rockdoctor timeline telem.jsonl       time-resolved bottleneck phases
+  rockdoctor watch http://HOST:PORT     live sweep progress from a -listen process
+  rockdoctor flight flight-*.json       render a flight-recorder forensic bundle
 
 Produce the inputs with rocksim -report/-trace/-telemetry or
-rockbench -report/-telemetry.
+rockbench -report/-telemetry; watch and flight read the live observability
+plane (rocksim/rockbench -listen ADDR -flight DIR).
 `)
 }
 

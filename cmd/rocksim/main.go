@@ -17,8 +17,11 @@
 // (window size -sample N), -report out.json writes the canonical per-run
 // report with a bottleneck verdict (see rockdoctor), -prof prints the
 // engine's per-stage wall-time self-profile, and -pprof file.pb.gz writes
-// a CPU profile. None of them change simulated cycle counts. A failed
-// telemetry or trace write exits nonzero.
+// a CPU profile. -listen ADDR serves the live observability plane over HTTP
+// (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/pprof/) and
+// -flight DIR arms automatic flight-recorder dumps on watchdog trips, wall
+// budget expiry, contained crashes, and SIGQUIT. None of them change
+// simulated cycle counts. A failed telemetry or trace write exits nonzero.
 //
 // Configurations are the Table 3 names (NV, NV_PF, PCV_PF, V4, V16,
 // V4_PCV, V16_PCV, V4_LL_PCV, V16_LL, V16_LL_PCV) plus GPU. The -faults
@@ -43,6 +46,7 @@ import (
 	"rockcress/internal/fault"
 	"rockcress/internal/kernels"
 	"rockcress/internal/lifecycle"
+	"rockcress/internal/metrics"
 	"rockcress/internal/sim"
 	"rockcress/internal/trace"
 )
@@ -69,6 +73,8 @@ func main() {
 		profEng   = flag.Bool("prof", false, "print the engine's per-stage wall-time self-profile")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeded runs fail with a diagnostic snapshot")
+		listen    = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/pprof/); cycle counts are unchanged")
+		flightDir = flag.String("flight", "", "write flight-recorder bundles into this directory when the run dies badly (watchdog, wall budget, crash) or on SIGQUIT")
 	)
 	flag.Parse()
 
@@ -84,6 +90,26 @@ func main() {
 		Ctx:        ctx,
 		WallBudget: *timeout,
 	}
+	// The observability plane is opt-in: without -listen/-flight the run
+	// carries no registry, no flight recorder, and no retain sampler.
+	var plane *metrics.Plane
+	if *listen != "" || *flightDir != "" {
+		plane = metrics.NewPlane(*flightDir)
+		plane.OnDump(func(path string) {
+			fmt.Fprintln(os.Stderr, "rocksim: flight bundle written:", path)
+		})
+		stopQuit := metrics.DumpOnQuit(plane)
+		defer stopQuit()
+		if *listen != "" {
+			srv, err := metrics.Serve(*listen, plane)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/pprof/)\n", srv.Addr())
+		}
+		opts.Obs = plane
+	}
 	// ROCKTRACE: any non-empty value traces barrier releases; a parseable
 	// numeric value additionally watches that global word address. Parsed
 	// once here — no simulator package reads the environment.
@@ -94,8 +120,13 @@ func main() {
 		}
 	}
 	var sink *trace.Sink
-	if *traceOut != "" || *telemOut != "" {
+	if *traceOut != "" || *telemOut != "" || plane != nil {
 		cfg := trace.Config{SampleEvery: *sampleN, EventCap: *traceBuf}
+		if fl := plane.Flight(); fl != nil {
+			// Feed the flight recorder's window ring; one run at a time, so
+			// the ambient run key set by Begin attributes windows correctly.
+			cfg.Retain = fl.Retain
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

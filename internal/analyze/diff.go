@@ -33,6 +33,7 @@ type DiffReport struct {
 	Categories     []CategoryDelta // sorted by |Delta|, largest first
 	Residual       float64         // Delta minus the sum of category deltas
 	Counters       []CounterDelta  // raw counters that moved, largest relative change first
+	MipsA, MipsB   float64         // simulated-MIPS (host perf); 0 when unmeasured
 	VerdictA       Verdict
 	VerdictB       Verdict
 	RoleMismatch   bool // pacing roles differ (cross-config diff): attribution is per-category, not per-cause
@@ -49,7 +50,8 @@ func Diff(a, b *Report) *DiffReport {
 	d := &DiffReport{
 		NameA: a.Name(), NameB: b.Name(),
 		CyclesA: a.Cycles, CyclesB: b.Cycles,
-		Delta:    b.Cycles - a.Cycles,
+		Delta: b.Cycles - a.Cycles,
+		MipsA: a.SimMips, MipsB: b.SimMips,
 		VerdictA: a.Bottleneck, VerdictB: b.Bottleneck,
 	}
 	roleA, roleB := a.PacingRole(), b.PacingRole()
@@ -98,6 +100,8 @@ func Diff(a, b *Report) *DiffReport {
 		{"frames.consumed", a.Frames.Consumed, b.Frames.Consumed},
 		{"frames.replays", a.Frames.Replays, b.Frames.Replays},
 		{"engine.checkpoints", a.Engine.Checkpoints, b.Engine.Checkpoints},
+		{"engine.fast_forwards", a.Engine.FastForwards, b.Engine.FastForwards},
+		{"engine.skipped_cycles", a.Engine.SkippedCycles, b.Engine.SkippedCycles},
 		// Topology-degradation counters: zero on clean runs, so they only
 		// surface in a diff when one side routed around lost fabric — the
 		// cycle delta's root cause, listed alongside the symptoms above.
@@ -149,7 +153,14 @@ func (d *DiffReport) Render(w io.Writer) {
 	if d.CyclesA != 0 {
 		rel = 100 * float64(d.Delta) / float64(d.CyclesA)
 	}
-	fmt.Fprintf(w, "delta: %s%d cycles (%s%.1f%%)\n\n", sign, d.Delta, sign, rel)
+	fmt.Fprintf(w, "delta: %s%d cycles (%s%.1f%%)\n", sign, d.Delta, sign, rel)
+	if d.MipsA > 0 && d.MipsB > 0 {
+		// Host performance, not simulated behavior: wall-clock dependent, so
+		// it rides along for context and never enters the attribution.
+		fmt.Fprintf(w, "host perf: %.1f -> %.1f Msim-cycles/s (wall-clock, machine-dependent)\n",
+			d.MipsA, d.MipsB)
+	}
+	fmt.Fprintf(w, "\n")
 	if d.RoleMismatch {
 		fmt.Fprintf(w, "note: pacing roles differ between runs; per-core attribution is approximate\n")
 	}

@@ -107,6 +107,14 @@ type Report struct {
 	Cycles int64 `json:"cycles"`
 	Instrs int64 `json:"instrs"`
 
+	// WallNs and SimMips record host-side performance: wall-clock nanoseconds
+	// the simulation took and the simulated-MIPS rate (million simulated
+	// cycles per host second). They are the report's ONLY nondeterministic
+	// fields — omitempty keeps reports from runs without wall measurement
+	// (and every pre-existing golden) byte-identical.
+	WallNs  int64   `json:"wall_ns,omitempty"`
+	SimMips float64 `json:"sim_mips,omitempty"`
+
 	HW HWInfo `json:"hw"`
 
 	// Roles maps role name -> summed CPI-stack cycles; RolePop maps role
@@ -133,6 +141,7 @@ func New(meta Meta, st *stats.Machine, groups []*config.Group, hw config.Manycor
 		Meta:   meta,
 		Cycles: st.Cycles,
 		Instrs: st.TotalInstrs(),
+		WallNs: st.WallNs,
 		HW: HWInfo{
 			Cores: hw.Cores, MeshWidth: hw.MeshWidth, MeshHeight: hw.MeshHeight,
 			LLCBanks: hw.LLCBanks, LLCBytes: hw.LLCBytes, CacheLine: hw.CacheLineBytes,
@@ -141,6 +150,10 @@ func New(meta Meta, st *stats.Machine, groups []*config.Group, hw config.Manycor
 		},
 		Roles:   make(map[string]trace.RoleCounters, trace.NumRoles),
 		RolePop: make(map[string]int, trace.NumRoles),
+	}
+	if st.WallNs > 0 {
+		// Million simulated cycles per host second.
+		r.SimMips = float64(st.Cycles) * 1e3 / float64(st.WallNs)
 	}
 
 	// Static tile -> role map, mirroring machine.buildRoles: group scalars

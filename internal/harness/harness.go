@@ -24,6 +24,7 @@ import (
 	"rockcress/internal/config"
 	"rockcress/internal/kernels"
 	"rockcress/internal/lifecycle"
+	"rockcress/internal/metrics"
 	"rockcress/internal/trace"
 )
 
@@ -71,6 +72,13 @@ type Options struct {
 	// interrupted sweep with SeedJournal for -resume. The caller owns
 	// Close and should surface Journal.Err at exit.
 	Journal *lifecycle.Journal
+
+	// Obs attaches the live observability plane (rockbench -listen): sweep
+	// progress and ladder state behind /debug/run, per-machine metric
+	// series behind /metrics, and the flight recorder fed by a retain-only
+	// telemetry sampler per run. Cycle counts and all printed output are
+	// unchanged with the plane attached.
+	Obs *metrics.Plane
 }
 
 // Runner executes and caches simulations.
@@ -240,13 +248,15 @@ func sanitizeKey(key string) string {
 }
 
 // execute runs one simulation, attaching a private telemetry sink when
-// TelemetryDir is set and writing a per-run report when ReportDir is set.
-// GPU runs have no machine counters and dump neither. Safe under the
-// bounded prewarm pool: every call owns its sink and files. Duplicate
-// executions of one key (the first-wins cache keeps only one result) write
-// byte-identical artifacts, so the shared path stays correct. A failed
-// telemetry flush or report write fails the run: a silently truncated
-// artifact would poison whatever reads it later.
+// TelemetryDir is set (and a retain-only sink feeding the flight recorder
+// when the observability plane is attached) and writing a per-run report
+// when ReportDir is set. GPU runs have no machine counters and dump
+// neither. Safe under the bounded prewarm pool: every call owns its sink
+// and files. Duplicate executions of one key (the first-wins cache keeps
+// only one result) write artifacts identical except for the report's
+// wall-clock fields, so the shared path stays correct. A failed telemetry
+// flush or report write fails the run: a silently truncated artifact would
+// poison whatever reads it later.
 func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key, modName string) (*kernels.Result, error) {
 	var res *kernels.Result
 	// Contain is the crash boundary of one sweep cell: a panic anywhere in
@@ -255,12 +265,7 @@ func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.
 	// not the whole sweep process.
 	err := lifecycle.Contain(bench.Info().Name, sw.Name, 1, func() error {
 		var eerr error
-		if r.opts.TelemetryDir == "" || sw.Style == config.StyleGPU {
-			res, eerr = kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
-				kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
-		} else {
-			res, eerr = r.executeTelemetry(bench, sw, hw, key)
-		}
+		res, eerr = r.executeCell(bench, sw, hw, key)
 		return eerr
 	})
 	if err != nil {
@@ -278,23 +283,49 @@ func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.
 	return res, nil
 }
 
-func (r *Runner) executeTelemetry(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
-	if err := os.MkdirAll(r.opts.TelemetryDir, 0o755); err != nil {
-		return nil, fmt.Errorf("harness: telemetry dir: %w", err)
+// executeCell runs one simulation with whatever observability the session
+// asked for: a JSONL telemetry file (TelemetryDir), a retain-only sampler
+// feeding the shared flight recorder (Obs), both through one sink, or
+// neither.
+func (r *Runner) executeCell(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
+	opts := kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Ctx: r.opts.Ctx,
+		WallBudget: r.opts.WallBudget, Obs: r.opts.Obs}
+	if sw.Style == config.StyleGPU {
+		return kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw, opts)
 	}
-	f, err := os.Create(filepath.Join(r.opts.TelemetryDir, sanitizeKey(key)+".jsonl"))
-	if err != nil {
-		return nil, fmt.Errorf("harness: telemetry file: %w", err)
+	cfg := trace.Config{SampleEvery: r.opts.SampleEvery}
+	if fl := r.opts.Obs.Flight(); fl != nil {
+		// Keyed retention: concurrent sweep cells feed one ring, so each
+		// window must carry its own run identity, not the ambient SetRun key.
+		runKey := bench.Info().Name + "/" + sw.Name
+		cfg.Retain = func(w trace.Window) { fl.RetainKeyed(runKey, 1, w) }
 	}
-	sink := trace.NewSink(trace.Config{SampleTo: f, SampleEvery: r.opts.SampleEvery})
-	res, err := kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw,
-		kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Trace: sink,
-			Ctx: r.opts.Ctx, WallBudget: r.opts.WallBudget})
+	var f *os.File
+	if r.opts.TelemetryDir != "" {
+		if err := os.MkdirAll(r.opts.TelemetryDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: telemetry dir: %w", err)
+		}
+		var err error
+		f, err = os.Create(filepath.Join(r.opts.TelemetryDir, sanitizeKey(key)+".jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("harness: telemetry file: %w", err)
+		}
+		cfg.SampleTo = f
+	}
+	if cfg.SampleTo == nil && cfg.Retain == nil {
+		return kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw, opts)
+	}
+	sink := trace.NewSink(cfg)
+	opts.Trace = sink
+	res, err := kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw, opts)
 	// Close order: the sink first (it surfaces sampler write errors the hot
 	// path swallowed mid-run), then the file. The simulation error wins;
 	// after that the first artifact error fails the run.
 	cerr := sink.Close()
-	ferr := f.Close()
+	var ferr error
+	if f != nil {
+		ferr = f.Close()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -400,6 +431,9 @@ func (r *Runner) prewarm(reqs []runReq) error {
 	if len(jobs) == 0 {
 		return nil
 	}
+	// Live progress: the planned-cell gauge grows as sweeps enqueue work, so
+	// /debug/run's ETA covers the whole figure, not just the active cells.
+	r.opts.Obs.Run().AddPlanned(len(jobs))
 	type outcome struct {
 		res  *kernels.Result
 		err  error

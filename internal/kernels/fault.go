@@ -65,12 +65,23 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		}
 		return &FaultResult{Result: res, Attempts: 1, TotalCycles: res.Cycles()}, nil
 	}
+	if sw.Style == config.StyleGPU {
+		return nil, fmt.Errorf("%s/GPU: fault injection targets the manycore fabric", name)
+	}
+	// The whole recovery ladder is one sweep cell: one Begin/End pair, with
+	// the rung number surfaced live through SetAttempt.
+	tok := opts.Obs.Run().Begin(name, sw.Name)
+	fr, err := executeFaultLadder(b, p, sw, hw, plan, opts, tok)
+	opts.Obs.Run().End(tok, err)
+	return fr, err
+}
+
+func executeFaultLadder(b Benchmark, p Params, sw config.Software, hw config.Manycore,
+	plan *fault.Plan, opts ExecOpts, tok int) (*FaultResult, error) {
+	name := b.Info().Name
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
-	}
-	if sw.Style == config.StyleGPU {
-		return nil, fmt.Errorf("%s/GPU: fault injection targets the manycore fabric", name)
 	}
 	hw = sw.Apply(hw)
 
@@ -91,6 +102,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 	// succeeds or buries at least one more tile.
 	for attempt := 1; attempt <= hw.Cores; attempt++ {
 		fr.Attempts = attempt
+		opts.Obs.Run().SetAttempt(tok, attempt)
 		// Cancellation and the wall budget also gate restarts, so an
 		// interrupted ladder stops between attempts, not just mid-run.
 		if opts.Ctx != nil {
@@ -140,7 +152,7 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 			Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Faults: cur,
 			NoReplay: opts.NoReplay, Checkpoint: ckptOn,
 			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
-			Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof,
+			Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof, Obs: opts.Obs,
 			Ctx: opts.Ctx, WallDeadline: wallDeadline,
 		})
 		if err != nil {
@@ -164,6 +176,10 @@ func ExecuteWithFaultsOpts(b Benchmark, p Params, sw config.Software, hw config.
 		}
 		prevDead := len(fr.DeadTiles)
 		st, runErr := m.Run(maxCycles)
+		opts.Obs.Run().AddSim(m.Now(), st.WallNs)
+		// Dump per attempt, not only on the final error: a watchdog trip the
+		// ladder then recovers from would otherwise leave no forensic record.
+		maybeFlightDump(opts.Obs, runErr)
 		fr.TotalCycles += m.Now()
 		rep := m.FaultReport()
 		mergeReport(fr, rep)

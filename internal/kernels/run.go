@@ -11,6 +11,7 @@ import (
 	"rockcress/internal/gpu"
 	"rockcress/internal/lifecycle"
 	"rockcress/internal/machine"
+	"rockcress/internal/metrics"
 	"rockcress/internal/sim"
 	"rockcress/internal/stats"
 	"rockcress/internal/trace"
@@ -67,6 +68,10 @@ type ExecOpts struct {
 	WatchAddr uint32
 	// Prof attaches an engine self-profile (cumulative across attempts).
 	Prof *sim.Prof
+	// Obs attaches the live observability plane: sweep progress and ladder
+	// state for /debug/run, the machine's metric series, and automatic
+	// flight-recorder dumps when a run dies badly. nil costs nothing.
+	Obs *metrics.Plane
 
 	// Ctx, when non-nil, makes the execution cancellable at watchdog-
 	// checkpoint granularity. A run that completes is cycle-identical with
@@ -96,6 +101,13 @@ func Execute(b Benchmark, p Params, sw config.Software, hw config.Manycore, maxC
 
 // ExecuteOpts is Execute with engine options.
 func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, opts ExecOpts) (*Result, error) {
+	tok := opts.Obs.Run().Begin(b.Info().Name, sw.Name)
+	res, err := executeOpts(b, p, sw, hw, opts)
+	opts.Obs.Run().End(tok, err)
+	return res, err
+}
+
+func executeOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, opts ExecOpts) (*Result, error) {
 	name := b.Info().Name
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
@@ -130,14 +142,16 @@ func ExecuteOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 	}
 	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes,
 		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
-		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof,
+		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof, Obs: opts.Obs,
 		Ctx: opts.Ctx, WallDeadline: opts.wallDeadline()})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 	}
 	img.Apply(m.Global)
 	st, err := m.Run(maxCycles)
+	opts.Obs.Run().AddSim(m.Now(), st.WallNs)
 	if err != nil {
+		maybeFlightDump(opts.Obs, err)
 		return nil, wrapRun(name, sw.Name, 1, err)
 	}
 	if err := img.Check(m.Global); err != nil {
@@ -185,6 +199,39 @@ func executeGPU(b Benchmark, p Params, maxCycles int64, opts ExecOpts) (*Result,
 		total.Add(st)
 	}
 	return &Result{Bench: name, Config: "GPU", Params: p, GPU: &total}, nil
+}
+
+// maybeFlightDump writes a flight-recorder bundle for run failures worth a
+// forensic record: watchdog-detected deadlock, an expired wall budget, or a
+// contained simulator crash. Expected ladder failures (a fault killed the
+// attempt and the restart will recover) and user cancellation dump nothing —
+// the recorder is for runs that die badly, not runs that die on schedule.
+// Dump errors are swallowed: forensics must never mask the run error.
+func maybeFlightDump(p *metrics.Plane, err error) {
+	if p == nil || err == nil || p.FlightDir() == "" {
+		return
+	}
+	if lifecycle.Interrupted(err) {
+		return
+	}
+	var reason string
+	var fe *machine.FaultError
+	hasFE := errors.As(err, &fe)
+	switch {
+	case lifecycle.WallBudget(err):
+		reason = "wall_budget"
+	case errors.Is(err, machine.ErrDeadlock):
+		reason = "watchdog"
+	case hasFE && fe.Stack != "":
+		reason = "crash"
+	default:
+		return
+	}
+	state := ""
+	if hasFE {
+		state = fe.State
+	}
+	_, _ = p.DumpFlight(reason, err, state)
 }
 
 // wrapRun attaches cell identity (kernel, configuration, attempt) to a run

@@ -6,11 +6,13 @@ import (
 	"rockcress/internal/config"
 	"rockcress/internal/kernels"
 	"rockcress/internal/machine"
+	"rockcress/internal/metrics"
 )
 
 // buildForAllocTest assembles a ready-to-run machine for one kernel and
 // software preset, mirroring kernels.Execute up to (but excluding) Run.
-func buildForAllocTest(t *testing.T, benchName, cfgName string) *machine.Machine {
+// obs, when non-nil, binds the machine to a live observability plane.
+func buildForAllocTest(t *testing.T, benchName, cfgName string, obs *metrics.Plane) *machine.Machine {
 	t.Helper()
 	bench, err := kernels.Get(benchName)
 	if err != nil {
@@ -42,7 +44,7 @@ func buildForAllocTest(t *testing.T, benchName, cfgName string) *machine.Machine
 	if memBytes < machine.DefaultMemBytes {
 		memBytes = machine.DefaultMemBytes
 	}
-	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes})
+	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes, Obs: obs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +64,53 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.bench+"/"+tc.cfg, func(t *testing.T) {
-			m := buildForAllocTest(t, tc.bench, tc.cfg)
+			m := buildForAllocTest(t, tc.bench, tc.cfg, nil)
 			for i := 0; i < 3000; i++ {
 				m.Step()
 			}
 			avg := testing.AllocsPerRun(1000, func() { m.Step() })
 			if avg != 0 {
 				t.Errorf("steady-state tick allocates: %.3f allocs/cycle", avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocsWithPlane re-runs the allocation gate with the full
+// observability plane attached — registry cells registered, machine bound,
+// and a live introspection listener up. Publishing the registry must be
+// plain atomic stores into pre-registered cells: the plane may not cost the
+// steady state a single allocation. (AllocsPerRun measures process-global
+// allocations, so the listener is up but idle during the measured window;
+// concurrent scrape safety is the conservation test's job.)
+func TestSteadyStateAllocsWithPlane(t *testing.T) {
+	plane := metrics.NewPlane("")
+	srv, err := metrics.Serve("127.0.0.1:0", plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cases := []struct{ bench, cfg string }{
+		{"mvt", "NV"},
+		{"gemm", "V4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench+"/"+tc.cfg, func(t *testing.T) {
+			m := buildForAllocTest(t, tc.bench, tc.cfg, plane)
+			defer m.ReleaseObs()
+			if !m.ObsBound() {
+				t.Fatal("machine did not bind to the plane")
+			}
+			for i := 0; i < 3000; i++ {
+				m.Step()
+			}
+			m.PublishMetrics()
+			avg := testing.AllocsPerRun(1000, func() {
+				m.Step()
+				m.PublishMetrics()
+			})
+			if avg != 0 {
+				t.Errorf("steady-state tick+publish allocates: %.3f allocs/cycle", avg)
 			}
 		})
 	}

@@ -21,6 +21,7 @@ import (
 	"rockcress/internal/isa"
 	"rockcress/internal/lifecycle"
 	"rockcress/internal/mem"
+	"rockcress/internal/metrics"
 	"rockcress/internal/msg"
 	"rockcress/internal/noc"
 	"rockcress/internal/sim"
@@ -88,6 +89,16 @@ type Params struct {
 	// cumulative numbers.
 	Prof *sim.Prof
 
+	// Obs attaches the live observability plane. The machine registers its
+	// per-tile/per-bank/per-link series once here and publishes absolute
+	// counter values into the pre-registered atomic cells at
+	// watchdog-checkpoint granularity — nil costs nothing, and cycle counts
+	// are bit-identical with the plane on or off. When several machines run
+	// concurrently (harness sweeps), the first to bind publishes the
+	// per-machine series; the rest still feed the shared flight recorder's
+	// run status through the kernels layer.
+	Obs *metrics.Plane
+
 	// Ctx, when non-nil, makes the run cancellable: cancellation is checked
 	// at watchdog-checkpoint granularity (never mid-cycle), so cycle counts
 	// of runs that complete are bit-identical with or without a context.
@@ -129,6 +140,11 @@ func (e *FaultError) Error() string {
 }
 
 func (e *FaultError) Unwrap() error { return e.Err }
+
+// ErrDeadlock marks the cycle watchdog's verdict: no core issued an
+// instruction for StallLimit consecutive checkpoints. Callers classify with
+// errors.Is (the flight recorder dumps a forensic bundle on it).
+var ErrDeadlock = errors.New("machine: deadlock")
 
 type genBarrier struct {
 	gen     int64
@@ -185,11 +201,15 @@ type Machine struct {
 	traceBarriers bool
 	ffKinds       []stats.StallKind // fast-forward backfill scratch
 
-	// Observability (all nil on an untraced machine; see trace.go).
+	// Observability (all nil on an untraced machine; see trace.go and
+	// metrics.go). flight is nil unless this machine won the plane's
+	// machine slot, so rare-event notes have a single source.
 	rec     *trace.Recorder
 	sampler *trace.Sampler
 	prof    *sim.Prof
 	roleOf  []uint8 // tile -> trace.Role
+	obs     *obsPub
+	flight  *metrics.Flight
 
 	// Fault injection (all nil/zero on a fault-free machine).
 	inj          *fault.Injector
@@ -427,6 +447,16 @@ func New(p Params) (*Machine, error) {
 	if p.Prof != nil {
 		m.prof = p.Prof
 		m.engine.SetProfile(p.Prof)
+	}
+	// Observability-plane binding: the roles and link labels the series
+	// need exist only after buildRoles and EnableLinkHops above. Losing the
+	// bind race (another machine of the same sweep is already publishing)
+	// costs nothing — this machine simply has no cells to publish.
+	if p.Obs != nil && p.Obs.TryBindMachine() {
+		m.obs = newObsPub(p.Obs, m)
+		p.Obs.SetMachineProvider(m.obs.snapshot)
+		m.flight = p.Obs.Flight()
+		m.publishObs()
 	}
 	return m, nil
 }
@@ -780,6 +810,8 @@ func (m *Machine) applyFaults(now int64) {
 				if m.rec != nil {
 					m.rec.Span("fault.stick", "fault", now, e.Duration, int64(e.Tile), nil)
 				}
+				m.flight.Note(now, "fault.stick",
+					fmt.Sprintf("tile %d inet queue stuck for %d cycles", e.Tile, e.Duration))
 			}
 		case fault.CutLink:
 			m.cutLink(now, e)
@@ -795,6 +827,8 @@ func (m *Machine) applyFaults(now int64) {
 					m.rec.Instant("fault.flip", "fault", now, int64(e.Tile),
 						map[string]int64{"offset": int64(e.Offset), "bit": int64(e.Bit)})
 				}
+				m.flight.Note(now, "fault.flip",
+					fmt.Sprintf("tile %d spad bit %d at offset %d", e.Tile, e.Bit, e.Offset))
 				m.report.FlippedWords++
 				if inFrame {
 					m.report.FlipsFrame++
@@ -827,6 +861,7 @@ func (m *Machine) killTile(now int64, t int) {
 	if m.rec != nil {
 		m.rec.Instant("fault.kill", "fault", now, int64(t), nil)
 	}
+	m.flight.Note(now, "fault.kill", fmt.Sprintf("tile %d powered off", t))
 	m.spads[t].Decommission()
 	if m.replays != nil {
 		m.replays[t] = nil // a dead tile's frames are beyond repair
@@ -856,6 +891,7 @@ func (m *Machine) breakGroup(now int64, gid int) {
 		m.rec.Instant("recover.groupbreak", "recovery", now, int64(m.Groups[gid].Scalar),
 			map[string]int64{"group": int64(gid)})
 	}
+	m.flight.Note(now, "recover.groupbreak", fmt.Sprintf("group %d devectorized", gid))
 	rpc := m.Prog.RecoverPC
 	for _, t := range m.Groups[gid].Tiles() {
 		c := m.cores[t]
@@ -1002,6 +1038,7 @@ func (m *Machine) checkLifecycle() error {
 		}
 	}
 	if !m.wallDeadline.IsZero() && time.Now().After(m.wallDeadline) {
+		m.flight.Note(m.now, "wall_budget", "wall-clock watchdog expired")
 		return &FaultError{Cycle: m.now, Tile: -1,
 			Err:   fmt.Errorf("machine: %w", lifecycle.ErrWallBudget),
 			State: m.debugState()}
@@ -1068,6 +1105,11 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 			}
 		}
 		m.sample(true)
+		// Final counter publish, then free the plane's machine slot for the
+		// next attempt/run; the snapshot provider stays installed so
+		// /debug/machine serves this machine's last state until then.
+		m.publishObs()
+		m.releaseObs()
 	}()
 	defer func() {
 		if r := recover(); r != nil {
@@ -1098,6 +1140,7 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 			m.sample(false)
 		}
 		if m.now%m.checkEvery == 0 {
+			m.publishObs()
 			if err := m.checkLifecycle(); err != nil {
 				return m.Stats, err
 			}
@@ -1108,8 +1151,10 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 			if issued == lastIssued {
 				stalled++
 				if stalled >= m.stallLimit {
-					return m.Stats, m.faultErr(-1, fmt.Errorf("machine: deadlock: no instruction issued for %d cycles",
-						stalled*m.checkEvery))
+					derr := fmt.Errorf("%w: no instruction issued for %d cycles",
+						ErrDeadlock, stalled*m.checkEvery)
+					m.flight.Note(m.now, "watchdog", derr.Error())
+					return m.Stats, m.faultErr(-1, derr)
 				}
 			} else {
 				stalled = 0
@@ -1135,6 +1180,7 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 			return m.Stats, m.faultErr(-1, fmt.Errorf("machine: memory system failed to drain"))
 		}
 		if m.now%m.checkEvery == 0 {
+			m.publishObs()
 			if err := m.checkLifecycle(); err != nil {
 				return m.Stats, err
 			}

@@ -83,6 +83,7 @@ func (m *Machine) takeCheckpoint(now int64) {
 		m.rec.Instant("checkpoint", "recovery", now, m.tidMachine(),
 			map[string]int64{"words": int64(len(words))})
 	}
+	m.flight.Note(now, "checkpoint", fmt.Sprintf("%d words published", len(words)))
 	m.Stats.Checkpoints++
 	if m.report != nil {
 		m.report.Checkpoints++
@@ -141,6 +142,8 @@ func (m *Machine) startReplay(now int64, t int) {
 		m.rec.Instant("replay.start", "recovery", now, int64(t),
 			map[string]int64{"chunks": int64(len(chunks)), "seq": s.HeadSeq()})
 	}
+	m.flight.Note(now, "replay.start",
+		fmt.Sprintf("tile %d head frame re-issued in %d chunks", t, len(chunks)))
 	rs := &replayState{tile: t, chunks: chunks, tries: 1, deadline: now + replayTimeout}
 	m.replays[t] = rs
 	m.driveReplay(now, rs)
@@ -181,6 +184,8 @@ func (m *Machine) driveReplay(now int64, rs *replayState) {
 			m.rec.Instant("replay.ok", "recovery", now, int64(rs.tile),
 				map[string]int64{"tries": int64(rs.tries)})
 		}
+		m.flight.Note(now, "replay.ok",
+			fmt.Sprintf("tile %d frame verified after %d tries", rs.tile, rs.tries))
 		m.Stats.Cores[rs.tile].FrameReplays++
 		if m.report != nil {
 			m.report.FrameReplays++
@@ -210,6 +215,8 @@ func (m *Machine) retryReplay(now int64, rs *replayState) {
 		m.rec.Instant("replay.retry", "recovery", now, int64(rs.tile),
 			map[string]int64{"try": int64(rs.tries)})
 	}
+	m.flight.Note(now, "replay.retry",
+		fmt.Sprintf("tile %d replay try %d", rs.tile, rs.tries))
 	m.spads[rs.tile].BeginReplay()
 	m.Stats.Cores[rs.tile].ReplayRetries++
 	if m.report != nil {
@@ -228,6 +235,8 @@ func (m *Machine) escalateReplay(now int64, t int) {
 	if m.rec != nil {
 		m.rec.Instant("replay.escalate", "recovery", now, int64(t), nil)
 	}
+	m.flight.Note(now, "replay.escalate",
+		fmt.Sprintf("tile %d frame unrepairable, escalating", t))
 	s := m.spads[t]
 	if gid := m.tileGroup[t]; gid >= 0 && !m.brokenGroups[gid] {
 		s.AbandonReplay()

@@ -160,6 +160,7 @@ func (m *Machine) cutLink(now int64, e fault.Event) {
 		m.rec.Instant("fault.cutlink", "fault", now, int64(e.From),
 			map[string]int64{"to": int64(e.To), "plane": int64(e.Plane)})
 	}
+	m.flight.Note(now, "fault.cutlink", "link "+label+" cut")
 	m.meshWaker.Wake()
 }
 
@@ -183,6 +184,7 @@ func (m *Machine) killRouter(now int64, r int) {
 	if m.rec != nil {
 		m.rec.Instant("fault.killrouter", "fault", now, int64(r), nil)
 	}
+	m.flight.Note(now, "fault.killrouter", fmt.Sprintf("router %d powered off", r))
 	m.killTile(now, r)
 	for b := range m.llcs {
 		if m.meshResp.AttachRouter(m.space.LLCNode(b)) == r {
@@ -220,6 +222,8 @@ func (m *Machine) killBank(now int64, b int) {
 		m.rec.Instant("fault.killbank", "fault", now, m.tidLLC(b),
 			map[string]int64{"owner": int64(owner)})
 	}
+	m.flight.Note(now, "fault.killbank",
+		fmt.Sprintf("llc bank %d decommissioned, slice fails over to bank %d", b, owner))
 	// Dead-bank DRAM fills are dropped in preMem; the owner re-fetches any
 	// line it needs. The drained messages re-resolve their destinations in
 	// tryReinject, so requests the bank had absorbed land at the owner.
@@ -249,4 +253,6 @@ func (m *Machine) dramDegrade(now int64, e fault.Event) {
 		m.rec.Instant("fault.dramdegrade", "fault", now, m.tidMachine(),
 			map[string]int64{"until": e.Until, "factor_x100": int64(e.Factor * 100)})
 	}
+	m.flight.Note(now, "fault.dramdegrade",
+		fmt.Sprintf("dram latency x%.2f until cycle %d", e.Factor, e.Until))
 }

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rockcress/internal/trace"
+)
+
+// Flight is the flight recorder: a bounded ring of the most recent telemetry
+// windows (fed by the trace.Sampler's Retain hook) plus a bounded ring of
+// rare-event notes (fault injections, replay rungs, checkpoint publishes,
+// reroutes, watchdog trips). When a run dies badly — watchdog trip, wall
+// budget, contained crash, SIGQUIT — Dump writes the rings plus a machine
+// snapshot as one forensic JSON bundle.
+//
+// Notes come only from serial, rare machine paths (the same sites that emit
+// trace.Recorder events), never from the per-instruction hot path, so the
+// recorder costs nothing in steady state. All methods are nil-safe and
+// mutex-protected: the sampler feeds windows from the run goroutine while a
+// SIGQUIT handler may dump from another.
+type Flight struct {
+	mu      sync.Mutex
+	windows []FlightWindow
+	wHead   int
+	wLen    int
+	notes   []FlightNote
+	nHead   int
+	nLen    int
+	run     string
+	attempt int
+	dumps   int
+	seq     int
+}
+
+// FlightWindow is one retained telemetry window, tagged with the run it came
+// from so interleaved harness sweeps stay attributable.
+type FlightWindow struct {
+	Run     string       `json:"run,omitempty"`
+	Attempt int          `json:"attempt,omitempty"`
+	Window  trace.Window `json:"window"`
+}
+
+// FlightNote is one rare-event record.
+type FlightNote struct {
+	Cycle   int64  `json:"cycle"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail,omitempty"`
+	Run     string `json:"run,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+}
+
+// Bundle is the on-disk forensic dump format (see ReadBundle).
+type Bundle struct {
+	Schema    int            `json:"schema"`
+	Reason    string         `json:"reason"`
+	WrittenAt time.Time      `json:"written_at"`
+	Run       string         `json:"run,omitempty"`
+	Attempt   int            `json:"attempt,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	TileState string         `json:"tile_state,omitempty"`
+	Machine   *MachineSnap   `json:"machine,omitempty"`
+	Windows   []FlightWindow `json:"windows"`
+	Notes     []FlightNote   `json:"notes"`
+}
+
+const (
+	defaultWindowCap = 64
+	defaultNoteCap   = 256
+)
+
+// NewFlight creates a flight recorder with the default ring capacities.
+func NewFlight() *Flight {
+	return &Flight{
+		windows: make([]FlightWindow, defaultWindowCap),
+		notes:   make([]FlightNote, defaultNoteCap),
+	}
+}
+
+// SetRun tags subsequently retained windows and notes with a run key (e.g.
+// "gemm/V4") and ladder attempt number.
+func (f *Flight) SetRun(run string, attempt int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.run, f.attempt = run, attempt
+	f.mu.Unlock()
+}
+
+// Retain keeps one telemetry window, tagged with the current run. Its
+// signature matches trace.Config.Retain.
+func (f *Flight) Retain(w trace.Window) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.retainLocked(f.run, f.attempt, w)
+	f.mu.Unlock()
+}
+
+// RetainKeyed keeps a window under an explicit run key — for harness sweeps
+// where several machines sample concurrently and the ambient SetRun key
+// would misattribute windows.
+func (f *Flight) RetainKeyed(run string, attempt int, w trace.Window) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.retainLocked(run, attempt, w)
+	f.mu.Unlock()
+}
+
+func (f *Flight) retainLocked(run string, attempt int, w trace.Window) {
+	i := (f.wHead + f.wLen) % len(f.windows)
+	f.windows[i] = FlightWindow{Run: run, Attempt: attempt, Window: w}
+	if f.wLen < len(f.windows) {
+		f.wLen++
+	} else {
+		f.wHead = (f.wHead + 1) % len(f.windows)
+	}
+}
+
+// Note records one rare event at a simulated cycle.
+func (f *Flight) Note(cycle int64, kind, detail string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	i := (f.nHead + f.nLen) % len(f.notes)
+	f.notes[i] = FlightNote{Cycle: cycle, Kind: kind, Detail: detail,
+		Run: f.run, Attempt: f.attempt}
+	if f.nLen < len(f.notes) {
+		f.nLen++
+	} else {
+		f.nHead = (f.nHead + 1) % len(f.notes)
+	}
+	f.mu.Unlock()
+}
+
+// Counts reports how many windows and notes are currently retained and how
+// many bundles have been dumped.
+func (f *Flight) Counts() (windows, notes, dumps int) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wLen, f.nLen, f.dumps
+}
+
+// snapshot copies the rings oldest-first.
+func (f *Flight) snapshot() (ws []FlightWindow, ns []FlightNote, run string, attempt int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ws = make([]FlightWindow, 0, f.wLen)
+	for i := 0; i < f.wLen; i++ {
+		ws = append(ws, f.windows[(f.wHead+i)%len(f.windows)])
+	}
+	ns = make([]FlightNote, 0, f.nLen)
+	for i := 0; i < f.nLen; i++ {
+		ns = append(ns, f.notes[(f.nHead+i)%len(f.notes)])
+	}
+	return ws, ns, f.run, f.attempt
+}
+
+// Dump writes a bundle into dir and returns its path. reason is a short
+// slug ("watchdog", "wall_budget", "crash", "sigquit"); runErr and tileState
+// give the error and diagnostic dump if the run died with one; snap is the
+// live machine heatmap if a machine is bound.
+func (f *Flight) Dump(dir, reason string, runErr error, tileState string, snap *MachineSnap) (string, error) {
+	if f == nil || dir == "" {
+		return "", nil
+	}
+	ws, ns, run, attempt := f.snapshot()
+	b := Bundle{
+		Schema:    1,
+		Reason:    reason,
+		WrittenAt: time.Now().UTC(),
+		Run:       run,
+		Attempt:   attempt,
+		TileState: tileState,
+		Machine:   snap,
+		Windows:   ws,
+		Notes:     ns,
+	}
+	if runErr != nil {
+		b.Error = runErr.Error()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.seq++
+	seq := f.seq
+	f.mu.Unlock()
+	name := fmt.Sprintf("flight-%s-%d-%03d.json", reason, time.Now().UnixMilli(), seq)
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(&b, "", " ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.dumps++
+	f.mu.Unlock()
+	return path, nil
+}
+
+// ReadBundle loads a dumped flight bundle (rockdoctor's reader).
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: not a flight bundle: %w", path, err)
+	}
+	if b.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported flight bundle schema %d", path, b.Schema)
+	}
+	return &b, nil
+}

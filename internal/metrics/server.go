@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is the opt-in introspection listener behind -listen. It serves:
+//
+//	/metrics        Prometheus text exposition of the plane's registry
+//	/debug/run      JSON sweep progress, ladder state, simulated-MIPS, ETA
+//	/debug/machine  JSON per-tile stall heatmap + per-link hop counts
+//	/debug/flight   JSON view of the flight recorder's current rings
+//	/debug/pprof/*  live Go profiles (cpu, heap, goroutine, block, mutex)
+//
+// Handlers only read atomic cells and mutex-protected snapshots; they never
+// touch simulator state, so scraping mid-run cannot perturb cycle counts.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the listener on addr (":0" picks a free port — tests use
+// this; Addr reports the bound address). Block and mutex profiling are
+// enabled here, not at package init, so runs without -listen pay nothing.
+func Serve(addr string, plane *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Sampled block/mutex profiling so /debug/pprof/{block,mutex} have data.
+	// Rates are modest: one blocking event per ~1ms cumulative, 1/16 mutex
+	// contention events.
+	runtime.SetBlockProfileRate(int(time.Millisecond.Nanoseconds()))
+	runtime.SetMutexProfileFraction(16)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = plane.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/debug/run", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, plane.Run().Snapshot())
+	})
+	mux.HandleFunc("/debug/machine", func(w http.ResponseWriter, r *http.Request) {
+		snap := plane.MachineSnapshot()
+		if snap == nil {
+			http.Error(w, "no machine has bound to this plane yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		ws, ns, run, attempt := plane.Flight().snapshot()
+		writeJSON(w, Bundle{
+			Schema: 1, Reason: "live", WrittenAt: time.Now().UTC(),
+			Run: run, Attempt: attempt, Windows: ws, Notes: ns,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

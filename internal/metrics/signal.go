@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnQuit installs a SIGQUIT handler that writes a flight bundle (reason
+// "sigquit") and keeps the process running — a live forensic snapshot of a
+// sweep you suspect is wedged, without killing it. The returned stop
+// function uninstalls the handler. Go's default SIGQUIT behavior (goroutine
+// dump + exit) is replaced while installed; send the signal twice only if
+// you actually want the process gone (the second lands after a dump and
+// still just dumps — use SIGINT/SIGTERM to stop the run).
+func DumpOnQuit(p *Plane) (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				_, _ = p.DumpFlight("sigquit", nil, "")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

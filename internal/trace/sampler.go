@@ -185,6 +185,7 @@ type Window struct {
 // harness runs restart the window series per attempt.
 type Sampler struct {
 	enc        *json.Encoder
+	retain     func(Window)
 	every      int64
 	next       int64
 	prev       Cum
@@ -195,8 +196,14 @@ type Sampler struct {
 	err        error
 }
 
+// newSampler builds a sampler. w may be nil for a retain-only sampler (the
+// flight recorder keeps windows in memory without a JSONL file).
 func newSampler(w io.Writer, every int64) *Sampler {
-	return &Sampler{enc: json.NewEncoder(w), every: every}
+	s := &Sampler{every: every}
+	if w != nil {
+		s.enc = json.NewEncoder(w)
+	}
+	return s
 }
 
 // Every returns the configured window size.
@@ -292,8 +299,13 @@ func (s *Sampler) emit(now int64, c *Cum, g Gauges, final bool) {
 	}
 	w.LinksReq = s.linkDelta(c.LinksReq, s.prev.LinksReq)
 	w.LinksResp = s.linkDelta(c.LinksResp, s.prev.LinksResp)
-	if err := s.enc.Encode(&w); err != nil && s.err == nil {
-		s.err = err
+	if s.enc != nil {
+		if err := s.enc.Encode(&w); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	if s.retain != nil {
+		s.retain(w)
 	}
 	s.prev = *c
 	s.prevAt = now

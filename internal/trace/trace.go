@@ -35,6 +35,10 @@ type Config struct {
 	// EventCap bounds the event ring buffer; the oldest events are dropped
 	// (and counted) when a run emits more.
 	EventCap int
+	// Retain receives a copy of every emitted window (the flight recorder's
+	// feed). Setting it enables the sampler even when SampleTo is nil, so a
+	// run can keep a telemetry tail in memory without writing JSONL.
+	Retain func(Window)
 }
 
 // Sink owns one run's observability outputs. Attach it to a machine via
@@ -51,12 +55,13 @@ type Sink struct {
 // NewSink builds a sink from cfg.
 func NewSink(cfg Config) *Sink {
 	s := &Sink{}
-	if cfg.SampleTo != nil {
+	if cfg.SampleTo != nil || cfg.Retain != nil {
 		every := cfg.SampleEvery
 		if every <= 0 {
 			every = DefaultSampleEvery
 		}
 		s.sampler = newSampler(cfg.SampleTo, every)
+		s.sampler.retain = cfg.Retain
 	}
 	if cfg.EventsTo != nil {
 		capacity := cfg.EventCap
