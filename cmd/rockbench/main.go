@@ -86,8 +86,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited); a run exceeding it fails its sweep cell")
 		jrnlPath   = flag.String("journal", "", "record completed sweep cells crash-safely into this file")
 		resume     = flag.Bool("resume", false, "reload -journal and skip its completed cells (final tables are byte-identical to an uninterrupted run)")
-		listenAddr = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/pprof/); cycle counts are unchanged")
-		flightDir  = flag.String("flight", "", "write flight-recorder bundles into this directory when a run dies badly (watchdog, wall budget, crash) or on SIGQUIT")
+		listenAddr = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/build, /debug/pprof/); cycle counts are unchanged")
+		flightDir  = flag.String("flight", "", "write flight-recorder bundles into this directory when a run dies badly (watchdog, wall budget, crash), on SIGQUIT, or on the first SIGINT")
+		causalOn   = flag.Bool("causal", false, "record causal profiles (critical_path sections in -report files); cycle counts are bit-identical with or without it")
 	)
 	flag.Parse()
 
@@ -104,16 +105,19 @@ func main() {
 		plane.OnDump(func(path string) {
 			fmt.Fprintln(os.Stderr, "rockbench: flight bundle written:", path)
 		})
-		// SIGQUIT dumps a flight bundle and keeps the sweep running.
+		// SIGQUIT dumps a flight bundle and keeps the sweep running; the
+		// first SIGINT dumps one on the way out (the sweep still cancels).
 		stopQuit := metrics.DumpOnQuit(plane)
 		defer stopQuit()
+		stopInt := metrics.DumpOnInterrupt(plane)
+		defer stopInt()
 		if *listenAddr != "" {
 			srv, err := metrics.Serve(*listenAddr, plane)
 			if err != nil {
 				fatal(err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/pprof/)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/build /debug/pprof/)\n", srv.Addr())
 		}
 	}
 
@@ -176,6 +180,7 @@ func main() {
 			Scale: s, Out: os.Stdout, Verbose: !*quiet, Benches: benches, Jobs: *jobs,
 			TelemetryDir: *telemDir, SampleEvery: *sampleN, ReportDir: *reportDir,
 			Ctx: ctx, WallBudget: *timeout, Journal: journal, Obs: plane,
+			Causal: *causalOn,
 		})
 		if len(seed) > 0 {
 			n, err := r.SeedJournal(seed)

@@ -7,6 +7,8 @@
 //
 //	rockdoctor explain report.json        # verdict + evidence + CPI stacks
 //	rockdoctor diff a.json b.json         # attribute the cycle delta
+//	rockdoctor critpath report.json       # causal critical path + slack table
+//	rockdoctor whatif -scale noc=0.5,dram=0.5 report.json  # project a speedup
 //	rockdoctor trace trace.json           # vload-pipeline latencies, frame occupancy
 //	rockdoctor timeline telem.jsonl       # per-window bottleneck phases
 //	rockdoctor watch http://HOST:PORT     # live sweep progress (rockbench -listen)
@@ -16,7 +18,13 @@
 // noc/inet-limited, dram-bandwidth-saturated, llc-miss-bound,
 // barrier-bound, or issue-bound) with the counter evidence the rule tree
 // fired on. diff divides the runtime delta between two reports into
-// per-category CPI-stack contributions on the pacing role. trace mines a
+// per-category CPI-stack contributions on the pacing role (warning when
+// the two reports came from different simulator builds). critpath renders
+// the causal profiler's output — critical-path cycles bucketed by resource
+// class, the per-resource slack table, and the longest critical intervals —
+// cross-checked against the counter classifier's verdict; whatif projects
+// the cycle count under hypothetical resource scalings (-causal reports
+// only; see DESIGN.md "Causal profiling"). trace mines a
 // -trace event file for issue→fanout→frame-open→consume latency
 // percentiles. timeline classifies every telemetry window and merges
 // consecutive labels into phases, showing where the bottleneck moved.
@@ -29,10 +37,13 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rockcress/internal/analyze"
+	"rockcress/internal/causal"
 	"rockcress/internal/lifecycle"
 )
 
@@ -53,6 +64,10 @@ func main() {
 		err = explain(args)
 	case "diff":
 		err = diff(args)
+	case "critpath":
+		err = critpath(args)
+	case "whatif":
+		err = whatif(args)
 	case "trace":
 		err = traceCmd(args)
 	case "timeline":
@@ -86,15 +101,24 @@ func usage() {
 
   rockdoctor explain report.json        classify one run and show the evidence
   rockdoctor diff a.json b.json         attribute the cycle delta between two runs
+  rockdoctor critpath report.json       causal critical path, slack, cross-check
+  rockdoctor whatif -scale k=v,... report.json
+                                        project cycles under resource scalings
+                                        (params: `+scaleParamList()+`)
   rockdoctor trace trace.json           vload-pipeline latencies and frame occupancy
   rockdoctor timeline telem.jsonl       time-resolved bottleneck phases
   rockdoctor watch http://HOST:PORT     live sweep progress from a -listen process
   rockdoctor flight flight-*.json       render a flight-recorder forensic bundle
 
 Produce the inputs with rocksim -report/-trace/-telemetry or
-rockbench -report/-telemetry; watch and flight read the live observability
-plane (rocksim/rockbench -listen ADDR -flight DIR).
+rockbench -report/-telemetry; critpath and whatif need a report from a
+-causal run; watch and flight read the live observability plane
+(rocksim/rockbench -listen ADDR -flight DIR).
 `)
+}
+
+func scaleParamList() string {
+	return strings.Join(causal.ScaleKeys(), ", ")
 }
 
 func explain(args []string) error {
@@ -121,9 +145,54 @@ func diff(args []string) error {
 	if err != nil {
 		return err
 	}
+	if !analyze.SameBuild(a.Build, b.Build) {
+		fmt.Printf("WARNING: reports come from different simulator builds (%s vs %s); the delta may include simulator changes, not just configuration effects\n",
+			buildLabel(a.Build), buildLabel(b.Build))
+	}
 	d := analyze.Diff(a, b)
 	d.Render(os.Stdout)
 	return nil
+}
+
+func buildLabel(b *analyze.BuildInfo) string {
+	if b == nil || b.Revision == "" {
+		return "unstamped"
+	}
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+func critpath(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rockdoctor critpath report.json")
+	}
+	r, err := analyze.ReadReport(args[0])
+	if err != nil {
+		return err
+	}
+	return analyze.RenderCriticalPath(os.Stdout, r)
+}
+
+func whatif(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	spec := fs.String("scale", "", "comma-separated resource scalings, e.g. noc=0.5,dram=0.5 (params: "+scaleParamList()+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: rockdoctor whatif -scale k=v,... report.json")
+	}
+	r, err := analyze.ReadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return analyze.RenderWhatIf(os.Stdout, r, *spec)
 }
 
 func traceCmd(args []string) error {

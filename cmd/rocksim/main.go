@@ -73,8 +73,9 @@ func main() {
 		profEng   = flag.Bool("prof", false, "print the engine's per-stage wall-time self-profile")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeded runs fail with a diagnostic snapshot")
-		listen    = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/pprof/); cycle counts are unchanged")
-		flightDir = flag.String("flight", "", "write flight-recorder bundles into this directory when the run dies badly (watchdog, wall budget, crash) or on SIGQUIT")
+		listen    = flag.String("listen", "", "serve live introspection on this address (/metrics, /debug/run, /debug/machine, /debug/flight, /debug/build, /debug/pprof/); cycle counts are unchanged")
+		flightDir = flag.String("flight", "", "write flight-recorder bundles into this directory when the run dies badly (watchdog, wall budget, crash), on SIGQUIT, or on the first SIGINT")
+		causalOn  = flag.Bool("causal", false, "record the causal profile (critical-path buckets, slack, what-if projections); cycle counts are bit-identical with or without it")
 	)
 	flag.Parse()
 
@@ -89,6 +90,7 @@ func main() {
 		Workers:    *workers,
 		Ctx:        ctx,
 		WallBudget: *timeout,
+		Causal:     *causalOn,
 	}
 	// The observability plane is opt-in: without -listen/-flight the run
 	// carries no registry, no flight recorder, and no retain sampler.
@@ -100,13 +102,17 @@ func main() {
 		})
 		stopQuit := metrics.DumpOnQuit(plane)
 		defer stopQuit()
+		// The first SIGINT dumps a bundle too: the forensic record of a run
+		// the user aborted, not just of runs that died on their own.
+		stopInt := metrics.DumpOnInterrupt(plane)
+		defer stopInt()
 		if *listen != "" {
 			srv, err := metrics.Serve(*listen, plane)
 			if err != nil {
 				fatal(err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/pprof/)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "# observability: http://%s (/metrics /debug/run /debug/machine /debug/flight /debug/build /debug/pprof/)\n", srv.Addr())
 		}
 		opts.Obs = plane
 	}
@@ -227,9 +233,21 @@ func main() {
 // valid, honestly-labeled partial artifact rather than a torn file.
 func finish(reportPath string, res *kernels.Result, scaleName string, sink *trace.Sink, prof *sim.Prof) {
 	failed := false
-	if reportPath != "" {
-		rep := analyze.New(analyze.Meta{Bench: res.Bench, Config: res.Config, Scale: scaleName},
+	var rep *analyze.Report
+	if reportPath != "" || res.Causal != nil {
+		rep = analyze.New(analyze.Meta{Bench: res.Bench, Config: res.Config, Scale: scaleName},
 			res.Stats, res.Groups, res.HW)
+		rep.CriticalPath = res.Causal
+		rep.Build = analyze.CurrentBuild()
+	}
+	if res.Causal != nil {
+		fmt.Println()
+		if err := analyze.RenderCriticalPath(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "rocksim:", err)
+			failed = true
+		}
+	}
+	if reportPath != "" {
 		if err := rep.WriteFile(reportPath); err != nil {
 			fmt.Fprintln(os.Stderr, "rocksim:", err)
 			failed = true

@@ -1,0 +1,142 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rockcress/internal/causal"
+)
+
+// compatLabels maps a causal resource class to the bottleneck labels the
+// classifier could plausibly emit for a run dominated by that class. The
+// two analyses look at different evidence — the classifier at counter
+// mixes, the causal profiler at the critical path — so the cross-check is
+// a family match, not an equality test: "frame" cycles can legitimately be
+// verdicted as llc-miss-bound, frame-limited, or dram-saturated depending
+// on which shared stage was pegged underneath them.
+var compatLabels = map[string][]Label{
+	"scalar":       {LabelIssueBound},
+	"vector":       {LabelIssueBound},
+	"frame":        {LabelFrameLimited, LabelLLCMissBound, LabelDramSaturated, LabelNocLimited},
+	"llc":          {LabelLLCMissBound, LabelFrameLimited, LabelDramSaturated},
+	"llc_q":        {LabelLLCMissBound, LabelFrameLimited, LabelNocLimited},
+	"noc_req":      {LabelNocLimited, LabelFrameLimited, LabelLLCMissBound},
+	"noc_resp":     {LabelNocLimited, LabelFrameLimited, LabelLLCMissBound},
+	"noc_contend":  {LabelNocLimited, LabelFrameLimited, LabelLLCMissBound},
+	"dram_q":       {LabelDramSaturated, LabelLLCMissBound},
+	"dram_lat":     {LabelLLCMissBound, LabelFrameLimited, LabelDramSaturated},
+	"inet":         {LabelNocLimited},
+	"backpressure": {LabelNocLimited},
+	"barrier":      {LabelBarrierBound, LabelIssueBound},
+	"recovery":     {LabelDegradedNetwork, LabelDegradedLLC},
+}
+
+// DominantClass returns the largest critical-path bucket's class name, or
+// "" when the report has no causal section (or an empty one).
+func (r *Report) DominantClass() string {
+	if r.CriticalPath == nil || len(r.CriticalPath.Buckets) == 0 {
+		return ""
+	}
+	best := r.CriticalPath.Buckets[0]
+	for _, b := range r.CriticalPath.Buckets[1:] {
+		if b.Cycles > best.Cycles {
+			best = b
+		}
+	}
+	return best.Class
+}
+
+// CrossCheck compares the causal profile's dominant critical-path class
+// against the counter classifier's bottleneck verdict and renders one line
+// saying whether the two analyses agree. Disagreement is a finding, not an
+// error: the classifier sees aggregate counter mixes, the profiler sees
+// only the cycles that actually gated the end-to-end time.
+func (r *Report) CrossCheck() string {
+	dom := r.DominantClass()
+	if dom == "" {
+		return ""
+	}
+	verdict := r.Bottleneck.Label
+	for _, l := range compatLabels[dom] {
+		if l == verdict {
+			return fmt.Sprintf("cross-check: agrees with bottleneck verdict %q", verdict)
+		}
+	}
+	return fmt.Sprintf("cross-check: DIFFERS from bottleneck verdict %q — "+
+		"the counter mix and the critical path blame different resources; "+
+		"trust the path for \"what should I speed up\", the verdict for \"what is saturated\"", verdict)
+}
+
+// RenderCriticalPath writes the causal profile as a human-readable table:
+// per-class critical-path buckets, the slack/projection table, the top
+// critical intervals, and the cross-check against the bottleneck verdict.
+func RenderCriticalPath(w io.Writer, r *Report) error {
+	cp := r.CriticalPath
+	if cp == nil {
+		return fmt.Errorf("analyze: report %s has no critical_path section (run with -causal)", r.Name())
+	}
+	fmt.Fprintf(w, "%s: causal profile over %d cycles (%d barrier intervals", r.Name(), cp.Cycles, cp.Intervals)
+	if cp.Truncated {
+		fmt.Fprint(w, ", oldest collapsed")
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintln(w, "\ncritical-path cycles by resource class:")
+	for _, b := range cp.Buckets {
+		if b.Cycles == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(b.Frac*40+0.5))
+		fmt.Fprintf(w, "  %-13s %12d  %5.1f%%  %s\n", b.Class, b.Cycles, 100*b.Frac, bar)
+	}
+	if len(cp.Slack) > 0 {
+		fmt.Fprintln(w, "\nwhat-if projections (virtual speedup, COZ-style):")
+		fmt.Fprintf(w, "  %-13s %14s %14s %12s\n", "param", "cycles @x0.5", "cycles @x2", "slack")
+		for _, s := range cp.Slack {
+			fmt.Fprintf(w, "  %-13s %14d %14d %12d\n", s.Param, s.Halved, s.Doubled, s.Slack)
+		}
+	}
+	if len(cp.TopChains) > 0 {
+		fmt.Fprintln(w, "\nlongest critical intervals:")
+		for _, c := range cp.TopChains {
+			fmt.Fprintf(w, "  @%-10d %8d cycles  tile %-3d  dominant %s (%d)\n",
+				c.End, c.Window, c.Tile, c.Dominant, c.DomCycles)
+		}
+	}
+	if cc := r.CrossCheck(); cc != "" {
+		fmt.Fprintln(w, "\n"+cc)
+	}
+	return nil
+}
+
+// RenderWhatIf projects the report's cycle count under the given resource
+// scales ("noc=0.5,dram=0.5" halves NoC hop and DRAM access latency) and
+// writes the projection with its per-class contributions.
+func RenderWhatIf(w io.Writer, r *Report, spec string) error {
+	cp := r.CriticalPath
+	if cp == nil {
+		return fmt.Errorf("analyze: report %s has no critical_path section (run with -causal)", r.Name())
+	}
+	scales, err := causal.ParseScales(spec)
+	if err != nil {
+		return err
+	}
+	proj := cp.Project(scales)
+	fmt.Fprintf(w, "%s: %d cycles measured\n", r.Name(), cp.Cycles)
+	keys := make([]string, 0, len(scales))
+	for k := range scales {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  scale %-13s x%g\n", k, scales[k])
+	}
+	speedup := 0.0
+	if proj > 0 {
+		speedup = float64(cp.Cycles) / float64(proj)
+	}
+	fmt.Fprintf(w, "projected: %d cycles (%.2fx speedup)\n", proj, speedup)
+	fmt.Fprintln(w, "projection is linear in critical-path buckets; validated within the tolerance stated in EXPERIMENTS.md")
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"rockcress/internal/causal"
 	"rockcress/internal/config"
 	"rockcress/internal/stats"
 	"rockcress/internal/trace"
@@ -130,6 +131,18 @@ type Report struct {
 	Faults FaultReport          `json:"faults"`
 
 	Bottleneck Verdict `json:"bottleneck"`
+
+	// CriticalPath is the causal profiler's output (-causal runs only):
+	// per-resource critical-path buckets, slack table, and top intervals.
+	// Omitted — keeping older reports byte-identical — when the run did not
+	// record causally.
+	CriticalPath *causal.Report `json:"critical_path,omitempty"`
+
+	// Build identifies the simulator binary that produced the report (VCS
+	// revision, go version, dirty flag). rockdoctor diff warns when the two
+	// sides came from different revisions. Omitted when unavailable (tests,
+	// non-VCS builds) so pre-existing goldens stay byte-identical.
+	Build *BuildInfo `json:"build,omitempty"`
 }
 
 // New builds a report from a finished run's statistics. groups is the

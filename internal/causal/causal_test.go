@@ -1,0 +1,268 @@
+package causal
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A frame run whose last arrival landed inside it is re-bucketed backward
+// along the arrival's journey; the residue stays frame.
+func TestRetroSplitWalksBackward(t *testing.T) {
+	var tr TileRec
+	for i := 0; i < 5; i++ {
+		tr.Tick(ClassScalar)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Tick(ClassFrame)
+	}
+	// Arrival at cycle 25 (== clock), journey: nocReq 3, dramQ 2, dramLat 6, llc 1, nocResp 2.
+	tr.Arrive(25, Journey{ReqDist: 3, DramQ: 2, DramLat: 6, LLC: 1, Resp: 2})
+	tr.Tick(ClassScalar) // closes the run
+	want := map[Class]int64{
+		ClassScalar: 6, ClassFrame: 6, ClassNocResp: 2, ClassLLC: 1,
+		ClassDramLat: 6, ClassDramQ: 2, ClassNocReq: 3,
+	}
+	var sum int64
+	for c := 0; c < NumClasses; c++ {
+		sum += tr.Counts[c]
+		if got := tr.Counts[c]; got != want[Class(c)] {
+			t.Errorf("Counts[%s] = %d, want %d", Class(c), got, want[Class(c)])
+		}
+	}
+	if sum != tr.clock {
+		t.Fatalf("split changed the total: sum %d clock %d", sum, tr.clock)
+	}
+}
+
+// A short run cannot be split past its own length: the backward walk takes
+// the response-side components first and runs out of budget.
+func TestRetroSplitBudgetLimited(t *testing.T) {
+	var tr TileRec
+	for i := 0; i < 4; i++ {
+		tr.Tick(ClassFrame)
+	}
+	tr.Arrive(4, Journey{ReqDist: 100, DramQ: 100, DramLat: 100, LLC: 100, Resp: 3})
+	tr.Tick(ClassVector)
+	if tr.Counts[ClassNocResp] != 3 || tr.Counts[ClassLLC] != 1 {
+		t.Fatalf("backward walk wrong: nocResp %d llc %d", tr.Counts[ClassNocResp], tr.Counts[ClassLLC])
+	}
+	if tr.Counts[ClassFrame] != 0 || tr.Counts[ClassDramLat] != 0 {
+		t.Fatalf("budget overrun: frame %d dramLat %d", tr.Counts[ClassFrame], tr.Counts[ClassDramLat])
+	}
+}
+
+// Arrivals before the run start (a stale fill) do not split it, and
+// recovery runs are never split.
+func TestRetroSplitSkipsStaleAndRecovery(t *testing.T) {
+	var tr TileRec
+	tr.Tick(ClassScalar)
+	tr.Arrive(1, Journey{ReqDist: 5, Resp: 5}) // arrival at cycle 1
+	for i := 0; i < 10; i++ {
+		tr.Tick(ClassFrame) // run starts at clock 1... arrival == runStart boundary
+	}
+	tr.Tick(ClassScalar)
+	// arrival cycle 1 == runStart 1: legal split point, takes min(10, 10).
+	if tr.Counts[ClassNocResp] != 5 || tr.Counts[ClassNocReq] != 5 {
+		t.Fatalf("boundary arrival should split: %v", tr.Counts)
+	}
+	tr2 := TileRec{}
+	for i := 0; i < 8; i++ {
+		tr2.Tick(ClassRecovery)
+	}
+	tr2.Arrive(8, Journey{ReqDist: 4, Resp: 4})
+	tr2.Tick(ClassScalar)
+	if tr2.Counts[ClassRecovery] != 8 {
+		t.Fatalf("recovery run was split: %v", tr2.Counts)
+	}
+}
+
+// Request-plane queueing excess and bank mesh-gating both pool into
+// ClassNocContend, keeping the distance legs in their own classes.
+func TestRetroSplitPoolsContention(t *testing.T) {
+	var tr TileRec
+	for i := 0; i < 20; i++ {
+		tr.Tick(ClassFrame)
+	}
+	// reqDist 2, reqCont 4, llc 1, gated 3, resp 2.
+	tr.Arrive(20, Journey{ReqDist: 2, ReqCont: 4, LLC: 1, Gated: 3, Resp: 2})
+	tr.Tick(ClassScalar)
+	if tr.Counts[ClassNocContend] != 7 {
+		t.Fatalf("contention pooled %d, want 7: %v", tr.Counts[ClassNocContend], tr.Counts)
+	}
+	if tr.Counts[ClassNocReq] != 2 || tr.Counts[ClassNocResp] != 2 {
+		t.Fatalf("distance legs wrong: %v", tr.Counts)
+	}
+	if tr.Counts[ClassFrame] != 8 {
+		t.Fatalf("frame residue %d, want 8", tr.Counts[ClassFrame])
+	}
+}
+
+// The congestion class is covered by both the noc and llc keys; scaling
+// both composes multiplicatively on it.
+func TestProjectionSharesContention(t *testing.T) {
+	p := &Profile{Cycles: 1000}
+	p.Buckets[ClassScalar] = 500
+	p.Buckets[ClassLLCQ] = 100
+	p.Buckets[ClassNocReq] = 100
+	p.Buckets[ClassNocContend] = 300
+	rep := BuildReport(p)
+	if got := rep.Project(map[string]float64{"llc": 0.5}); got != 800 {
+		t.Fatalf("llc=0.5: %d", got) // halves llc_q 100 and contend 300
+	}
+	if got := rep.Project(map[string]float64{"noc": 0.5}); got != 800 {
+		t.Fatalf("noc=0.5: %d", got) // halves req 100 and contend 300
+	}
+	if got := rep.Project(map[string]float64{"noc": 0.5, "llc": 0.5}); got != 675 {
+		t.Fatalf("noc+llc: %d", got) // contend 300 -> 75, llc_q 100 -> 50, req 100 -> 50
+	}
+}
+
+// Intervals tile the run and buckets sum to end-to-end cycles exactly,
+// including the residual booked to barrier skew.
+func TestIntervalExactness(t *testing.T) {
+	r := NewRecorder(2)
+	// Tile 0 computes 80 cycles then waits 20 at the barrier; tile 1 is
+	// the last arriver at cycle 95.
+	for i := 0; i < 80; i++ {
+		r.Tile(0).Tick(ClassScalar)
+	}
+	r.Tile(0).AddN(ClassBarrier, 20)
+	for i := 0; i < 95; i++ {
+		r.Tile(1).Tick(ClassVector)
+	}
+	r.Tile(1).AddN(ClassBarrier, 5)
+	r.Arrival(90, 0)
+	r.Arrival(95, 1)
+	r.CloseInterval(100)
+	// Second window: only tile 0 runs 30 cycles then halts at 130; drain
+	// to 140.
+	for i := 0; i < 30; i++ {
+		r.Tile(0).Tick(ClassScalar)
+	}
+	r.Halt(130, 0)
+	r.Finish(140)
+	p := r.Profile()
+	if p.Cycles != 140 {
+		t.Fatalf("cycles %d", p.Cycles)
+	}
+	var sum int64
+	for c := 0; c < NumClasses; c++ {
+		sum += p.Buckets[c]
+	}
+	if sum != p.Cycles {
+		t.Fatalf("buckets sum %d != cycles %d", sum, p.Cycles)
+	}
+	if len(p.Intervals) != 2 {
+		t.Fatalf("intervals %d", len(p.Intervals))
+	}
+	iv := p.Intervals[0]
+	if iv.Tile != 1 || iv.Gap != 5 || iv.Window != 100 {
+		t.Fatalf("interval 0: %+v", iv)
+	}
+	if iv.Delta[ClassVector] != 95 || iv.Delta[ClassBarrier] != 5 {
+		t.Fatalf("interval 0 delta: %v", iv.Delta)
+	}
+	// Final window: tile 0's 30 compute cycles + 10 residual drain.
+	iv = p.Intervals[1]
+	if iv.Tile != 0 || iv.Delta[ClassScalar] != 30 || iv.Delta[ClassBarrier] != 10 {
+		t.Fatalf("interval 1: %+v", iv)
+	}
+}
+
+// Arrival/Halt tie-breaks are deterministic: higher cycle wins, ties go to
+// the lower tile.
+func TestArrivalTieBreak(t *testing.T) {
+	r := NewRecorder(4)
+	r.Arrival(50, 3)
+	r.Arrival(50, 1)
+	r.Arrival(40, 2)
+	tile, arrive, gap := r.takeArrival()
+	if tile != 1 || arrive != 50 || gap != 0 {
+		t.Fatalf("tie-break: tile %d arrive %d gap %d", tile, arrive, gap)
+	}
+}
+
+// Ring overflow collapses oldest intervals into the spill bucket without
+// losing cycles.
+func TestRingOverflowStaysExact(t *testing.T) {
+	r := NewRecorder(1)
+	end := int64(0)
+	for i := 0; i < MaxIntervals+10; i++ {
+		r.Tile(0).Tick(ClassScalar)
+		end++
+		r.Arrival(end, 0)
+		r.CloseInterval(end)
+	}
+	r.Halt(end, 0)
+	r.Finish(end)
+	p := r.Profile()
+	if p.Spilled != 10 {
+		t.Fatalf("spilled %d", p.Spilled)
+	}
+	var sum int64
+	for c := 0; c < NumClasses; c++ {
+		sum += p.Buckets[c]
+	}
+	if sum != p.Cycles || p.Cycles != end {
+		t.Fatalf("sum %d cycles %d end %d", sum, p.Cycles, end)
+	}
+	rep := BuildReport(p)
+	if !rep.Truncated || rep.Intervals != MaxIntervals+10 {
+		t.Fatalf("report: truncated %v intervals %d", rep.Truncated, rep.Intervals)
+	}
+}
+
+func TestProjectionScalesBuckets(t *testing.T) {
+	p := &Profile{Cycles: 1000}
+	p.Buckets[ClassScalar] = 400
+	p.Buckets[ClassNocReq] = 100
+	p.Buckets[ClassNocResp] = 100
+	p.Buckets[ClassDramLat] = 300
+	p.Buckets[ClassBarrier] = 100
+	rep := BuildReport(p)
+	if got := rep.Project(map[string]float64{"noc": 0.5}); got != 900 {
+		t.Fatalf("noc=0.5: %d", got)
+	}
+	if got := rep.Project(map[string]float64{"noc": 0.5, "dram": 0.5}); got != 750 {
+		t.Fatalf("noc+dram: %d", got)
+	}
+	if got := rep.Project(map[string]float64{"dram": 2}); got != 1300 {
+		t.Fatalf("dram=2: %d", got)
+	}
+	// Slack table row for dram: halved saves 150.
+	for _, s := range rep.Slack {
+		if s.Param == "dram" && s.Slack != 150 {
+			t.Fatalf("dram slack %d", s.Slack)
+		}
+	}
+}
+
+func TestParseScales(t *testing.T) {
+	m, err := ParseScales("noc=0.5, dram=0.25")
+	if err != nil || m["noc"] != 0.5 || m["dram"] != 0.25 {
+		t.Fatalf("parse: %v %v", m, err)
+	}
+	for _, bad := range []string{"", "noc", "noc=0", "noc=-1", "bogus=2", "noc=x"} {
+		if _, err := ParseScales(bad); err == nil {
+			t.Fatalf("ParseScales(%q) accepted", bad)
+		}
+	}
+}
+
+// The report round-trips through JSON (the harness journal requires it).
+func TestReportJSONRoundTrip(t *testing.T) {
+	p := &Profile{Cycles: 10, Intervals: []Interval{{End: 10, Window: 10, Tile: 2, Gap: 1}}}
+	p.Buckets[ClassScalar] = 10
+	rep := BuildReport(p)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != 10 || len(back.Buckets) != NumClasses || back.TopChains[0].Tile != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

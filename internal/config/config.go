@@ -108,6 +108,9 @@ func (m Manycore) Validate() error {
 	if m.LinkQueue < 1 {
 		return fmt.Errorf("noc link queue %d must be at least 1", m.LinkQueue)
 	}
+	if m.RouterHopLat < 1 {
+		return fmt.Errorf("router hop latency %d must be at least 1", m.RouterHopLat)
+	}
 	if m.NetWidthWords < 1 || m.NetWidthWords > msg.MaxWords {
 		return fmt.Errorf("net width %d words out of range [1, %d] (flit payloads are inline arrays)",
 			m.NetWidthWords, msg.MaxWords)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"rockcress/internal/causal"
 	"rockcress/internal/config"
 	"rockcress/internal/inet"
 	"rockcress/internal/isa"
@@ -144,6 +145,12 @@ type Core struct {
 	// issueSlot, when set, receives the number of instructions issued each
 	// Tick (the machine's watchdog meter). The slot is owned by this core.
 	issueSlot *int64
+
+	// Causal recording (nil when off): crec receives one resource class
+	// per accounted cycle; cclass is the class issued work counts toward
+	// (scalar or vector, fixed by the tile's static role).
+	crec   *causal.TileRec
+	cclass causal.Class
 
 	// parkedKind is the stall kind the engine's shard parking will back-fill
 	// with (recorded by Park, consumed by CatchUp).
@@ -343,6 +350,10 @@ func (c *Core) Tick(now int64) {
 		c.blowUp = false
 		panic(fmt.Sprintf("cpu: injected panic on tile %d at cycle %d", c.ID, now))
 	}
+	if c.crec != nil {
+		c.tickCausal(now)
+		return
+	}
 	if c.issueSlot == nil {
 		c.tick(now)
 		return
@@ -350,6 +361,66 @@ func (c *Core) Tick(now int64) {
 	pre := c.st.StallCycles[stats.StallNone]
 	c.tick(now)
 	*c.issueSlot += c.st.StallCycles[stats.StallNone] - pre
+}
+
+// SetCausal attaches the causal profiler's per-tile recorder. compute is
+// the class issued cycles count toward. Set before the first Tick; with no
+// recorder attached the hot path pays one nil check.
+func (c *Core) SetCausal(rec *causal.TileRec, compute causal.Class) {
+	c.crec = rec
+	c.cclass = compute
+}
+
+// tickCausal wraps tick with causal classification: snapshot the stall
+// histogram, tick, and account the cycle to the resource class behind
+// whichever counter moved. Purely observational — tick itself is
+// untouched, so cycle counts are identical with recording on or off.
+func (c *Core) tickCausal(now int64) {
+	preStalls := c.st.StallCycles
+	preCycles := c.st.Cycles
+	preState := c.state
+	c.tick(now)
+	if c.issueSlot != nil {
+		*c.issueSlot += c.st.StallCycles[stats.StallNone] - preStalls[stats.StallNone]
+	}
+	if c.st.Cycles == preCycles {
+		return // halted: no cycle accounted
+	}
+	for k := range c.st.StallCycles {
+		if c.st.StallCycles[k] != preStalls[k] {
+			c.crec.Tick(c.causalClass(stats.StallKind(k), preState))
+			return
+		}
+	}
+	// Transition cycles (a barrier or formation rendezvous resolving) book
+	// no stall; they belong to the wait that just ended.
+	if preState == stBarrier || preState == stFormGroup {
+		c.crec.Tick(causal.ClassBarrier)
+		return
+	}
+	c.crec.Tick(c.cclass)
+}
+
+// causalClass maps one accounted stall kind to its resource class.
+func (c *Core) causalClass(kind stats.StallKind, state coreState) causal.Class {
+	switch kind {
+	case stats.StallFrame:
+		if c.spad != nil && (c.spad.Poisoned() || c.spad.Replaying()) {
+			return causal.ClassRecovery
+		}
+		return causal.ClassFrame
+	case stats.StallInet:
+		return causal.ClassInet
+	case stats.StallBackpressure:
+		return causal.ClassBackpressure
+	case stats.StallOther:
+		if state == stBarrier || state == stFormGroup {
+			return causal.ClassBarrier
+		}
+		// RAW hazards, fetch, branch bubbles: core-local compute.
+		return c.cclass
+	}
+	return c.cclass // StallNone: an instruction issued
 }
 
 func (c *Core) tick(now int64) {
@@ -714,6 +785,9 @@ func (c *Core) SkipIdle(n int64, kind stats.StallKind) {
 	}
 	c.st.Cycles += n
 	c.st.AddStallN(kind, n)
+	if c.crec != nil {
+		c.crec.AddN(c.causalClass(kind, c.state), n)
+	}
 }
 
 // Propose advances the core one cycle (sim.Component). Cores in different

@@ -79,6 +79,11 @@ type Options struct {
 	// telemetry sampler per run. Cycle counts and all printed output are
 	// unchanged with the plane attached.
 	Obs *metrics.Plane
+
+	// Causal enables the causal profiler on every simulation (rockbench
+	// -causal): each per-run report gains a critical_path section. All
+	// printed tables and cycle counts are unchanged.
+	Causal bool
 }
 
 // Runner executes and caches simulations.
@@ -289,7 +294,7 @@ func (r *Runner) execute(bench kernels.Benchmark, sw config.Software, hw config.
 // neither.
 func (r *Runner) executeCell(bench kernels.Benchmark, sw config.Software, hw config.Manycore, key string) (*kernels.Result, error) {
 	opts := kernels.ExecOpts{MaxCycles: r.opts.MaxCycles, Ctx: r.opts.Ctx,
-		WallBudget: r.opts.WallBudget, Obs: r.opts.Obs}
+		WallBudget: r.opts.WallBudget, Obs: r.opts.Obs, Causal: r.opts.Causal}
 	if sw.Style == config.StyleGPU {
 		return kernels.ExecuteOpts(bench, bench.Defaults(r.opts.Scale), sw, hw, opts)
 	}
@@ -340,10 +345,13 @@ func (r *Runner) executeCell(bench kernels.Benchmark, sw config.Software, hw con
 
 // report builds the canonical per-run report for one cached result.
 func (r *Runner) report(res *kernels.Result, modName string) *analyze.Report {
-	return analyze.New(analyze.Meta{
+	rep := analyze.New(analyze.Meta{
 		Bench: res.Bench, Config: res.Config,
 		Scale: r.opts.Scale.String(), Mod: modName,
 	}, res.Stats, res.Groups, res.HW)
+	rep.CriticalPath = res.Causal
+	rep.Build = analyze.CurrentBuild()
+	return rep
 }
 
 // Run executes one benchmark under one configuration (with an optional

@@ -1,0 +1,50 @@
+package kernels
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rockcress/internal/config"
+)
+
+// TestCausalProjectionSurvey is a development aid, not a gate: it prints
+// the projection-vs-rerun agreement for every kernel x config x direction
+// so the validated matrix in TestWhatIfProjectionAgreesWithRerun (and the
+// table in EXPERIMENTS.md) can be chosen from measured data rather than
+// hope. Run it explicitly:
+//
+//	ROCKCRESS_CAUSAL_SURVEY=1 go test -run TestCausalProjectionSurvey -v ./internal/kernels
+func TestCausalProjectionSurvey(t *testing.T) {
+	if os.Getenv("ROCKCRESS_CAUSAL_SURVEY") == "" {
+		t.Skip("set ROCKCRESS_CAUSAL_SURVEY=1 to run the survey")
+	}
+	benches := []string{"gemm", "mvt", "atax", "bicg", "gesummv", "syrk", "2dconv"}
+	cfgs := []string{"NV", "V4", "V16"}
+	sc := Tiny
+	if os.Getenv("ROCKCRESS_CAUSAL_SURVEY") == "small" {
+		sc = Small
+	}
+	for _, bn := range benches {
+		b, err := Get(bn)
+		if err != nil {
+			t.Fatalf("%s: %v", bn, err)
+		}
+		for _, cn := range cfgs {
+			sw, err := config.Preset(cn)
+			if err != nil {
+				t.Fatalf("%s: %v", cn, err)
+			}
+			for _, d := range causalDirections() {
+				got, err := measureProjection(b, sw, sc, d)
+				if err != nil {
+					t.Errorf("%s/%s %s: %v", bn, cn, d.name, err)
+					continue
+				}
+				fmt.Printf("%-8s %-4s %-5s base=%8d proj=%8d real=%8d projD=%7d realD=%7d ratio=%.4f\n",
+					bn, cn, d.name, got.base, got.proj, got.real,
+					got.base-got.proj, got.base-got.real, got.ratio)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"rockcress/internal/causal"
 	"rockcress/internal/config"
 	"rockcress/internal/energy"
 	"rockcress/internal/fault"
@@ -153,7 +154,7 @@ func executeFaultLadder(b Benchmark, p Params, sw config.Software, hw config.Man
 			NoReplay: opts.NoReplay, Checkpoint: ckptOn,
 			Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
 			Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof, Obs: opts.Obs,
-			Ctx: opts.Ctx, WallDeadline: wallDeadline,
+			Causal: opts.Causal, Ctx: opts.Ctx, WallDeadline: wallDeadline,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
@@ -200,6 +201,11 @@ func executeFaultLadder(b Benchmark, p Params, sw config.Software, hw config.Man
 				fr.Result = &Result{
 					Bench: name, Config: sw.Name, Params: p, HW: hw,
 					Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,
+				}
+				if prof := m.CausalProfile(); prof != nil {
+					// The surviving attempt's profile only; earlier attempts'
+					// recorders died with their machines.
+					fr.Result.Causal = causal.BuildReport(prof)
 				}
 				fr.MIMDFallback = mimd
 				return fr, nil

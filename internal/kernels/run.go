@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"rockcress/internal/causal"
 	"rockcress/internal/config"
 	"rockcress/internal/energy"
 	"rockcress/internal/gpu"
@@ -29,7 +30,8 @@ type Result struct {
 	Stats  *stats.Machine
 	Energy energy.Breakdown
 	Groups []*config.Group
-	GPU    *gpu.Stats // set for the GPU configuration
+	GPU    *gpu.Stats     // set for the GPU configuration
+	Causal *causal.Report `json:",omitempty"` // set when ExecOpts.Causal
 }
 
 // Cycles returns the run time in cycles (GPU or manycore).
@@ -72,6 +74,12 @@ type ExecOpts struct {
 	// state for /debug/run, the machine's metric series, and automatic
 	// flight-recorder dumps when a run dies badly. nil costs nothing.
 	Obs *metrics.Plane
+
+	// Causal enables the causal profiler: critical-path extraction, per-
+	// resource slack accounting, and what-if projections land in
+	// Result.Causal. Cycle counts are bit-identical with it on or off.
+	// Ignored by the GPU model.
+	Causal bool
 
 	// Ctx, when non-nil, makes the execution cancellable at watchdog-
 	// checkpoint granularity. A run that completes is cycle-identical with
@@ -143,7 +151,7 @@ func executeOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 	m, err := machine.New(machine.Params{Cfg: hw, Prog: prog, Groups: groups, MemBytes: memBytes,
 		Workers: opts.Workers, TraceBarriers: opts.TraceBarriers,
 		Trace: opts.Trace, WatchAddr: opts.WatchAddr, Prof: opts.Prof, Obs: opts.Obs,
-		Ctx: opts.Ctx, WallDeadline: opts.wallDeadline()})
+		Causal: opts.Causal, Ctx: opts.Ctx, WallDeadline: opts.wallDeadline()})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: machine: %w", name, sw.Name, err)
 	}
@@ -158,10 +166,14 @@ func executeOpts(b Benchmark, p Params, sw config.Software, hw config.Manycore, 
 		return nil, fmt.Errorf("%s/%s: wrong result: %w", name, sw.Name, err)
 	}
 	m.Global.Recycle()
-	return &Result{
+	res := &Result{
 		Bench: name, Config: sw.Name, Params: p, HW: hw,
 		Stats: st, Energy: energy.New(hw).Evaluate(st), Groups: groups,
-	}, nil
+	}
+	if prof := m.CausalProfile(); prof != nil {
+		res.Causal = causal.BuildReport(prof)
+	}
+	return res, nil
 }
 
 func executeGPU(b Benchmark, p Params, maxCycles int64, opts ExecOpts) (*Result, error) {

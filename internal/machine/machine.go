@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rockcress/internal/causal"
 	"rockcress/internal/config"
 	"rockcress/internal/cpu"
 	"rockcress/internal/fault"
@@ -98,6 +99,13 @@ type Params struct {
 	// per-machine series; the rest still feed the shared flight recorder's
 	// run status through the kernels layer.
 	Obs *metrics.Plane
+
+	// Causal attaches the causal profiler (internal/causal): per-tile
+	// resource-class accounting, barrier-interval critical-path
+	// extraction, and journey stamping through the memory system. Gated
+	// like Trace/Obs — off, the hot paths pay one nil check each and cycle
+	// counts plus goldens are bit-identical with it on or off.
+	Causal bool
 
 	// Ctx, when non-nil, makes the run cancellable: cancellation is checked
 	// at watchdog-checkpoint granularity (never mid-cycle), so cycle counts
@@ -210,6 +218,7 @@ type Machine struct {
 	roleOf  []uint8 // tile -> trace.Role
 	obs     *obsPub
 	flight  *metrics.Flight
+	causal  *causal.Recorder
 
 	// Fault injection (all nil/zero on a fault-free machine).
 	inj          *fault.Injector
@@ -322,6 +331,10 @@ func New(p Params) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RouterHopLat > 1 {
+		m.meshReq.SetHopLat(cfg.RouterHopLat)
+		m.meshResp.SetHopLat(cfg.RouterHopLat)
+	}
 	if p.Faults != nil {
 		m.inj = fault.NewInjector(p.Faults)
 		m.report = &fault.Report{}
@@ -415,6 +428,34 @@ func New(p Params) (*Machine, error) {
 		m.coreWakers[t] = m.engine.WakerFor(m.cores[t])
 	}
 	m.buildRoles()
+	if p.Causal {
+		// Causal profiler wiring: each core classifies its own cycles into
+		// the per-tile recorder, and the LLC banks stamp response journeys.
+		// Everything else (NoC stamps, arrivals, interval closes) hangs off
+		// m.causal nil checks on the machine's own hooks.
+		m.causal = causal.NewRecorder(cfg.Cores)
+		for t, c := range m.cores {
+			class := causal.ClassScalar
+			if r := trace.Role(m.roleOf[t]); r == trace.RoleLane || r == trace.RoleExpander {
+				class = causal.ClassVector
+			}
+			c.SetCausal(m.causal.Tile(t), class)
+		}
+		for _, b := range m.llcs {
+			b.SetCausal(true)
+		}
+		// Feeder chain: a lane's instruction stream comes from the group
+		// expander, the expander's from the scalar core. Inet waits on the
+		// critical tile are redistributed up this chain at interval close.
+		for _, g := range p.Groups {
+			for _, t := range g.Lanes {
+				if t != g.Expander {
+					m.causal.SetFeeder(t, g.Expander)
+				}
+			}
+			m.causal.SetFeeder(g.Expander, g.Scalar)
+		}
+	}
 	if p.WatchAddr != 0 {
 		for _, b := range m.llcs {
 			b.SetWatchAddr(p.WatchAddr)
@@ -569,6 +610,12 @@ func (m *Machine) preMem(now int64) {
 func (m *Machine) preCores(now int64) {
 	if m.barPending && m.memQuiescent() {
 		m.barPending = false
+		// The causal profiler treats barrier releases as interval
+		// boundaries: the last-arriving tile's class deltas since the
+		// previous release are the interval's critical-path contribution.
+		if m.causal != nil {
+			m.causal.CloseInterval(now)
+		}
 		m.barrier.gen++
 		m.barrier.arrived.Store(0)
 		// Cores waiting at the barrier are parked with no self-scheduled
@@ -606,6 +653,14 @@ func (m *Machine) Now() int64 { return m.now }
 // request plane; core-to-core scratchpad stores ride the response plane
 // (they sink unconditionally at scratchpads).
 func (m *Machine) TrySend(f msg.Message) bool {
+	if m.causal != nil && f.Kind != msg.KindRemoteStore {
+		// Journey stamp: request issue cycle. m.now is stable during the
+		// parallel core phase, and f is a value — no aliasing with the
+		// sender's copy. Responses never pass through here (LLC banks
+		// inject into meshResp directly), so this cannot clobber their
+		// stamps.
+		f.CIssue = m.now
+	}
 	var ok bool
 	if f.Kind == msg.KindRemoteStore {
 		ok = m.meshResp.TrySend(f)
@@ -668,6 +723,9 @@ func (m *Machine) GroupFormed(tile int, ticket int64) bool {
 func (m *Machine) BarrierArrive(tile int) int64 {
 	ticket := m.barrier.gen
 	m.barrier.arrived.Add(1)
+	if m.causal != nil {
+		m.causal.Arrival(m.now, tile)
+	}
 	return ticket
 }
 
@@ -695,6 +753,9 @@ func (m *Machine) memQuiescent() bool {
 // trigger runs in the core phase epilogue.
 func (m *Machine) NotifyHalt(tile int) {
 	m.active.Add(-1)
+	if m.causal != nil {
+		m.causal.Halt(m.now, tile)
+	}
 }
 
 // NumGroups returns the configured group count.
@@ -740,6 +801,9 @@ func (m *Machine) deliver(node int, f *msg.Message) bool {
 		if !m.llcs[bank].CanAccept() {
 			return false
 		}
+		if m.causal != nil && f.CIssue != 0 {
+			f.CNocReq = int32(m.now - f.CIssue)
+		}
 		m.llcs[bank].Accept(f)
 		m.bankWakers[bank].Wake()
 		if m.rec != nil && f.Kind == msg.KindVloadReq {
@@ -758,6 +822,9 @@ func (m *Machine) deliver(node int, f *msg.Message) bool {
 	case msg.KindLoadResp:
 		m.cores[node].OnLoadResp(m.now, f)
 		m.coreWakers[node].Wake()
+		if m.causal != nil {
+			m.causalArrive(node, f)
+		}
 	case msg.KindSpadWord:
 		filled := false
 		for i := 0; i < f.Words; i++ {
@@ -767,6 +834,9 @@ func (m *Machine) deliver(node int, f *msg.Message) bool {
 		}
 		if filled {
 			m.coreWakers[node].Wake()
+			if m.causal != nil {
+				m.causalArrive(node, f)
+			}
 		}
 	case msg.KindRemoteStore:
 		m.spads[node].WriteWord(f.SpadOff, f.Vals[0])
@@ -1196,8 +1266,81 @@ func (m *Machine) Run(maxCycles int64) (st *stats.Machine, err error) {
 		b.FlushTo(m.Global)
 	}
 	m.engine.Sync(m.now)
+	if m.causal != nil {
+		// After Sync: parked cores' back-filled cycles are in the tile
+		// recorders, so the final interval's totals are complete.
+		m.causal.Finish(m.now)
+	}
 	m.collect()
 	return m.Stats, nil
+}
+
+// CausalProfile returns the finished causal profile, or nil when causal
+// recording was not enabled for this run.
+func (m *Machine) CausalProfile() *causal.Profile {
+	if m.causal == nil {
+		return nil
+	}
+	return m.causal.Profile()
+}
+
+// causalArrive books a response delivery into the destination tile's
+// recorder. The journey stamps decompose the round trip into request NoC,
+// DRAM queue, DRAM latency, bank residence, and response NoC cycles; the
+// bank residence (the remainder, so clock skew never makes components
+// exceed the total) is further split into mesh-gating, queue wait, and
+// service via the bank's CGated/CLlcQ stamps, and the request leg into its
+// minimum-hop floor (manhattan distance x hop latency) and the queueing
+// excess above it. Floor and service book to traversal/service classes;
+// the excesses book to ClassNocContend/ClassLLCQ — the shares bank count
+// and link bandwidth actually drive. The response leg stays whole: its
+// congestion is the destination-side ejection funnel, which neither knob
+// relieves per-endpoint, only link bandwidth — so it rides ClassNocResp.
+func (m *Machine) causalArrive(node int, f *msg.Message) {
+	if f.CIssue == 0 || f.CInject == 0 {
+		return
+	}
+	total := m.now - f.CIssue
+	nocResp := m.now - f.CInject
+	bank := total - int64(f.CNocReq) - int64(f.CDramQ) - int64(f.CDramLat) - nocResp
+	gated := int64(f.CGated)
+	if gated > bank {
+		gated = bank
+	}
+	if gated < 0 {
+		gated = 0
+	}
+	llcq := int64(f.CLlcQ)
+	if llcq > bank-gated {
+		llcq = bank - gated
+	}
+	if llcq < 0 {
+		llcq = 0
+	}
+	svc := bank - gated - llcq
+	w := m.Cfg.MeshWidth
+	src := int(f.Src)
+	dx, dy := src%w-node%w, src/w-node/w
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	hopLat := m.Cfg.RouterHopLat
+	if hopLat < 1 {
+		hopLat = 1
+	}
+	floor := int64((dx + dy) * hopLat)
+	reqDist, reqCont := int64(f.CNocReq), int64(0)
+	if reqDist > floor {
+		reqDist, reqCont = floor, reqDist-floor
+	}
+	m.causal.Tile(node).Arrive(m.now, causal.Journey{
+		ReqDist: reqDist, ReqCont: reqCont,
+		DramQ: int64(f.CDramQ), DramLat: int64(f.CDramLat),
+		LLCQ: llcq, LLC: svc, Gated: gated, Resp: nocResp,
+	})
 }
 
 func (m *Machine) llcsBusy() bool {

@@ -54,7 +54,11 @@ func NewDRAM(latency, bytesPerCycle int) (*DRAM, error) {
 	return &DRAM{latency: int64(latency), bytesPerCyc: int64(bytesPerCycle)}, nil
 }
 
-func (d *DRAM) schedule(now int64, bytes int) (doneAt int64) {
+// schedule books a transfer and returns its completion time plus the
+// decomposition the causal profiler attributes: queue is channel-occupancy
+// wait and transfer serialization (everything bandwidth-shaped), lat the
+// (possibly degraded) access latency.
+func (d *DRAM) schedule(now int64, bytes int) (doneAt, queue, lat int64) {
 	start := now
 	if d.channelFree > start {
 		start = d.channelFree
@@ -68,7 +72,7 @@ func (d *DRAM) schedule(now int64, bytes int) (doneAt int64) {
 		latency = int64(float64(latency) * d.degradeFactor)
 		d.DegradedOps++
 	}
-	return start + latency + transfer
+	return start + latency + transfer, start - now + transfer, latency
 }
 
 // Degrade arms a latency-degradation window (the dramdegrade fault):
@@ -79,18 +83,21 @@ func (d *DRAM) Degrade(from, until int64, factor float64) {
 	d.degradeFrom, d.degradeUntil, d.degradeFactor = from, until, factor
 }
 
-// Read schedules a line fill for bank and returns nothing; the completion
-// surfaces from Completed once the channel and latency allow.
-func (d *DRAM) Read(now int64, lineAddr uint32, lineBytes, bank int) {
-	done := d.schedule(now, lineBytes)
+// Read schedules a line fill for bank; the completion surfaces from
+// Completed once the channel and latency allow. The return values
+// decompose the fill's lifetime for the causal profiler — queue cycles
+// (channel wait + transfer) and latency cycles — and may be ignored.
+func (d *DRAM) Read(now int64, lineAddr uint32, lineBytes, bank int) (queue, lat int64) {
+	done, queue, lat := d.schedule(now, lineBytes)
 	d.Reads++
 	d.inFlight = append(d.inFlight, dramOp{doneAt: done, lineAddr: lineAddr, bank: bank})
+	return queue, lat
 }
 
 // Write schedules a dirty-line writeback. The data lands in the backing
 // store when the transfer completes.
 func (d *DRAM) Write(now int64, lineAddr uint32, data []uint32, bank int) {
-	done := d.schedule(now, len(data)*4)
+	done, _, _ := d.schedule(now, len(data)*4)
 	d.Writes++
 	var cp []uint32
 	if n := len(d.dataPool); n > 0 {

@@ -48,6 +48,11 @@ type llcMSHR struct {
 	busy     bool
 	lineAddr uint32
 	events   []mshrEvent
+
+	// Causal stamps of this MSHR's line fill (populated only with causal
+	// recording on): the DRAM schedule decomposition, copied into every
+	// replayed request at Install so responses carry the full journey.
+	cDramQ, cDramLat int32
 }
 
 // respJob streams one wide access's words out of the bank. The bank owns a
@@ -58,6 +63,11 @@ type respJob struct {
 	kStart int      // first global word index this bank serves
 	data   []uint32 // snapshot of the served words
 	sent   int
+	// start is the cycle the job reached the stream head (-1 until then;
+	// 0 with causal recording off). Everything between the request's bank
+	// arrival and start is queue wait, stamped CLlcQ; bank count scales
+	// it, per-access service it does not.
+	start int64
 }
 
 // LLCBank is one slice of the shared last-level cache. Banks partition the
@@ -114,6 +124,18 @@ type LLCBank struct {
 	// ROCKTRACE=<addr> debugging aid, now per-instance).
 	watch uint32
 
+	// causal gates journey stamping for the causal profiler: with it off
+	// (the default) responses leave with zero stamps and the bank does no
+	// extra work, keeping goldens bit-identical.
+	causal bool
+	// blocked counts cycles the head response flit failed to inject
+	// (response-plane backpressure; causal-only). Accept snapshots it into
+	// the request's CInject slot, and stampResp emits the delta as the
+	// response's CGated stamp, so every cycle the bank spent gated on the
+	// mesh — including time a request waited behind other mesh-gated jobs
+	// — books as NoC congestion rather than LLC service.
+	blocked int64
+
 	err error
 }
 
@@ -168,6 +190,11 @@ func (b *LLCBank) Accept(m *msg.Message) {
 	if !b.CanAccept() {
 		b.fail("accept on full request queue")
 		return
+	}
+	if b.causal {
+		// Park the bank-blocked snapshot in the request's (unused) CInject
+		// slot; stampResp turns the delta into the CGated stamp.
+		m.CInject = b.blocked
 	}
 	b.reqQ[(b.reqHead+b.reqCount)%len(b.reqQ)] = *m
 	b.reqCount++
@@ -365,10 +392,24 @@ func (b *LLCBank) Propose(now int64) {
 // shared channel.
 func (b *LLCBank) Commit(now int64) {
 	for _, la := range b.pendingReads {
-		b.dram.Read(now, la, b.lineBytes, b.ID)
+		q, lat := b.dram.Read(now, la, b.lineBytes, b.ID)
+		if b.causal {
+			// Stamp the fill's decomposition on its MSHR (allocated earlier
+			// this cycle or before; at most LLCMSHRs entries to scan).
+			for i := range b.mshr {
+				if b.mshr[i].busy && b.mshr[i].lineAddr == la {
+					b.mshr[i].cDramQ, b.mshr[i].cDramLat = int32(q), int32(lat)
+					break
+				}
+			}
+		}
 	}
 	b.pendingReads = b.pendingReads[:0]
 }
+
+// SetCausal switches journey stamping for the causal profiler on or off.
+// Recording changes no architectural state and no cycle counts.
+func (b *LLCBank) SetCausal(on bool) { b.causal = on }
 
 // Idle reports whether ticking the bank is a no-op: nothing queued and
 // nothing streaming. A busy MSHR alone does not make the bank active — it
@@ -533,7 +574,11 @@ func (b *LLCBank) makeJob(m msg.Message, l *llcLine, lineAddr uint32, kStart, kE
 	n := kEnd - kStart
 	data := b.getData(n)
 	copy(data, l.data[firstWordInLine:firstWordInLine+n])
-	return respJob{req: m, kStart: kStart, data: data}
+	j := respJob{req: m, kStart: kStart, data: data}
+	if b.causal {
+		j.start = -1 // set when the job reaches the stream head
+	}
+	return j
 }
 
 // Install receives a completed DRAM fill for this bank: evict a victim,
@@ -571,6 +616,9 @@ func (b *LLCBank) Install(now int64, lineAddr uint32) {
 			continue
 		}
 		m := ev.req
+		if b.causal {
+			m.CDramQ, m.CDramLat = b.mshr[mi].cDramQ, b.mshr[mi].cDramLat
+		}
 		la, kStart, kEnd, ok := b.portion(m)
 		if !ok || kEnd == kStart {
 			continue
@@ -586,6 +634,7 @@ func (b *LLCBank) Install(now int64, lineAddr uint32) {
 	b.mshr[mi].busy = false
 	b.mshr[mi].lineAddr = 0
 	b.mshr[mi].events = b.mshr[mi].events[:0]
+	b.mshr[mi].cDramQ, b.mshr[mi].cDramLat = 0, 0
 }
 
 // streamResponses emits at most one flit per cycle from the head job,
@@ -595,16 +644,24 @@ func (b *LLCBank) streamResponses(now int64) {
 		return
 	}
 	j := &b.jobs[b.jobHead]
+	if j.start < 0 {
+		j.start = now
+	}
 	m := j.req
 	if m.Kind == msg.KindLoadReq {
 		resp := msg.Message{
 			Kind: msg.KindLoadResp, Src: b.node, Dst: m.Src,
 			Words: 1, LQSlot: m.LQSlot, Addr: m.Addr,
 		}
+		if b.causal {
+			b.stampResp(&resp, &m, now, j.start)
+		}
 		resp.Vals[0] = j.data[0]
 		if b.out.TrySend(resp) {
 			b.st.RespWords++
 			b.popJob()
+		} else if b.causal {
+			b.blocked++
 		}
 		return
 	}
@@ -622,6 +679,9 @@ func (b *LLCBank) streamResponses(now int64) {
 		Kind: msg.KindSpadWord, Src: b.node, Dst: tile,
 		SpadOff: off, Addr: m.Addr + uint32(4*k),
 	}
+	if b.causal {
+		b.stampResp(&resp, &m, now, j.start)
+	}
 	resp.Vals[0] = j.data[j.sent]
 	n := 1
 	for n < maxW && j.sent+n < len(j.data) {
@@ -635,6 +695,9 @@ func (b *LLCBank) streamResponses(now int64) {
 	}
 	resp.Words = n
 	if !b.out.TrySend(resp) {
+		if b.causal {
+			b.blocked++
+		}
 		return
 	}
 	b.st.RespWords += int64(n)
@@ -642,6 +705,32 @@ func (b *LLCBank) streamResponses(now int64) {
 	if j.sent == len(j.data) {
 		b.popJob()
 	}
+}
+
+// stampResp copies the request's causal journey onto a response and adds
+// the bank's own decomposition: CInject (egress cycle), CLlcQ (wait from
+// bank arrival to service start, net of DRAM time), and CGated (cycles the
+// bank spent blocked on response-mesh injection during the request's
+// residence — req.CInject parks the Accept-time snapshot of b.blocked).
+// Delivery books CGated as NoC congestion, CLlcQ as bank queueing, and the
+// residue as LLC service proper — the three scale with different hardware
+// knobs (link bandwidth, bank count, neither).
+func (b *LLCBank) stampResp(resp *msg.Message, req *msg.Message, now, start int64) {
+	gated := b.blocked - req.CInject
+	if gated < 0 || gated > now {
+		gated = 0
+	}
+	q := start - req.CIssue - int64(req.CNocReq) - int64(req.CDramQ) - int64(req.CDramLat)
+	if q < 0 {
+		q = 0
+	}
+	resp.CIssue = req.CIssue
+	resp.CNocReq = req.CNocReq
+	resp.CDramQ = req.CDramQ
+	resp.CDramLat = req.CDramLat
+	resp.CLlcQ = int32(q)
+	resp.CGated = int32(gated)
+	resp.CInject = now
 }
 
 // FlushTo writes every dirty line back to the global store (end of

@@ -268,11 +268,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// The whole text is built under the registration lock: lookup appends to
+	// each family's series slice, so per-family snapshots would be needed
+	// otherwise. Registration is rare and the build only loads atomic cells;
+	// only the writer I/O happens outside the lock.
 	r.mu.Lock()
-	fams := append([]*family(nil), r.families...)
-	r.mu.Unlock()
 	var b strings.Builder
-	for _, f := range fams {
+	for _, f := range r.families {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
 		for _, s := range f.series {
 			switch f.kind {
@@ -304,6 +306,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			}
 		}
 	}
+	r.mu.Unlock()
 	_, err := io.WriteString(w, b.String())
 	return err
 }

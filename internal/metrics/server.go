@@ -2,10 +2,14 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,22 +19,27 @@ import (
 //	/debug/run      JSON sweep progress, ladder state, simulated-MIPS, ETA
 //	/debug/machine  JSON per-tile stall heatmap + per-link hop counts
 //	/debug/flight   JSON view of the flight recorder's current rings
+//	/debug/build    JSON build identity (VCS revision, go version, dirty)
 //	/debug/pprof/*  live Go profiles (cpu, heap, goroutine, block, mutex)
 //
 // Handlers only read atomic cells and mutex-protected snapshots; they never
 // touch simulator state, so scraping mid-run cannot perturb cycle counts.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	srvErr atomic.Pointer[error]
 }
 
 // Serve starts the listener on addr (":0" picks a free port — tests use
 // this; Addr reports the bound address). Block and mutex profiling are
 // enabled here, not at package init, so runs without -listen pay nothing.
+// A bind failure (port taken, bad address) is returned here, synchronously
+// and wrapped with the address — it never surfaces as a late goroutine
+// failure mid-run. Errors from the serve loop itself latch in Err.
 func Serve(addr string, plane *Plane) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	// Sampled block/mutex profiling so /debug/pprof/{block,mutex} have data.
 	// Rates are modest: one blocking event per ~1ms cumulative, 1/16 mutex
@@ -61,6 +70,9 @@ func Serve(addr string, plane *Plane) (*Server, error) {
 			Run: run, Attempt: attempt, Windows: ws, Notes: ns,
 		})
 	})
+	mux.HandleFunc("/debug/build", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, buildStamp())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -68,8 +80,59 @@ func Serve(addr string, plane *Plane) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go func() { _ = s.srv.Serve(ln) }()
+	go func() {
+		// Close makes Serve return ErrServerClosed: the expected shutdown,
+		// not worth latching. Anything else is a real serve-loop failure the
+		// owner can surface via Err at exit.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			werr := fmt.Errorf("metrics: serve %s: %w", ln.Addr(), err)
+			s.srvErr.Store(&werr)
+		}
+	}()
 	return s, nil
+}
+
+// buildInfo is the /debug/build payload: the identity of the running binary
+// as the Go runtime recorded it at link time.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+func buildStamp() buildInfo {
+	b := buildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Path = bi.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// Err returns the latched serve-loop error, if the background listener
+// failed after a successful bind (nil otherwise, including after Close).
+func (s *Server) Err() error {
+	if s == nil {
+		return nil
+	}
+	if p := s.srvErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -73,6 +73,19 @@ type Message struct {
 	Vload   isa.VloadArgs
 	Group   int // vector group id (-1 for self loads)
 	ReqCore int // tile that issued the request (for self/group fan-out)
+
+	// Causal journey stamps (-causal only; zero otherwise). Requests carry
+	// CIssue (injection cycle) and accumulate CNocReq (request-plane hops)
+	// and the DRAM decomposition on a miss; responses copy the request's
+	// stamps and add CInject (response injection cycle) so delivery can
+	// attribute the whole chain. See internal/causal.
+	CIssue   int64 // cycle the request entered the request NoC
+	CInject  int64 // cycle the response entered the response NoC
+	CNocReq  int32 // request-plane traversal cycles
+	CDramQ   int32 // DRAM channel queue + transfer wait cycles
+	CDramLat int32 // DRAM access latency cycles
+	CLlcQ    int32 // bank queue wait before service started (responses)
+	CGated   int32 // bank cycles gated on response-mesh injection (responses)
 }
 
 // NodeSpace maps cores and LLC banks onto NoC node ids: tiles occupy

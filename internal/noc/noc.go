@@ -176,6 +176,13 @@ type Mesh struct {
 	// engine worker (sim.Waker.Wake is).
 	waker func()
 
+	// hopLat is the modeled per-hop link latency in cycles (config
+	// RouterHopLat). 0 or 1 is the single-cycle default; n > 1 makes Tick
+	// move flits only every n-th cycle, stretching every hop (and local
+	// delivery) to n cycles. Skipped cycles do not touch router state, so
+	// the default is bit-identical to a mesh without the knob.
+	hopLat int64
+
 	// Fault-injection hooks (nil/empty in a fault-free mesh).
 	now   int64 // cycles ticked (only consulted by the retry protocol)
 	judge LinkJudge
@@ -416,6 +423,10 @@ func (m *Mesh) route(tile int, dst int) port {
 // Moves are computed against pre-tick state, so a flit advances at most one
 // hop per cycle. Routers with no buffered flits are skipped entirely.
 func (m *Mesh) Tick() {
+	if m.hopLat > 1 && m.now%m.hopLat != 0 {
+		m.now++
+		return
+	}
 	moves := m.moves[:0]
 	incoming := m.incoming
 	for bi, bw := range m.busy {
@@ -588,6 +599,11 @@ func (m *Mesh) linkClear(tile, outOff, nt int) bool {
 	ls.holdUntil = m.now + (int64(1) << uint(backoff))
 	return false
 }
+
+// SetHopLat sets the modeled per-hop link latency in cycles (config
+// RouterHopLat). Call before the first Tick; n <= 1 is the default
+// single-cycle hop and changes nothing.
+func (m *Mesh) SetHopLat(n int) { m.hopLat = int64(n) }
 
 // EnableLinkHops switches on per-link traversal accounting for telemetry.
 // Call before the first Tick; the counters only affect observability, never
